@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure/table of the paper (see DESIGN.md's
+experiment index) and asserts the qualitative findings -- who wins, by
+roughly what factor, where the crossovers fall -- rather than absolute
+numbers, since the substrate is an analytical/cycle model instead of the
+authors' 28 nm silicon flow.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def paper_models():
+    """The three CNNs of the paper's evaluation, built once per session."""
+    from repro.nn.models import model_zoo
+
+    return model_zoo()

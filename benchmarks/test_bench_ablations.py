@@ -1,0 +1,56 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Two ablations:
+
+* ``abl_csa`` -- Section III-B inserts a 3:2 carry-save adder per PE so a
+  collapsed column accumulates in carry-save form; without it, every
+  collapsed stage would contribute a full carry-propagate-adder delay.
+  The benchmark quantifies how the clock and the end-to-end savings
+  degrade without the CSAs.
+* ``abl_dirs`` -- the paper collapses both the vertical (reduction) and the
+  horizontal (broadcast) pipelines; the benchmark isolates each direction's
+  contribution to the cycle reduction.
+"""
+
+from repro.eval import CsaAblationExperiment, DirectionAblationExperiment
+
+
+def test_csa_ablation(benchmark):
+    experiment = CsaAblationExperiment(rows=128, cols=128)
+    result = benchmark(experiment.run)
+
+    print()
+    print(experiment.render(result))
+
+    by_depth = {entry.collapse_depth: entry for entry in result.entries}
+
+    # Without CSAs the clock degrades strictly faster with k.
+    assert (
+        by_depth[4].period_without_csa_ps - by_depth[1].period_without_csa_ps
+        > by_depth[4].period_with_csa_ps - by_depth[1].period_with_csa_ps
+    )
+
+    # With CSAs, fixed shallow modes still save time on this model; without
+    # them the savings collapse (and turn negative for the deep mode).
+    assert by_depth[2].model_saving_with_csa > by_depth[2].model_saving_without_csa
+    assert by_depth[4].model_saving_with_csa > 0.0
+    assert by_depth[4].model_saving_without_csa < 0.0
+
+
+def test_direction_ablation(benchmark):
+    experiment = DirectionAblationExperiment(rows=128, cols=128, depths=(2, 4))
+    result = benchmark(experiment.run)
+
+    print()
+    print(experiment.render(result))
+
+    for entry in result.entries:
+        # Each single direction already helps...
+        assert entry.cycles_vertical_only < entry.cycles_conventional
+        assert entry.cycles_horizontal_only < entry.cycles_conventional
+        # ...but collapsing both directions is strictly better than either.
+        assert entry.cycles_both < entry.cycles_vertical_only
+        assert entry.cycles_both < entry.cycles_horizontal_only
+        # For a square array both single-direction variants save the same
+        # number of cycles (symmetric R/k and C/k terms).
+        assert entry.cycles_vertical_only == entry.cycles_horizontal_only

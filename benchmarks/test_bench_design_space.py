@@ -1,0 +1,56 @@
+"""Benchmark: design-space exploration around the paper's design points.
+
+Not a paper figure: this extends the evaluation with the obvious follow-up
+questions (is k = 8 worth supporting? how do savings scale with array
+size?), using exactly the same models that back Figs. 7-9.  The assertions
+pin down the conclusions the exploration reaches with the default
+calibration:
+
+* the paper's {1, 2, 4} mode set is sufficient -- adding k = 8 changes
+  nothing at 128x128/256x256 because the slower clock never pays off;
+* dropping k = 4 (mode set {1, 2}) gives up a substantial part of the win;
+* the 256x256 array yields the best EDP gain, consistent with the paper's
+  observation that savings grow with the array size.
+"""
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer
+from repro.nn.models import model_zoo
+
+
+def test_design_space_exploration(benchmark):
+    explorer = DesignSpaceExplorer(list(model_zoo().values()))
+    points = [
+        DesignPoint(rows=128, cols=128, supported_depths=(1, 2)),
+        DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4)),
+        DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4, 8)),
+        DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4)),
+    ]
+    results = benchmark(explorer.explore, points)
+    by_label = {result.label: result for result in results}
+
+    print()
+    for result in results:
+        print(
+            f"{result.label:24s} latency {result.latency_saving:6.1%}  "
+            f"power {result.power_saving:6.1%}  EDP {result.edp_gain:.2f}x"
+        )
+
+    paper_point = by_label["128x128 k={1,2,4}"]
+    no_k4 = by_label["128x128 k={1,2}"]
+    with_k8 = by_label["128x128 k={1,2,4,8}"]
+    large = by_label["256x256 k={1,2,4}"]
+
+    # Dropping k = 4 costs a meaningful share of the benefit.
+    assert paper_point.edp_gain > no_k4.edp_gain
+    assert paper_point.latency_saving > no_k4.latency_saving
+
+    # Adding k = 8 buys (essentially) nothing at these array sizes.
+    assert abs(with_k8.latency_saving - paper_point.latency_saving) < 0.01
+
+    # The larger array achieves the larger EDP gain (paper Section IV-B).
+    assert large.edp_gain > paper_point.edp_gain
+
+    # Every explored configurable design beats its conventional counterpart.
+    for result in results:
+        assert result.latency_saving > 0.0
+        assert result.edp_gain > 1.0

@@ -1,0 +1,55 @@
+"""Benchmark harness for Fig. 8: total execution time of the CNN suite.
+
+Regenerates the end-to-end latency comparison of ResNet-34, MobileNetV1 and
+ConvNeXt-T on 128x128 and 256x256 arrays.  The paper reports 9%-11% lower
+execution latency for ArrayFlex, with the savings growing on the larger
+array because more layers prefer the deepest collapse mode.
+"""
+
+import pytest
+
+from repro.eval import Fig8Experiment
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return Fig8Experiment(sizes=(128, 256)).run()
+
+
+def test_fig8_total_execution_time(benchmark):
+    experiment = Fig8Experiment(sizes=(128, 256))
+    result = benchmark(experiment.run)
+
+    print()
+    print(experiment.render(result))
+
+    # ArrayFlex wins end-to-end for every model at every size.
+    for entry in result.entries:
+        assert entry.arrayflex_time_ms < entry.conventional_time_ms, entry.model_name
+
+    # Savings land in a band around the paper's 9%-11%.
+    low, high = result.savings_range()
+    assert 0.05 <= low
+    assert high <= 0.20
+
+
+def test_fig8_savings_grow_with_array_size(fig8_result):
+    """Bigger arrays push more layers to k = 4 and increase the savings."""
+    for model_name in {entry.model_name for entry in fig8_result.entries}:
+        small = next(
+            e for e in fig8_result.by_size(128) if e.model_name == model_name
+        )
+        large = next(
+            e for e in fig8_result.by_size(256) if e.model_name == model_name
+        )
+        k4_small = small.depth_histogram.get(4, 0) / sum(small.depth_histogram.values())
+        k4_large = large.depth_histogram.get(4, 0) / sum(large.depth_histogram.values())
+        assert k4_large >= k4_small, model_name
+
+
+def test_fig8_convnext_dominates_runtime(fig8_result):
+    """The paper normalizes Fig. 8 because ConvNeXt's runtime dwarfs the others."""
+    entries = fig8_result.by_size(128)
+    convnext = next(e for e in entries if e.model_name == "ConvNeXt-T")
+    for entry in entries:
+        assert convnext.conventional_time_ms >= entry.conventional_time_ms

@@ -1,0 +1,13 @@
+"""Pytest root conftest.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. in offline environments where ``pip install -e .`` cannot
+fetch build dependencies).  When the package *is* installed, the installed
+location wins and this is a no-op.
+"""
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reproduce Figs. 8 and 9: the full CNN suite on 128x128 and 256x256 arrays.
+
+For ResNet-34, MobileNetV1 and ConvNeXt-T this example reports, per array
+size:
+
+* Fig. 8 -- total execution time of the conventional SA and ArrayFlex
+  (absolute and normalized), and the per-model latency saving;
+* Fig. 9 -- time-weighted average power of both designs, the share of time
+  ArrayFlex spends in each pipeline mode, the power saving and the
+  energy-delay-product (EDP) improvement.
+
+Run with:  python examples/cnn_suite_comparison.py
+"""
+
+from repro.eval import Fig6Experiment, Fig8Experiment, Fig9Experiment
+
+
+def main() -> None:
+    area = Fig6Experiment()
+    print(area.render())
+    print()
+
+    fig8 = Fig8Experiment(sizes=(128, 256))
+    result8 = fig8.run()
+    print(fig8.render(result8))
+    low, high = result8.savings_range()
+    print(
+        f"\nLatency savings across models and sizes: "
+        f"{low * 100:.1f}% .. {high * 100:.1f}%  (paper: 9% .. 11%)\n"
+    )
+
+    fig9 = Fig9Experiment(sizes=(128, 256))
+    result9 = fig9.run()
+    print(fig9.render(result9))
+    for size in (128, 256):
+        low, high = result9.power_saving_range(size)
+        print(
+            f"\nPower savings on {size}x{size} arrays: "
+            f"{low * 100:.1f}% .. {high * 100:.1f}%"
+            + ("  (paper: 13% .. 15%)" if size == 128 else "  (paper: 17% .. 23%)")
+        )
+    edp_low, edp_high = result9.edp_range()
+    print(
+        f"\nEnergy-delay-product improvement: {edp_low:.2f}x .. {edp_high:.2f}x "
+        "(paper: 1.4x .. 1.8x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

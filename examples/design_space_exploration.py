@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Explore the design space around the paper's ArrayFlex configuration.
+
+The paper ships 128x128 and 256x256 arrays supporting collapse depths
+{1, 2, 4}.  This example uses the same latency/power/area models to ask two
+follow-up questions a prospective adopter would ask:
+
+* how do the savings change with the array size?
+* is it worth supporting a deeper k = 8 mode, or a reduced {1, 2} set?
+
+Every candidate is evaluated over the full three-CNN workload suite and
+ranked by energy-delay-product gain over a conventional fixed-pipeline
+array of the same geometry.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer
+from repro.eval.report import format_percent, format_ratio, format_table
+from repro.nn.models import model_zoo
+
+
+def main() -> None:
+    models = list(model_zoo().values())
+    explorer = DesignSpaceExplorer(models)
+
+    candidates = [
+        DesignPoint(rows=64, cols=64, supported_depths=(1, 2, 4)),
+        DesignPoint(rows=128, cols=128, supported_depths=(1, 2)),
+        DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4)),
+        DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4, 8)),
+        DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4)),
+        DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4, 8)),
+    ]
+    ranked = explorer.rank(candidates, objective="edp_gain")
+
+    rows = [
+        (
+            result.label,
+            format_percent(result.latency_saving),
+            format_percent(result.power_saving),
+            format_ratio(result.edp_gain),
+            format_percent(result.pe_area_overhead),
+        )
+        for result in ranked
+    ]
+    print(
+        format_table(
+            ["design point", "latency saving", "power saving", "EDP gain", "PE area overhead"],
+            rows,
+            title="Design-space exploration over ResNet-34 + MobileNetV1 + ConvNeXt-T",
+        )
+    )
+
+    best = ranked[0]
+    print(
+        f"\nBest EDP design point: {best.label} "
+        f"({format_ratio(best.edp_gain)} over the conventional SA of the same size)."
+    )
+    print("Per-model latency savings of the best point:")
+    for model_name, saving in best.per_model_latency_saving.items():
+        print(f"  {model_name:12s} {format_percent(saving)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the experiment harness.
+
+Runs every experiment of ``repro.eval`` (one per figure/table of the paper
+plus the ablations) and rewrites the repository's EXPERIMENTS.md with the
+measured-vs-paper comparison.
+
+Run with:  python examples/generate_experiments_report.py
+"""
+
+from pathlib import Path
+
+from repro.eval.paper_report import write_experiments_markdown
+
+
+def main() -> None:
+    target = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    content = write_experiments_markdown(str(target))
+    print(f"wrote {target} ({len(content.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

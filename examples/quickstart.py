@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: the ArrayFlex public API in five minutes.
+
+This example walks through the core workflow of the library:
+
+1. build an ArrayFlex accelerator (128x128 PEs, the paper's main instance);
+2. look at its operating points and area cost;
+3. schedule a single GEMM and see which pipeline mode the optimizer picks;
+4. run a full CNN (ResNet-34) on both ArrayFlex and the conventional
+   fixed-pipeline baseline and compare latency, power and EDP.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ArrayFlexAccelerator, GemmShape
+from repro.eval.report import format_percent, format_ratio, format_table
+from repro.nn import resnet34
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Build the accelerator of the paper's main evaluation.
+    # ------------------------------------------------------------------ #
+    accel = ArrayFlexAccelerator(rows=128, cols=128, supported_depths=(1, 2, 4))
+
+    print("Operating points (GHz):")
+    for name, freq in accel.frequency_table().items():
+        print(f"  {name:16s} {freq:.1f}")
+    print()
+
+    area = accel.area_report()
+    print(
+        "PE area overhead of reconfigurability: "
+        f"{format_percent(area['pe_area_overhead'])} "
+        f"({area['conventional_pe_um2']:.0f} -> {area['arrayflex_pe_um2']:.0f} um^2)"
+    )
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 2. One GEMM: the paper's ResNet-34 layer 28, (M, N, T) = (512, 2304, 49).
+    # ------------------------------------------------------------------ #
+    gemm = GemmShape(m=512, n=2304, t=49, name="resnet34-layer28")
+    decision = accel.decide(gemm)
+    print(f"Layer {gemm.name}: optimizer picks k = {decision.collapse_depth}")
+    print(f"  analytical optimum (Eq. 7): k_hat = {decision.analytical_depth:.2f}")
+    for depth, time_ns in sorted(decision.per_depth_time_ns.items()):
+        marker = "  <-- selected" if depth == decision.collapse_depth else ""
+        print(f"  k={depth}: {time_ns / 1000.0:8.2f} us{marker}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. A whole CNN, against the conventional baseline.
+    # ------------------------------------------------------------------ #
+    model = resnet34()
+    comparison = accel.compare_with_conventional(model)
+
+    rows = [
+        (
+            "execution time (ms)",
+            comparison.conventional.total_time_ms,
+            comparison.arrayflex.total_time_ms,
+            format_percent(comparison.latency_saving),
+        ),
+        (
+            "average power (W)",
+            comparison.conventional.average_power_mw / 1000.0,
+            comparison.arrayflex.average_power_mw / 1000.0,
+            format_percent(comparison.power_saving),
+        ),
+        (
+            "energy-delay product (a.u.)",
+            comparison.conventional.energy_delay_product,
+            comparison.arrayflex.energy_delay_product,
+            format_ratio(comparison.edp_gain),
+        ),
+    ]
+    print(
+        format_table(
+            ["metric", "conventional", "ArrayFlex", "improvement"],
+            rows,
+            title=f"{model.name} single-batch inference on 128x128 SAs",
+        )
+    )
+    print()
+    print("Layers per selected pipeline mode:", comparison.arrayflex.depth_histogram())
+
+
+if __name__ == "__main__":
+    main()

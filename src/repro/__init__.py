@@ -1,0 +1,48 @@
+"""ArrayFlex reproduction: a systolic array with configurable transparent pipelining.
+
+This package is a full Python reproduction of *ArrayFlex: A Systolic Array
+Architecture with Configurable Transparent Pipelining* (DATE 2023):
+
+* :mod:`repro.core` -- the ArrayFlex contribution: latency/clock models
+  (Eqs. 1-6), the per-layer pipeline-depth optimizer (Eq. 7), the CNN
+  scheduler, the energy model and the public accelerator facade.
+* :mod:`repro.arch`, :mod:`repro.sim` -- the systolic-array substrate: a
+  structural PE/array model and a cycle-accurate weight-stationary
+  simulator supporting normal and collapsed (shallow) pipelines.
+* :mod:`repro.arith` -- bit-level adders, carry-save adders and
+  multipliers backing the PE datapath.
+* :mod:`repro.timing` -- the calibrated 28 nm technology, delay (Eq. 5),
+  STA, area and power models.
+* :mod:`repro.nn` -- the CNN workload substrate (ResNet-34, MobileNetV1,
+  ConvNeXt-T) and the conv-to-GEMM lowering.
+* :mod:`repro.baselines` -- the conventional fixed-pipeline baseline.
+* :mod:`repro.eval` -- the experiment harness regenerating every figure of
+  the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import ArrayFlexAccelerator
+>>> from repro.nn import convnext_tiny
+>>> accel = ArrayFlexAccelerator(rows=128, cols=128)
+>>> report = accel.compare_with_conventional(convnext_tiny())
+>>> 0.05 < report.latency_saving < 0.2
+True
+"""
+
+from repro.core.arrayflex import ArrayFlexAccelerator, ComparisonReport
+from repro.core.config import ArrayFlexConfig
+from repro.baselines.conventional import ConventionalAccelerator
+from repro.nn.gemm_mapping import GemmShape
+from repro.timing.technology import TechnologyModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayFlexAccelerator",
+    "ConventionalAccelerator",
+    "ArrayFlexConfig",
+    "ComparisonReport",
+    "GemmShape",
+    "TechnologyModel",
+    "__version__",
+]

@@ -1,0 +1,264 @@
+"""Structural, object-per-element model of the systolic array fabric.
+
+:class:`SystolicArrayModel` instantiates one Python object per PE and per
+pipeline register and executes one tile of a weight-stationary matrix
+multiplication cycle by cycle, exactly following the paper's dataflow:
+
+1. preload the weights of the B tile, one array row per cycle (R cycles);
+2. stream the (skewed) rows of the A tile from the west edge;
+3. let partial sums ripple down the columns -- combinationally across the
+   PEs of a collapsed group, registered at group boundaries;
+4. capture the finished column sums at the south edge.
+
+The model is deliberately slow and explicit.  It exists to validate, on
+small arrays, that the fast vectorised simulator (:mod:`repro.sim`) and the
+closed-form latency expressions (Eqs. 1 and 3) describe exactly this
+hardware.  It also produces register-activity statistics (clocked versus
+clock-gated cycles) that anchor the power model's gating assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.control import ConfigurationPlane
+from repro.arch.dataflow import WeightStationaryDataflow
+from repro.arch.pe import ConfigurablePE, ConventionalPE
+from repro.arith.fixed_point import DEFAULT_ACCUM_WIDTH, DEFAULT_INPUT_WIDTH
+
+
+@dataclass
+class TileExecutionResult:
+    """Everything measured while executing one tile on the structural model."""
+
+    output: np.ndarray
+    weight_load_cycles: int
+    compute_cycles: int
+    mac_operations: int
+    clocked_register_cycles: int
+    gated_register_cycles: int
+    collapse_depth: int
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.weight_load_cycles + self.compute_cycles
+
+    @property
+    def gated_register_fraction(self) -> float:
+        total = self.clocked_register_cycles + self.gated_register_cycles
+        if total == 0:
+            return 0.0
+        return self.gated_register_cycles / total
+
+
+class SystolicArrayModel:
+    """R × C array of PE objects executing the weight-stationary dataflow."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        configurable: bool = True,
+        input_width: int = DEFAULT_INPUT_WIDTH,
+        accum_width: int = DEFAULT_ACCUM_WIDTH,
+        use_bitlevel: bool = False,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.configurable = configurable
+        self.input_width = input_width
+        self.accum_width = accum_width
+        self.use_bitlevel = use_bitlevel
+        self.plane = ConfigurationPlane(rows, cols)
+        self.collapse_depth = 1
+
+        pe_kwargs = {
+            "input_width": input_width,
+            "accum_width": accum_width,
+            "use_bitlevel": use_bitlevel,
+        }
+        if configurable:
+            self.pes: list[list[ConfigurablePE | ConventionalPE]] = [
+                [ConfigurablePE(r, c, **pe_kwargs) for c in range(cols)]
+                for r in range(rows)
+            ]
+        else:
+            self.pes = [
+                [ConventionalPE(r, c, **pe_kwargs) for c in range(cols)]
+                for r in range(rows)
+            ]
+        self.configure(1)
+
+    # ------------------------------------------------------------------ #
+    # Configuration and weight loading
+    # ------------------------------------------------------------------ #
+    def configure(self, collapse_depth: int) -> None:
+        """Select the pipeline mode (collapse depth) for subsequent tiles."""
+        if not self.configurable and collapse_depth != 1:
+            raise ValueError(
+                "a conventional (non-configurable) array only supports "
+                "the normal pipeline (k = 1)"
+            )
+        self.plane.check_depth(collapse_depth)
+        self.collapse_depth = collapse_depth
+        if self.configurable:
+            for r in range(self.rows):
+                for c in range(self.cols):
+                    pe = self.pes[r][c]
+                    assert isinstance(pe, ConfigurablePE)
+                    pe.configure(self.plane.pe_config(r, c, collapse_depth))
+
+    def load_weights(self, b_tile: np.ndarray) -> int:
+        """Preload one tile of B (shape (rows_used, cols_used)); returns cycles.
+
+        The configuration bits travel with the weights, so loading costs R
+        cycles regardless of the selected pipeline mode.
+        """
+        b_tile = np.asarray(b_tile)
+        if b_tile.ndim != 2:
+            raise ValueError("b_tile must be two-dimensional")
+        rows_used, cols_used = b_tile.shape
+        if rows_used > self.rows or cols_used > self.cols:
+            raise ValueError(
+                f"tile of shape {b_tile.shape} does not fit a "
+                f"{self.rows}x{self.cols} array"
+            )
+        padded = np.zeros((self.rows, self.cols), dtype=np.int64)
+        padded[:rows_used, :cols_used] = b_tile
+        for r in range(self.rows):
+            for c in range(self.cols):
+                self.pes[r][c].load_weight(int(padded[r, c]))
+        return self.rows
+
+    # ------------------------------------------------------------------ #
+    # Tile execution
+    # ------------------------------------------------------------------ #
+    def execute_tile(self, a_tile: np.ndarray, b_tile: np.ndarray) -> TileExecutionResult:
+        """Run one complete tile: weight preload plus skewed streaming of A.
+
+        ``a_tile`` has shape (T, rows_used) and ``b_tile`` has shape
+        (rows_used, cols_used); the result has shape (T, cols_used) and is
+        the exact integer product ``a_tile @ b_tile``.
+        """
+        a_tile = np.asarray(a_tile)
+        b_tile = np.asarray(b_tile)
+        if a_tile.ndim != 2 or b_tile.ndim != 2:
+            raise ValueError("a_tile and b_tile must be two-dimensional")
+        if a_tile.shape[1] != b_tile.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: {a_tile.shape} x {b_tile.shape}"
+            )
+        t_rows, rows_used = a_tile.shape
+        cols_used = b_tile.shape[1]
+
+        load_cycles = self.load_weights(b_tile)
+        dataflow = WeightStationaryDataflow(self.rows, self.cols, self.collapse_depth)
+        stream = dataflow.build_skewed_stream(a_tile)
+        tag_schedule = dataflow.west_edge_schedule(t_rows)
+        compute_cycles = dataflow.compute_cycles(t_rows)
+
+        macs_before = self._total_macs()
+        output = np.zeros((t_rows, self.cols), dtype=np.int64)
+        # Shadow tag state mirroring the horizontal activation registers.
+        tag_stored = np.full((self.rows, self.cols), -1, dtype=np.int64)
+
+        for cycle in range(compute_cycles):
+            visible = np.zeros((self.rows, self.cols), dtype=np.int64)
+            tag_visible = np.full((self.rows, self.cols), -1, dtype=np.int64)
+
+            # -------- horizontal propagation (west -> east) -------------- #
+            for r in range(self.rows):
+                for c in range(self.cols):
+                    if c == 0:
+                        incoming = int(stream[cycle, r])
+                        incoming_tag = int(tag_schedule[cycle, r])
+                    else:
+                        west_pe = self.pes[r][c - 1]
+                        west_reg = west_pe.activation_reg
+                        west_reg_transparent = getattr(west_reg, "transparent", False)
+                        if west_reg_transparent:
+                            incoming = visible[r, c - 1]
+                            incoming_tag = tag_visible[r, c - 1]
+                        else:
+                            incoming = west_reg.stored_value
+                            incoming_tag = tag_stored[r, c - 1]
+                    visible[r, c] = incoming
+                    tag_visible[r, c] = incoming_tag
+
+            # -------- vertical reduction (north -> south) ----------------- #
+            for c in range(self.cols):
+                sum_in = 0
+                carry_in = 0
+                for r in range(self.rows):
+                    pe = self.pes[r][c]
+                    if isinstance(pe, ConfigurablePE):
+                        outputs = pe.evaluate(int(visible[r, c]), sum_in, carry_in)
+                        sum_in = pe.sum_reg.output()
+                        carry_in = pe.carry_reg.output()
+                    else:
+                        pe.evaluate(int(visible[r, c]), sum_in)
+                        # A conventional PE always registers its partial sum;
+                        # the value crossing to the next row is the one
+                        # captured at the previous clock edge.
+                        sum_in = pe.psum_reg.stored_value
+                        carry_in = 0
+                # South-edge capture: the bottom PE drives its (resolved)
+                # result into an opaque register this cycle; the tag of the
+                # activation visible at the bottom row tells us which output
+                # element it is.
+                bottom_tag = int(tag_visible[self.rows - 1, c])
+                if 0 <= bottom_tag < t_rows:
+                    bottom_pe = self.pes[self.rows - 1][c]
+                    if isinstance(bottom_pe, ConfigurablePE):
+                        driven = bottom_pe.sum_reg.driven_value
+                    else:
+                        driven = bottom_pe.psum_reg.driven_value
+                    output[bottom_tag, c] = driven
+
+            # -------- clock edge ------------------------------------------ #
+            for r in range(self.rows):
+                for c in range(self.cols):
+                    self.pes[r][c].clock_edge()
+            tag_stored = tag_visible.copy()
+
+        clocked, gated = self._register_activity()
+        return TileExecutionResult(
+            output=output[:, :cols_used],
+            weight_load_cycles=load_cycles,
+            compute_cycles=compute_cycles,
+            mac_operations=self._total_macs() - macs_before,
+            clocked_register_cycles=clocked,
+            gated_register_cycles=gated,
+            collapse_depth=self.collapse_depth,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statistics helpers
+    # ------------------------------------------------------------------ #
+    def _total_macs(self) -> int:
+        return sum(pe.mac_count for row in self.pes for pe in row)
+
+    def _register_activity(self) -> tuple[int, int]:
+        clocked = 0
+        gated = 0
+        for row in self.pes:
+            for pe in row:
+                if isinstance(pe, ConfigurablePE):
+                    regs = (pe.activation_reg, pe.sum_reg, pe.carry_reg)
+                else:
+                    regs = (pe.activation_reg, pe.psum_reg)
+                for reg in regs:
+                    clocked += reg.activity.clocked_cycles
+                    gated += reg.activity.gated_cycles
+        return clocked, gated
+
+    def gated_register_fraction(self) -> float:
+        """Fraction of pipeline registers currently configured transparent."""
+        if not self.configurable:
+            return 0.0
+        return self.plane.gated_fraction(self.collapse_depth)

@@ -1,0 +1,132 @@
+"""Configuration plane: from a collapse depth to per-PE configuration bits.
+
+Each ArrayFlex PE carries two configuration bits that independently control
+the transparency (bypassing) of its pipeline registers in the horizontal
+and vertical directions (paper Section III-B).  The bits are loaded in
+parallel with the weights of matrix B, so reconfiguring costs no extra
+cycles beyond the weight preload that every tile performs anyway.
+
+For a collapse depth ``k``:
+
+* the vertical partial-sum register of PE in row ``r`` is transparent
+  unless the PE sits at the *bottom* of its k-row group
+  (``(r + 1) % k == 0``), where the carry-save pair is resolved and stored;
+* the horizontal activation register of PE in column ``c`` is transparent
+  unless the PE sits at the *right edge* of its k-column group
+  (``(c + 1) % k == 0``), where the broadcast is re-registered.
+
+The plane also enforces the paper's legality rule: the collapse depth must
+divide both array dimensions (Section IV explains that k = 3 is not
+supported for power-of-two arrays for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PEConfigBits:
+    """The two per-PE configuration bits.
+
+    ``True`` means the corresponding pipeline register is transparent
+    (bypassed and clock gated).
+    """
+
+    horizontal_transparent: bool
+    vertical_transparent: bool
+
+    def as_tuple(self) -> tuple[bool, bool]:
+        return (self.horizontal_transparent, self.vertical_transparent)
+
+
+class ConfigurationPlane:
+    """Generates and validates the configuration of an R × C ArrayFlex array."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    # ------------------------------------------------------------------ #
+    # Legality
+    # ------------------------------------------------------------------ #
+    def is_legal_depth(self, collapse_depth: int) -> bool:
+        """A depth is legal if it is >= 1 and divides both dimensions."""
+        if collapse_depth < 1:
+            return False
+        return self.rows % collapse_depth == 0 and self.cols % collapse_depth == 0
+
+    def check_depth(self, collapse_depth: int) -> None:
+        if not self.is_legal_depth(collapse_depth):
+            raise ValueError(
+                f"collapse depth {collapse_depth} is not supported by a "
+                f"{self.rows}x{self.cols} array: it must divide both dimensions"
+            )
+
+    def legal_depths(self, max_depth: int | None = None) -> list[int]:
+        """All collapse depths legal for this array, up to ``max_depth``."""
+        limit = min(self.rows, self.cols)
+        if max_depth is not None:
+            limit = min(limit, max_depth)
+        return [k for k in range(1, limit + 1) if self.is_legal_depth(k)]
+
+    # ------------------------------------------------------------------ #
+    # Configuration generation
+    # ------------------------------------------------------------------ #
+    def pe_config(self, row: int, col: int, collapse_depth: int) -> PEConfigBits:
+        """Configuration bits of the PE at (row, col) for the given depth."""
+        self.check_depth(collapse_depth)
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"PE coordinates ({row}, {col}) outside the array")
+        vertical_transparent = (row + 1) % collapse_depth != 0
+        horizontal_transparent = (col + 1) % collapse_depth != 0
+        return PEConfigBits(
+            horizontal_transparent=horizontal_transparent,
+            vertical_transparent=vertical_transparent,
+        )
+
+    def config_matrix(self, collapse_depth: int) -> np.ndarray:
+        """Boolean array of shape (rows, cols, 2): [horizontal, vertical] bits."""
+        self.check_depth(collapse_depth)
+        rows_idx = np.arange(self.rows)
+        cols_idx = np.arange(self.cols)
+        vertical = (rows_idx + 1) % collapse_depth != 0
+        horizontal = (cols_idx + 1) % collapse_depth != 0
+        matrix = np.zeros((self.rows, self.cols, 2), dtype=bool)
+        matrix[:, :, 0] = horizontal[np.newaxis, :]
+        matrix[:, :, 1] = vertical[:, np.newaxis]
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities used by the power model
+    # ------------------------------------------------------------------ #
+    def transparent_register_counts(self, collapse_depth: int) -> dict[str, int]:
+        """Number of transparent (clock-gated) registers in each direction."""
+        self.check_depth(collapse_depth)
+        config = self.config_matrix(collapse_depth)
+        return {
+            "horizontal": int(np.count_nonzero(config[:, :, 0])),
+            "vertical": int(np.count_nonzero(config[:, :, 1])),
+        }
+
+    def gated_fraction(self, collapse_depth: int) -> float:
+        """Fraction of pipeline registers clock gated at the given depth.
+
+        Equals ``(k - 1) / k`` for any legal depth, which is the factor the
+        analytical power model uses.
+        """
+        counts = self.transparent_register_counts(collapse_depth)
+        total = 2 * self.rows * self.cols
+        return (counts["horizontal"] + counts["vertical"]) / total
+
+    def config_load_cycles(self) -> int:
+        """Cycles needed to load the configuration bits.
+
+        They are shifted in alongside the weights, so the cost is folded
+        into the weight preload (zero extra cycles).
+        """
+        return 0

@@ -1,0 +1,233 @@
+"""Processing elements (PEs).
+
+Two PE models are provided:
+
+* :class:`ConventionalPE` -- the fixed-pipeline PE of a traditional
+  weight-stationary systolic array: a multiplier followed by a
+  carry-propagate adder, with the result always captured in the output
+  pipeline register every cycle.
+* :class:`ConfigurablePE` -- the ArrayFlex PE of paper Fig. 3: the
+  multiplier output enters a 3:2 carry-save adder together with the
+  incoming (sum, carry) pair; bypass multiplexers controlled by two
+  configuration bits decide whether the result crosses the vertical /
+  horizontal pipeline registers transparently (shallow mode) or is
+  resolved by the carry-propagate adder and registered (group boundary).
+
+Both PEs can evaluate their datapath either with plain Python integer
+arithmetic (fast, used by the array-level structural simulations) or with
+the bit-level models of :mod:`repro.arith` (slow, used by targeted tests to
+prove the carry-save datapath is numerically exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.csa import CarrySaveState, carry_save_add, carry_save_resolve
+from repro.arith.multiplier import array_multiply
+from repro.arith.adders import add_ints
+from repro.arith.fixed_point import (
+    DEFAULT_ACCUM_WIDTH,
+    DEFAULT_INPUT_WIDTH,
+    int_to_bits,
+    wrap_to_width,
+)
+from repro.arch.control import PEConfigBits
+from repro.arch.registers import PipelineRegister
+
+
+@dataclass(frozen=True)
+class PEOutputs:
+    """Combinational outputs of one PE during one cycle.
+
+    ``sum_out`` and ``carry_out`` are the redundant carry-save pair that
+    flows down the column.  When the PE sits at the bottom of its collapsed
+    group (vertical register opaque) the pair has already been resolved by
+    the carry-propagate adder, so ``carry_out`` is zero and ``resolved`` is
+    True.
+    """
+
+    activation_out: int
+    sum_out: int
+    carry_out: int
+    resolved: bool
+
+    @property
+    def value(self) -> int:
+        """The integer value represented by the outgoing pair."""
+        return self.sum_out + self.carry_out
+
+
+class _PEBase:
+    """Shared state and helpers of both PE variants."""
+
+    def __init__(
+        self,
+        row: int,
+        col: int,
+        input_width: int = DEFAULT_INPUT_WIDTH,
+        accum_width: int = DEFAULT_ACCUM_WIDTH,
+        use_bitlevel: bool = False,
+    ) -> None:
+        if input_width <= 0 or accum_width < input_width:
+            raise ValueError("invalid datapath widths")
+        self.row = row
+        self.col = col
+        self.input_width = input_width
+        self.accum_width = accum_width
+        self.use_bitlevel = use_bitlevel
+        self.weight = 0
+        #: Number of multiply operations performed (for utilisation stats).
+        self.mac_count = 0
+
+    def load_weight(self, weight: int) -> None:
+        """Store the stationary weight (wrapped to the input width)."""
+        self.weight = wrap_to_width(weight, self.input_width)
+
+    def _multiply(self, activation: int) -> int:
+        activation = wrap_to_width(activation, self.input_width)
+        self.mac_count += 1
+        if self.use_bitlevel:
+            return array_multiply(activation, self.weight, self.input_width)
+        return wrap_to_width(activation * self.weight, self.accum_width)
+
+    def _add(self, a: int, b: int) -> int:
+        if self.use_bitlevel:
+            return add_ints(a, b, self.accum_width)
+        return wrap_to_width(a + b, self.accum_width)
+
+
+class ConventionalPE(_PEBase):
+    """Fixed-pipeline PE: multiply, carry-propagate add, register. Always opaque."""
+
+    def __init__(self, row: int, col: int, **kwargs: object) -> None:
+        super().__init__(row, col, **kwargs)  # type: ignore[arg-type]
+        self.activation_reg = PipelineRegister(self.input_width, f"pe{row}_{col}/act")
+        self.psum_reg = PipelineRegister(self.accum_width, f"pe{row}_{col}/psum")
+
+    def evaluate(self, activation_in: int, psum_in: int) -> PEOutputs:
+        """One cycle of the conventional multiply-accumulate datapath."""
+        product = self._multiply(activation_in)
+        total = self._add(psum_in, product)
+        self.activation_reg.drive(activation_in)
+        self.psum_reg.drive(total)
+        return PEOutputs(
+            activation_out=activation_in, sum_out=total, carry_out=0, resolved=True
+        )
+
+    def clock_edge(self) -> None:
+        self.activation_reg.clock_edge()
+        self.psum_reg.clock_edge()
+
+
+class ConfigurablePE(_PEBase):
+    """ArrayFlex PE with a 3:2 CSA, CPA and transparent-capable registers."""
+
+    def __init__(
+        self,
+        row: int,
+        col: int,
+        config: PEConfigBits | None = None,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(row, col, **kwargs)  # type: ignore[arg-type]
+        self.config = config or PEConfigBits(
+            horizontal_transparent=False, vertical_transparent=False
+        )
+        self.activation_reg = PipelineRegister(self.input_width, f"pe{row}_{col}/act")
+        self.sum_reg = PipelineRegister(self.accum_width, f"pe{row}_{col}/sum")
+        self.carry_reg = PipelineRegister(self.accum_width, f"pe{row}_{col}/carry")
+        self._apply_config()
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def configure(self, config: PEConfigBits) -> None:
+        """Load the two configuration bits (done in parallel with weights)."""
+        self.config = config
+        self._apply_config()
+
+    def _apply_config(self) -> None:
+        self.activation_reg.set_transparent(self.config.horizontal_transparent)
+        self.sum_reg.set_transparent(self.config.vertical_transparent)
+        self.carry_reg.set_transparent(self.config.vertical_transparent)
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, activation_in: int, sum_in: int, carry_in: int
+    ) -> PEOutputs:
+        """One cycle of the configurable datapath (paper Fig. 3 / Fig. 4).
+
+        The product always passes through the 3:2 carry-save adder together
+        with the incoming pair.  If the vertical register is opaque (bottom
+        of a collapsed group, or every PE in normal mode) the carry-save
+        pair is resolved by the carry-propagate adder before being driven
+        into the pipeline register.
+        """
+        product = self._multiply(activation_in)
+
+        if self.use_bitlevel:
+            state = carry_save_add(
+                int_to_bits(wrap_to_width(sum_in, self.accum_width), self.accum_width),
+                int_to_bits(wrap_to_width(carry_in, self.accum_width), self.accum_width),
+                int_to_bits(product, self.accum_width),
+                width=self.accum_width,
+            )
+            sum_out, carry_out = self._split_state(state)
+        else:
+            # Functional shortcut: keep the pair's *value* exact while
+            # folding it into the sum component.  Equivalent to the CSA for
+            # every downstream computation because only sum + carry is ever
+            # observed.
+            sum_out = wrap_to_width(sum_in + carry_in + product, self.accum_width)
+            carry_out = 0
+
+        resolved = not self.config.vertical_transparent
+        if resolved:
+            if self.use_bitlevel:
+                resolved_value = carry_save_resolve(
+                    CarrySaveState(
+                        sum_bits=tuple(
+                            int_to_bits(sum_out, self.accum_width)
+                        ),
+                        carry_bits=tuple(
+                            int_to_bits(carry_out, self.accum_width)
+                        ),
+                    )
+                )
+            else:
+                resolved_value = self._add(sum_out, carry_out)
+            sum_out, carry_out = resolved_value, 0
+
+        self.activation_reg.drive(activation_in)
+        self.sum_reg.drive(sum_out)
+        self.carry_reg.drive(carry_out)
+        return PEOutputs(
+            activation_out=activation_in,
+            sum_out=sum_out,
+            carry_out=carry_out,
+            resolved=resolved,
+        )
+
+    @staticmethod
+    def _split_state(state: CarrySaveState) -> tuple[int, int]:
+        from repro.arith.fixed_point import bits_to_int
+
+        return bits_to_int(list(state.sum_bits)), bits_to_int(list(state.carry_bits))
+
+    def clock_edge(self) -> None:
+        self.activation_reg.clock_edge()
+        self.sum_reg.clock_edge()
+        self.carry_reg.clock_edge()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def gated_register_count(self) -> int:
+        """Number of this PE's pipeline registers currently clock gated."""
+        return sum(
+            1
+            for reg in (self.activation_reg, self.sum_reg, self.carry_reg)
+            if reg.transparent
+        )

@@ -1,0 +1,133 @@
+"""Pipeline registers with transparency (bypass) and clock gating.
+
+The heart of ArrayFlex's "transparent pipelining" is the ability to make a
+pipeline register *transparent*: its bypass multiplexer forwards the input
+combinationally to the next stage, and the register itself is clock gated
+so it burns no clocking power (paper Sections I and III-B).
+
+:class:`PipelineRegister` models one such register bit-group.  It keeps the
+usual two-phase semantics of a synchronous design:
+
+* during a cycle, producers call :meth:`drive` with the combinational input
+  value and consumers call :meth:`output` to observe either the stored
+  value (opaque mode) or the driven input (transparent mode);
+* at the end of the cycle, :meth:`clock_edge` captures the driven value if
+  and only if the register is opaque (not clock gated).
+
+Activity counters record how many cycles the register was clocked versus
+gated, which feeds the clock-power accounting of
+:mod:`repro.timing.power_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.fixed_point import wrap_to_width
+
+
+@dataclass
+class RegisterActivity:
+    """Cycle-level activity counters of one pipeline register."""
+
+    clocked_cycles: int = 0
+    gated_cycles: int = 0
+    data_toggles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.clocked_cycles + self.gated_cycles
+
+    def gating_ratio(self) -> float:
+        """Fraction of cycles the register spent clock gated."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.gated_cycles / self.total_cycles
+
+
+class PipelineRegister:
+    """A fixed-width pipeline register with a bypass multiplexer.
+
+    Parameters
+    ----------
+    width:
+        Number of bits stored (values wrap to this width, as in hardware).
+    name:
+        Human-readable identifier used in error messages and traces.
+    transparent:
+        Initial transparency.  A transparent register forwards its driven
+        input combinationally and is clock gated.
+    """
+
+    def __init__(self, width: int, name: str = "reg", transparent: bool = False) -> None:
+        if width <= 0:
+            raise ValueError("register width must be positive")
+        self.width = width
+        self.name = name
+        self.transparent = transparent
+        self._stored = 0
+        self._driven = 0
+        self._has_driven = False
+        self.activity = RegisterActivity()
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def set_transparent(self, transparent: bool) -> None:
+        """Reconfigure the register's transparency (a config-bit write)."""
+        self.transparent = transparent
+
+    def reset(self, value: int = 0) -> None:
+        """Asynchronously reset the stored value (e.g. between tiles)."""
+        self._stored = wrap_to_width(value, self.width)
+        self._driven = self._stored
+        self._has_driven = False
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle dataflow
+    # ------------------------------------------------------------------ #
+    def drive(self, value: int) -> None:
+        """Present the combinational input of the register for this cycle."""
+        self._driven = wrap_to_width(value, self.width)
+        self._has_driven = True
+
+    def output(self) -> int:
+        """Value seen downstream of the register *during* the current cycle.
+
+        Transparent mode forwards the driven input; opaque mode returns the
+        value captured at the previous clock edge.
+        """
+        if self.transparent:
+            return self._driven
+        return self._stored
+
+    def clock_edge(self) -> None:
+        """Advance one clock cycle.
+
+        Opaque registers capture their driven input and count a clocked
+        cycle; transparent registers are clock gated and hold their old
+        contents (which nobody observes).
+        """
+        if self.transparent:
+            self.activity.gated_cycles += 1
+        else:
+            if self._has_driven and self._driven != self._stored:
+                self.activity.data_toggles += 1
+            self._stored = self._driven
+            self.activity.clocked_cycles += 1
+        self._has_driven = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stored_value(self) -> int:
+        """The value currently held by the flip-flops (test/debug hook)."""
+        return self._stored
+
+    @property
+    def driven_value(self) -> int:
+        """The combinational input presented this cycle (the D pin)."""
+        return self._driven
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "transparent" if self.transparent else "opaque"
+        return f"PipelineRegister({self.name!r}, width={self.width}, {mode})"

@@ -1,0 +1,78 @@
+"""Bit-level arithmetic substrate.
+
+This package provides functional, bit-accurate models of the arithmetic
+building blocks that make up an ArrayFlex processing element (PE):
+
+* :mod:`repro.arith.fixed_point` -- two's-complement encoding, decoding and
+  quantization helpers shared by every block.
+* :mod:`repro.arith.adders` -- full adders, ripple-carry and carry-lookahead
+  carry-propagate adders (CPA).
+* :mod:`repro.arith.csa` -- 3:2 carry-save adders (CSA) and carry-save
+  accumulation chains, the key enabler of transparent pipeline collapsing in
+  the paper (Section III-B).
+* :mod:`repro.arith.multiplier` -- an array multiplier built from partial
+  products, a CSA reduction tree and a final CPA.
+
+The models serve two purposes in the reproduction:
+
+1. They validate, at the bit level, that the collapsed-pipeline reduction
+   (products accumulated in carry-save form, finalised by a single CPA)
+   computes exactly the same result as a conventional chain of
+   carry-propagate additions.
+2. They expose gate counts and logic-depth estimates used by the technology
+   layer (:mod:`repro.timing`) to derive delay, area and energy parameters.
+"""
+
+from repro.arith.adders import (
+    FullAdderResult,
+    carry_lookahead_add,
+    full_adder,
+    half_adder,
+    ripple_carry_add,
+    ripple_carry_gate_count,
+    ripple_carry_logic_depth,
+)
+from repro.arith.csa import (
+    CarrySaveState,
+    carry_save_accumulate,
+    carry_save_add,
+    carry_save_chain_gate_count,
+    carry_save_resolve,
+)
+from repro.arith.fixed_point import (
+    bits_to_int,
+    int_to_bits,
+    quantize_symmetric,
+    sign_extend,
+    wrap_to_width,
+)
+from repro.arith.multiplier import (
+    array_multiply,
+    multiplier_gate_count,
+    multiplier_logic_depth,
+    partial_products,
+)
+
+__all__ = [
+    "FullAdderResult",
+    "CarrySaveState",
+    "full_adder",
+    "half_adder",
+    "ripple_carry_add",
+    "carry_lookahead_add",
+    "ripple_carry_gate_count",
+    "ripple_carry_logic_depth",
+    "carry_save_add",
+    "carry_save_accumulate",
+    "carry_save_resolve",
+    "carry_save_chain_gate_count",
+    "bits_to_int",
+    "int_to_bits",
+    "sign_extend",
+    "wrap_to_width",
+    "quantize_symmetric",
+    "array_multiply",
+    "partial_products",
+    "multiplier_gate_count",
+    "multiplier_logic_depth",
+]

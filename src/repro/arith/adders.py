@@ -1,0 +1,181 @@
+"""Carry-propagate adders (CPA).
+
+ArrayFlex PEs contain one carry-propagate adder each.  In normal pipeline
+mode every PE's CPA finalises its own multiply-accumulate; in shallow mode
+only the last PE of each collapsed group uses its CPA to convert the
+carry-save pair produced by the chain of 3:2 CSAs into a single operand
+(paper Fig. 3 / Fig. 4).
+
+Two functional CPA models are provided:
+
+* :func:`ripple_carry_add` -- a bit-by-bit ripple-carry adder.  Slowest
+  logic-depth-wise but the simplest reference model.
+* :func:`carry_lookahead_add` -- a block carry-lookahead adder, used to show
+  (and test) that the functional result is identical while the logic depth
+  is logarithmic.  The technology layer bases ``d_add`` on this structure.
+
+Both operate on LSB-first bit vectors and model a fixed output width with
+wrap-around, exactly like a hardware register capturing the adder output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.arith.fixed_point import bits_to_int, int_to_bits, sign_extend, wrap_to_width
+
+
+@dataclass(frozen=True)
+class FullAdderResult:
+    """Sum and carry-out of a single full adder."""
+
+    sum: int
+    carry: int
+
+
+def half_adder(a: int, b: int) -> FullAdderResult:
+    """Half adder: adds two bits, producing sum and carry."""
+    _check_bit(a)
+    _check_bit(b)
+    return FullAdderResult(sum=a ^ b, carry=a & b)
+
+
+def full_adder(a: int, b: int, cin: int) -> FullAdderResult:
+    """Full adder: adds three bits, producing sum and carry.
+
+    This is the primitive cell both of the ripple-carry CPA and of the 3:2
+    carry-save adder (a CSA is one full adder per bit position with no
+    carry chain).
+    """
+    _check_bit(a)
+    _check_bit(b)
+    _check_bit(cin)
+    total = a + b + cin
+    return FullAdderResult(sum=total & 1, carry=total >> 1)
+
+
+def _check_bit(bit: int) -> None:
+    if bit not in (0, 1):
+        raise ValueError(f"expected a bit (0 or 1), got {bit!r}")
+
+
+def _prepare_operands(
+    a: Sequence[int], b: Sequence[int], width: int | None
+) -> tuple[list[int], list[int], int]:
+    if width is None:
+        width = max(len(a), len(b))
+    if width <= 0:
+        raise ValueError("adder width must be positive")
+    return sign_extend(a, width), sign_extend(b, width), width
+
+
+def ripple_carry_add(
+    a: Sequence[int],
+    b: Sequence[int],
+    cin: int = 0,
+    width: int | None = None,
+) -> tuple[list[int], int]:
+    """Add two two's-complement bit vectors with a ripple-carry chain.
+
+    Returns ``(sum_bits, carry_out)`` where ``sum_bits`` has ``width`` bits
+    (default: the wider of the two operands).  Overflow wraps, as it would
+    in a hardware register of that width.
+
+    >>> s, _ = ripple_carry_add([1, 0, 1, 0], [1, 0, 0, 0])  # 5 + 1
+    >>> s
+    [0, 1, 1, 0]
+    """
+    a_bits, b_bits, width = _prepare_operands(a, b, width)
+    _check_bit(cin)
+    carry = cin
+    out: list[int] = []
+    for bit_a, bit_b in zip(a_bits, b_bits):
+        result = full_adder(bit_a, bit_b, carry)
+        out.append(result.sum)
+        carry = result.carry
+    return out, carry
+
+
+def carry_lookahead_add(
+    a: Sequence[int],
+    b: Sequence[int],
+    cin: int = 0,
+    width: int | None = None,
+    block_size: int = 4,
+) -> tuple[list[int], int]:
+    """Add two bit vectors using block carry-lookahead.
+
+    Carries are computed per block from generate/propagate signals instead
+    of rippling bit by bit.  Functionally identical to
+    :func:`ripple_carry_add`; exists so that the test suite can assert the
+    equivalence and so the delay model can reason about a realistic
+    logarithmic-depth CPA.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    a_bits, b_bits, width = _prepare_operands(a, b, width)
+    _check_bit(cin)
+
+    generate = [bit_a & bit_b for bit_a, bit_b in zip(a_bits, b_bits)]
+    propagate = [bit_a ^ bit_b for bit_a, bit_b in zip(a_bits, b_bits)]
+
+    carries = [cin]
+    block_carry = cin
+    for block_start in range(0, width, block_size):
+        block_end = min(block_start + block_size, width)
+        carry = block_carry
+        for i in range(block_start, block_end):
+            # carry into bit i+1
+            carry = generate[i] | (propagate[i] & carry)
+            carries.append(carry)
+        block_carry = carries[-1]
+
+    sum_bits = [propagate[i] ^ carries[i] for i in range(width)]
+    return sum_bits, carries[width]
+
+
+def add_ints(a: int, b: int, width: int) -> int:
+    """Add two integers through the bit-level CPA and wrap to ``width`` bits.
+
+    Convenience wrapper used by the PE functional model.
+    """
+    a_bits = int_to_bits(wrap_to_width(a, width), width)
+    b_bits = int_to_bits(wrap_to_width(b, width), width)
+    sum_bits, _ = ripple_carry_add(a_bits, b_bits, width=width)
+    return bits_to_int(sum_bits)
+
+
+def ripple_carry_gate_count(width: int) -> int:
+    """Number of 2-input-gate equivalents in a ``width``-bit ripple CPA.
+
+    A full adder is counted as 5 gate equivalents (2 XOR, 2 AND, 1 OR),
+    the conventional standard-cell approximation used for area estimates.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return 5 * width
+
+
+def ripple_carry_logic_depth(width: int) -> int:
+    """Logic depth (in gate levels) of a ``width``-bit ripple-carry CPA."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    # Two gate levels per full adder along the carry chain, plus the final
+    # sum XOR.
+    return 2 * width + 1
+
+
+def lookahead_logic_depth(width: int, block_size: int = 4) -> int:
+    """Approximate logic depth of a block carry-lookahead CPA.
+
+    Depth grows with the number of blocks traversed (one AND-OR level per
+    block) plus constant levels for P/G generation and the final sum XOR.
+    The timing layer uses this to justify ``d_add`` being far smaller than
+    a rippled 64-bit addition while still growing (slowly) with width.
+    """
+    if width <= 0 or block_size <= 0:
+        raise ValueError("width and block_size must be positive")
+    blocks = math.ceil(width / block_size)
+    return 2 + 2 * blocks + 1

@@ -1,0 +1,176 @@
+"""3:2 carry-save adders and carry-save accumulation chains.
+
+The key micro-architectural idea that makes transparent pipeline collapsing
+practical (paper Section III-B) is that, inside a collapsed group of k PEs,
+the k products are *not* added with k carry-propagate adders in series.
+Instead each PE contributes one 3:2 carry-save adder (CSA) stage and only
+the last PE of the group resolves the running (sum, carry) pair with its
+carry-propagate adder.  The critical path therefore grows by only
+``k * (d_CSA + 2 d_mux)`` rather than ``k * d_add`` (Eq. 5).
+
+This module models that datapath functionally, at the bit level:
+
+* :func:`carry_save_add` -- one 3:2 CSA stage: three operands in,
+  (sum, carry) pair out, no horizontal carry propagation.
+* :func:`carry_save_accumulate` -- a chain of CSA stages absorbing a list
+  of addends into a running carry-save pair, exactly as a collapsed column
+  of PEs does.
+* :func:`carry_save_resolve` -- the final carry-propagate addition
+  performed by the last PE of the group.
+
+All values wrap at the accumulator width, mirroring hardware behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.arith.adders import full_adder, ripple_carry_add, ripple_carry_gate_count
+from repro.arith.fixed_point import (
+    DEFAULT_ACCUM_WIDTH,
+    bits_to_int,
+    int_to_bits,
+    sign_extend,
+    wrap_to_width,
+)
+
+
+@dataclass(frozen=True)
+class CarrySaveState:
+    """A redundant (sum, carry) representation of a partial result.
+
+    ``value`` decodes the pair back into a single two's-complement integer
+    (what the carry-propagate adder would produce); it is what tests and
+    the PE functional model compare against.
+    """
+
+    sum_bits: tuple[int, ...]
+    carry_bits: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.sum_bits)
+
+    @property
+    def value(self) -> int:
+        """Resolved integer value of the carry-save pair (wrapped to width)."""
+        total = bits_to_int(list(self.sum_bits)) + bits_to_int(list(self.carry_bits))
+        return wrap_to_width(total, self.width)
+
+    @classmethod
+    def zero(cls, width: int = DEFAULT_ACCUM_WIDTH) -> "CarrySaveState":
+        """The all-zero carry-save state (used when a column starts reducing)."""
+        if width <= 0:
+            raise ValueError("width must be positive")
+        zeros = tuple([0] * width)
+        return cls(sum_bits=zeros, carry_bits=zeros)
+
+    @classmethod
+    def from_int(cls, value: int, width: int = DEFAULT_ACCUM_WIDTH) -> "CarrySaveState":
+        """Encode a plain integer as a (value, 0) carry-save pair."""
+        bits = tuple(int_to_bits(wrap_to_width(value, width), width))
+        zeros = tuple([0] * width)
+        return cls(sum_bits=bits, carry_bits=zeros)
+
+
+def carry_save_add(
+    a: Sequence[int], b: Sequence[int], c: Sequence[int], width: int | None = None
+) -> CarrySaveState:
+    """One 3:2 carry-save adder stage.
+
+    Adds three LSB-first bit vectors and returns a redundant (sum, carry)
+    pair such that ``sum + carry == a + b + c`` (mod 2**width).  Each bit
+    position is an independent full adder; the carry vector is shifted left
+    by one position, with the bit shifted out of the top dropped (wrapping,
+    as in a fixed-width datapath).
+    """
+    if width is None:
+        width = max(len(a), len(b), len(c))
+    if width <= 0:
+        raise ValueError("width must be positive")
+    a_bits = sign_extend(a, width)
+    b_bits = sign_extend(b, width)
+    c_bits = sign_extend(c, width)
+
+    sum_bits = []
+    carry_raw = []
+    for bit_a, bit_b, bit_c in zip(a_bits, b_bits, c_bits):
+        result = full_adder(bit_a, bit_b, bit_c)
+        sum_bits.append(result.sum)
+        carry_raw.append(result.carry)
+    # The carry out of bit i feeds bit i+1; the carry out of the MSB wraps
+    # out of the fixed-width datapath and is dropped.
+    carry_bits = [0] + carry_raw[: width - 1]
+    return CarrySaveState(sum_bits=tuple(sum_bits), carry_bits=tuple(carry_bits))
+
+
+def carry_save_accumulate(
+    addends: Iterable[int],
+    width: int = DEFAULT_ACCUM_WIDTH,
+    initial: CarrySaveState | None = None,
+) -> CarrySaveState:
+    """Absorb ``addends`` into a carry-save accumulator, one CSA stage each.
+
+    This is the vertical datapath of a collapsed group of PEs: the running
+    (sum, carry) pair and the new product enter a 3:2 CSA; the output pair
+    moves (combinationally) to the next PE of the group.
+
+    >>> state = carry_save_accumulate([3, 4, 5], width=16)
+    >>> state.value
+    12
+    """
+    state = initial if initial is not None else CarrySaveState.zero(width)
+    if state.width != width:
+        raise ValueError(
+            f"initial state width {state.width} does not match requested width {width}"
+        )
+    for addend in addends:
+        addend_bits = int_to_bits(wrap_to_width(addend, width), width)
+        state = carry_save_add(
+            list(state.sum_bits), list(state.carry_bits), addend_bits, width=width
+        )
+    return state
+
+
+def carry_save_resolve(state: CarrySaveState) -> int:
+    """Resolve a carry-save pair with the final carry-propagate adder.
+
+    Models the CPA of the last PE in a collapsed group (paper Fig. 4b):
+    the redundant pair is converted to a single two's-complement operand
+    before being written into the output pipeline register.
+    """
+    sum_bits, _ = ripple_carry_add(
+        list(state.sum_bits), list(state.carry_bits), width=state.width
+    )
+    return bits_to_int(sum_bits)
+
+
+def csa_gate_count(width: int) -> int:
+    """Gate-equivalent count of a single ``width``-bit 3:2 CSA stage.
+
+    One full adder (5 gate equivalents) per bit position, no carry chain.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return 5 * width
+
+
+def carry_save_chain_gate_count(width: int, stages: int) -> int:
+    """Gate-equivalent count of ``stages`` cascaded CSA stages plus final CPA.
+
+    Used by the area model to size the reduction datapath of a collapsed
+    group of PEs.
+    """
+    if stages < 0:
+        raise ValueError("stages must be non-negative")
+    return stages * csa_gate_count(width) + ripple_carry_gate_count(width)
+
+
+def csa_logic_depth() -> int:
+    """Logic depth of a 3:2 CSA stage: a single full adder (2 gate levels).
+
+    Independent of width -- this is exactly why the paper's collapsed
+    critical path grows so slowly with k.
+    """
+    return 2

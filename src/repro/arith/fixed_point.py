@@ -1,0 +1,148 @@
+"""Two's-complement fixed-point helpers.
+
+All bit vectors in :mod:`repro.arith` are plain Python lists of 0/1
+integers, least-significant bit first.  Using LSB-first ordering keeps the
+ripple-carry and carry-save code straightforward (bit ``i`` of every operand
+lines up at list index ``i``).
+
+The ArrayFlex evaluation (paper Section IV) uses 32-bit quantized inputs and
+weights with 64-bit column accumulation, so the helpers default to those
+widths but accept any positive width.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Default operand width used throughout the paper's evaluation (bits).
+DEFAULT_INPUT_WIDTH = 32
+#: Default accumulator width: products and column sums use double width.
+DEFAULT_ACCUM_WIDTH = 64
+
+
+def _check_width(width: int) -> None:
+    if width <= 0:
+        raise ValueError(f"bit width must be positive, got {width}")
+
+
+def wrap_to_width(value: int, width: int) -> int:
+    """Wrap ``value`` into the signed two's-complement range of ``width`` bits.
+
+    This mimics what a hardware register of ``width`` bits stores when a
+    wider result is written to it: the upper bits are simply dropped.
+
+    >>> wrap_to_width(128, 8)
+    -128
+    >>> wrap_to_width(-129, 8)
+    127
+    """
+    _check_width(width)
+    mask = (1 << width) - 1
+    unsigned = value & mask
+    if unsigned >= 1 << (width - 1):
+        return unsigned - (1 << width)
+    return unsigned
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Encode ``value`` as a two's-complement bit vector (LSB first).
+
+    ``value`` must fit in ``width`` bits; otherwise a :class:`ValueError`
+    is raised so that silent truncation never hides a modelling bug.
+
+    >>> int_to_bits(5, 4)
+    [1, 0, 1, 0]
+    >>> int_to_bits(-1, 4)
+    [1, 1, 1, 1]
+    """
+    _check_width(width)
+    low = -(1 << (width - 1))
+    high = (1 << (width - 1)) - 1
+    if not low <= value <= high:
+        raise ValueError(f"value {value} does not fit in {width} signed bits")
+    unsigned = value & ((1 << width) - 1)
+    return [(unsigned >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Decode a two's-complement bit vector (LSB first) into a Python int.
+
+    >>> bits_to_int([1, 0, 1, 0])
+    5
+    >>> bits_to_int([1, 1, 1, 1])
+    -1
+    """
+    if not bits:
+        raise ValueError("cannot decode an empty bit vector")
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bit vector contains non-binary value {bit!r}")
+    unsigned = 0
+    for i, bit in enumerate(bits):
+        unsigned |= bit << i
+    width = len(bits)
+    if bits[-1]:
+        return unsigned - (1 << width)
+    return unsigned
+
+
+def sign_extend(bits: Sequence[int], width: int) -> list[int]:
+    """Sign-extend an LSB-first bit vector to ``width`` bits.
+
+    Extending is what the vertical (reduction) datapath of the PE does when
+    a 2W-bit product enters the 2W-bit carry-save chain: the sign bit is
+    replicated into the added positions.
+
+    >>> sign_extend([1, 1], 4)   # -1 in 2 bits -> -1 in 4 bits
+    [1, 1, 1, 1]
+    """
+    _check_width(width)
+    if len(bits) > width:
+        raise ValueError(
+            f"cannot sign-extend {len(bits)} bits down to {width} bits"
+        )
+    extended = list(bits)
+    sign = extended[-1] if extended else 0
+    extended.extend([sign] * (width - len(extended)))
+    return extended
+
+
+def quantize_symmetric(
+    values: np.ndarray, width: int = DEFAULT_INPUT_WIDTH
+) -> tuple[np.ndarray, float]:
+    """Symmetrically quantize floating-point ``values`` to ``width``-bit ints.
+
+    The paper evaluates "32-bit quantized inputs and weights"; this helper
+    converts a floating-point tensor (e.g. CNN activations or weights) into
+    integers that the bit-level and cycle-level models consume.
+
+    Returns the integer array (dtype ``int64``) and the scale factor such
+    that ``values ≈ quantized * scale``.  An all-zero input returns scale 1.0.
+    """
+    _check_width(width)
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    qmax = (1 << (width - 1)) - 1
+    if max_abs == 0.0:
+        return np.zeros(values.shape, dtype=np.int64), 1.0
+    scale = max_abs / qmax
+    quantized = np.clip(np.round(values / scale), -qmax - 1, qmax)
+    return quantized.astype(np.int64), scale
+
+
+def product_width(input_width: int) -> int:
+    """Width required to hold the full product of two ``input_width`` operands.
+
+    The PE's vertical connections (carry-save adders and carry-propagate
+    adder) use this doubled width (paper Section III-B).
+    """
+    _check_width(input_width)
+    return 2 * input_width
+
+
+def accumulator_range(width: int = DEFAULT_ACCUM_WIDTH) -> tuple[int, int]:
+    """Inclusive (min, max) representable range of a ``width``-bit accumulator."""
+    _check_width(width)
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1

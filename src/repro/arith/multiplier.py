@@ -1,0 +1,118 @@
+"""Array multiplier model.
+
+Every ArrayFlex PE contains one multiplier that computes the product of the
+stationary weight and the streaming input activation (paper Fig. 3).  The
+paper's evaluation uses 32-bit operands with 64-bit products.
+
+The functional model here follows the classic array-multiplier structure:
+
+1. generate partial products (one AND row per multiplier bit, with
+   Baugh-Wooley-style sign handling performed by operating on the full
+   two's-complement values),
+2. reduce them with a carry-save adder tree,
+3. resolve the final (sum, carry) pair with a carry-propagate adder.
+
+Structure matters because the timing layer derives ``d_mul`` from the depth
+of this reduction tree and the area model from its gate count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arith.csa import (
+    CarrySaveState,
+    carry_save_accumulate,
+    carry_save_resolve,
+    csa_gate_count,
+    csa_logic_depth,
+)
+from repro.arith.adders import (
+    lookahead_logic_depth,
+    ripple_carry_gate_count,
+)
+from repro.arith.fixed_point import (
+    int_to_bits,
+    product_width,
+    wrap_to_width,
+)
+
+
+def partial_products(a: int, b: int, width: int) -> list[int]:
+    """Partial products of ``a × b`` for ``width``-bit two's-complement inputs.
+
+    Partial product ``i`` is ``a`` shifted left by ``i`` when bit ``i`` of
+    the *unsigned reinterpretation* of ``b`` is set, with a final
+    correction term for the sign bit (two's-complement weight of the MSB is
+    negative).  Summing the returned list always equals ``a * b``.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    # Validate that the operands fit: int_to_bits raises otherwise.
+    b_bits = int_to_bits(b, width)
+    int_to_bits(a, width)
+
+    products: list[int] = []
+    for i, bit in enumerate(b_bits):
+        if not bit:
+            continue
+        weight = a << i
+        if i == width - 1:
+            # MSB of a two's-complement number carries negative weight.
+            weight = -weight
+        products.append(weight)
+    if not products:
+        products.append(0)
+    return products
+
+
+def array_multiply(a: int, b: int, width: int) -> int:
+    """Multiply two ``width``-bit two's-complement integers bit-structurally.
+
+    The partial products are reduced through a carry-save chain and the
+    result resolved by a carry-propagate adder, wrapped to the product
+    width (2 × ``width``) -- the same datapath the PE implements.
+
+    >>> array_multiply(-3, 7, 8)
+    -21
+    """
+    out_width = product_width(width)
+    addends = [wrap_to_width(p, out_width) for p in partial_products(a, b, width)]
+    state: CarrySaveState = carry_save_accumulate(addends, width=out_width)
+    return carry_save_resolve(state)
+
+
+def multiplier_gate_count(width: int) -> int:
+    """Gate-equivalent count of a ``width × width`` array multiplier.
+
+    ``width**2`` AND gates for partial-product generation, roughly
+    ``width - 2`` rows of carry-save adders at the product width, and a
+    final product-width CPA.  The exact constant does not matter for the
+    reproduction; the *ratio* to the adder/CSA/mux counts does, because it
+    sets the relative energy and area of PE components.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    out_width = product_width(width)
+    pp_gates = width * width
+    csa_rows = max(width - 2, 0)
+    reduction_gates = csa_rows * csa_gate_count(out_width)
+    final_cpa = ripple_carry_gate_count(out_width)
+    return pp_gates + reduction_gates + final_cpa
+
+
+def multiplier_logic_depth(width: int) -> int:
+    """Logic depth (gate levels) of a Wallace-style ``width``-bit multiplier.
+
+    Partial-product AND (1 level) + ``O(log3/2 width)`` CSA levels + final
+    carry-lookahead CPA.  Used by the technology layer to justify ``d_mul``
+    dominating the PE critical path.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if width == 1:
+        return 1 + lookahead_logic_depth(product_width(width))
+    # A Wallace/Dadda tree reduces n partial products to 2 in
+    # ~log_{3/2}(n/2) CSA levels.
+    csa_levels = math.ceil(math.log(width / 2.0, 1.5)) if width > 2 else 1
+    return 1 + csa_levels * csa_logic_depth() + lookahead_logic_depth(product_width(width))

@@ -1,0 +1,5 @@
+"""Baseline accelerators the paper compares against."""
+
+from repro.baselines.conventional import ConventionalAccelerator
+
+__all__ = ["ConventionalAccelerator"]

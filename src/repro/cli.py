@@ -1,0 +1,204 @@
+"""Command-line interface of the ArrayFlex reproduction.
+
+Run as ``python -m repro <command>``.  The CLI is a thin wrapper around the
+public library API and the experiment harness, so everything it prints can
+also be obtained programmatically; it exists so that the headline results
+can be regenerated without writing any Python.
+
+Commands
+--------
+``info``        Operating points and area figures of one configuration.
+``decide``      Pipeline-mode decision (Eq. 6/7) for one GEMM.
+``compare``     Latency / power / EDP of one CNN versus the conventional SA.
+``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
+                fig9, eq7, clock, abl_csa, abl_dirs) and print its table.
+``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.arrayflex import ArrayFlexAccelerator
+from repro.eval.experiments import (
+    ClockFrequencyExperiment,
+    CsaAblationExperiment,
+    DirectionAblationExperiment,
+    Eq7ValidationExperiment,
+    Fig5Experiment,
+    Fig6Experiment,
+    Fig7Experiment,
+    Fig8Experiment,
+    Fig9Experiment,
+)
+from repro.eval.report import format_percent, format_ratio
+from repro.nn.models import convnext_tiny, mobilenet_v1, resnet34
+
+#: CNNs selectable from the command line.
+MODEL_BUILDERS = {
+    "resnet34": resnet34,
+    "mobilenet_v1": mobilenet_v1,
+    "convnext_tiny": convnext_tiny,
+}
+
+#: Experiments selectable from the command line.
+EXPERIMENT_FACTORIES = {
+    "fig5": lambda: [Fig5Experiment(20), Fig5Experiment(28)],
+    "fig6": lambda: [Fig6Experiment()],
+    "fig7": lambda: [Fig7Experiment()],
+    "fig8": lambda: [Fig8Experiment()],
+    "fig9": lambda: [Fig9Experiment()],
+    "eq7": lambda: [Eq7ValidationExperiment()],
+    "clock": lambda: [ClockFrequencyExperiment()],
+    "abl_csa": lambda: [CsaAblationExperiment()],
+    "abl_dirs": lambda: [DirectionAblationExperiment()],
+}
+
+
+def _add_array_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=128, help="array rows (default: 128)")
+    parser.add_argument("--cols", type=int, default=128, help="array columns (default: 128)")
+    parser.add_argument(
+        "--depths",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="supported collapse depths (default: 1 2 4)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ArrayFlex (DATE 2023) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="operating points and area of a configuration")
+    _add_array_arguments(info)
+
+    decide = subparsers.add_parser("decide", help="pipeline-mode decision for one GEMM")
+    _add_array_arguments(decide)
+    decide.add_argument("--m", type=int, required=True, help="output dimension M (columns of B)")
+    decide.add_argument("--n", type=int, required=True, help="reduction dimension N (rows of B)")
+    decide.add_argument("--t", type=int, required=True, help="streamed dimension T (rows of A)")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare ArrayFlex against the conventional SA on one CNN"
+    )
+    _add_array_arguments(compare)
+    compare.add_argument(
+        "--model",
+        choices=sorted(MODEL_BUILDERS),
+        default="resnet34",
+        help="CNN workload (default: resnet34)",
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("id", choices=sorted(EXPERIMENT_FACTORIES), help="experiment id")
+
+    report = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument(
+        "--output", default="EXPERIMENTS.md", help="output path (default: EXPERIMENTS.md)"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# Command implementations
+# ---------------------------------------------------------------------- #
+def _build_accelerator(args: argparse.Namespace) -> ArrayFlexAccelerator:
+    return ArrayFlexAccelerator(
+        rows=args.rows, cols=args.cols, supported_depths=tuple(args.depths)
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    accel = _build_accelerator(args)
+    print(f"ArrayFlex {args.rows}x{args.cols}, supported depths {sorted(args.depths)}")
+    print("operating points (GHz):")
+    for name, freq in accel.frequency_table().items():
+        print(f"  {name:16s} {freq:.1f}")
+    area = accel.area_report()
+    print(
+        f"PE area: conventional {area['conventional_pe_um2']:.0f} um^2, "
+        f"ArrayFlex {area['arrayflex_pe_um2']:.0f} um^2 "
+        f"({format_percent(area['pe_area_overhead'])} overhead)"
+    )
+    print(
+        f"array area: conventional {area['conventional_array_mm2']:.1f} mm^2, "
+        f"ArrayFlex {area['arrayflex_array_mm2']:.1f} mm^2"
+    )
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    accel = _build_accelerator(args)
+    decision = accel.decide((args.m, args.n, args.t))
+    print(
+        f"GEMM (M={args.m}, N={args.n}, T={args.t}) on {args.rows}x{args.cols}: "
+        f"best collapse depth k = {decision.collapse_depth} "
+        f"at {decision.clock_frequency_ghz:.1f} GHz"
+    )
+    print(f"analytical optimum (Eq. 7): k_hat = {decision.analytical_depth:.2f}")
+    for depth, time_ns in sorted(decision.per_depth_time_ns.items()):
+        marker = "  <-- selected" if depth == decision.collapse_depth else ""
+        print(f"  k={depth}: {time_ns / 1000.0:10.2f} us{marker}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    accel = _build_accelerator(args)
+    model = MODEL_BUILDERS[args.model]()
+    report = accel.compare_with_conventional(model)
+    print(f"{model.name} on {args.rows}x{args.cols} SAs (single-batch inference)")
+    print(
+        f"  execution time: conventional {report.conventional.total_time_ms:.3f} ms, "
+        f"ArrayFlex {report.arrayflex.total_time_ms:.3f} ms "
+        f"({format_percent(report.latency_saving)} saving)"
+    )
+    print(
+        f"  average power : conventional {report.conventional.average_power_mw / 1000:.1f} W, "
+        f"ArrayFlex {report.arrayflex.average_power_mw / 1000:.1f} W "
+        f"({format_percent(report.power_saving)} saving)"
+    )
+    print(f"  energy-delay product gain: {format_ratio(report.edp_gain)}")
+    print(f"  layers per pipeline mode: {report.arrayflex.depth_histogram()}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    for experiment in EXPERIMENT_FACTORIES[args.id]():
+        print(experiment.render())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.paper_report import write_experiments_markdown
+
+    content = write_experiments_markdown(args.output)
+    print(f"wrote {args.output} ({len(content.splitlines())} lines)")
+    return 0
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "decide": _cmd_decide,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

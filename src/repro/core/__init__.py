@@ -1,0 +1,44 @@
+"""ArrayFlex core: the paper's primary contribution.
+
+This package layers the ArrayFlex-specific models on top of the substrates:
+
+* :mod:`repro.core.config` -- accelerator configuration (array size,
+  supported collapse depths, technology).
+* :mod:`repro.core.latency` -- cycle-count models, Eqs. (1)-(4).
+* :mod:`repro.core.clock` -- per-mode operating points, Eq. (5).
+* :mod:`repro.core.optimizer` -- per-layer pipeline-depth selection,
+  Eq. (7) and discrete search.
+* :mod:`repro.core.scheduler` -- mapping whole CNNs onto the accelerator,
+  layer by layer.
+* :mod:`repro.core.energy` -- power, energy and energy-delay product.
+* :mod:`repro.core.arrayflex` -- the public accelerator facade
+  (:class:`~repro.core.arrayflex.ArrayFlexAccelerator`).
+"""
+
+from repro.core.config import ArrayFlexConfig
+from repro.core.clock import ClockModel
+from repro.core.latency import LatencyModel
+from repro.core.optimizer import ModeDecision, PipelineOptimizer
+from repro.core.scheduler import LayerSchedule, ModelSchedule, Scheduler
+from repro.core.energy import EnergyModel, LayerEnergyReport, RunEnergyReport
+from repro.core.arrayflex import ArrayFlexAccelerator, ComparisonReport
+from repro.core.design_space import DesignPoint, DesignPointResult, DesignSpaceExplorer
+
+__all__ = [
+    "ArrayFlexConfig",
+    "DesignPoint",
+    "DesignPointResult",
+    "DesignSpaceExplorer",
+    "LatencyModel",
+    "ClockModel",
+    "PipelineOptimizer",
+    "ModeDecision",
+    "Scheduler",
+    "LayerSchedule",
+    "ModelSchedule",
+    "EnergyModel",
+    "LayerEnergyReport",
+    "RunEnergyReport",
+    "ArrayFlexAccelerator",
+    "ComparisonReport",
+]

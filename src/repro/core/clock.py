@@ -1,0 +1,83 @@
+"""Per-mode clock model bound to an accelerator configuration.
+
+Thin, configuration-aware layer over :class:`repro.timing.delay_model.DelayModel`:
+it exposes the operating points of the conventional baseline and of every
+supported ArrayFlex pipeline mode, and converts cycle counts into absolute
+execution time (Eq. 6: ``Tabs(k) = Ltotal(k) x Tclock(k)``).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ArrayFlexConfig
+from repro.timing.delay_model import DelayModel, OperatingPoint
+
+
+class ClockModel:
+    """Operating points and time conversion for one ArrayFlex configuration."""
+
+    def __init__(self, config: ArrayFlexConfig) -> None:
+        self.config = config
+        self.delay_model = DelayModel(config.technology)
+        self._points: dict[int, OperatingPoint] = {
+            depth: self.delay_model.arrayflex_operating_point(depth)
+            for depth in config.sorted_depths()
+        }
+        self._conventional = self.delay_model.conventional_operating_point()
+
+    # ------------------------------------------------------------------ #
+    # Operating points
+    # ------------------------------------------------------------------ #
+    def conventional_point(self) -> OperatingPoint:
+        """The fixed-pipeline baseline's operating point (2 GHz by default)."""
+        return self._conventional
+
+    def arrayflex_point(self, collapse_depth: int) -> OperatingPoint:
+        """The operating point of one supported ArrayFlex pipeline mode."""
+        try:
+            return self._points[collapse_depth]
+        except KeyError:
+            raise ValueError(
+                f"collapse depth {collapse_depth} is not supported by this "
+                f"configuration (supported: {self.config.sorted_depths()})"
+            ) from None
+
+    def all_arrayflex_points(self) -> list[OperatingPoint]:
+        return [self._points[d] for d in self.config.sorted_depths()]
+
+    # ------------------------------------------------------------------ #
+    # Frequencies / periods
+    # ------------------------------------------------------------------ #
+    def frequency_ghz(self, collapse_depth: int) -> float:
+        return self.arrayflex_point(collapse_depth).clock_frequency_ghz
+
+    def period_ns(self, collapse_depth: int) -> float:
+        return self.arrayflex_point(collapse_depth).clock_period_ps / 1000.0
+
+    def conventional_frequency_ghz(self) -> float:
+        return self._conventional.clock_frequency_ghz
+
+    def conventional_period_ns(self) -> float:
+        return self._conventional.clock_period_ps / 1000.0
+
+    # ------------------------------------------------------------------ #
+    # Execution time (Eq. 6)
+    # ------------------------------------------------------------------ #
+    def execution_time_ns(self, cycles: int, collapse_depth: int) -> float:
+        """Absolute time of ``cycles`` in the given ArrayFlex pipeline mode."""
+        if cycles < 0:
+            raise ValueError("cycle count must be non-negative")
+        return cycles * self.period_ns(collapse_depth)
+
+    def conventional_execution_time_ns(self, cycles: int) -> float:
+        """Absolute time of ``cycles`` on the conventional baseline."""
+        if cycles < 0:
+            raise ValueError("cycle count must be non-negative")
+        return cycles * self.conventional_period_ns()
+
+    # ------------------------------------------------------------------ #
+    def frequency_table(self) -> dict[str, float]:
+        """Reported operating frequencies (GHz), as quoted in Section IV."""
+        table = {"conventional": self.conventional_frequency_ghz()}
+        for depth in self.config.sorted_depths():
+            table[f"arrayflex_k{depth}"] = self.frequency_ghz(depth)
+        return table

@@ -1,0 +1,107 @@
+"""Accelerator configuration.
+
+:class:`ArrayFlexConfig` bundles everything that characterises one
+ArrayFlex instance: the array geometry (R x C), the set of collapse depths
+the hardware supports, and the technology model the timing / power / area
+estimates are drawn from.
+
+The paper's evaluated instances are 128x128 and 256x256 arrays supporting
+k in {1, 2, 4}; :meth:`ArrayFlexConfig.paper_128x128` and
+:meth:`ArrayFlexConfig.paper_256x256` build exactly those.  The Fig. 5
+motivation experiment uses a 132x132 array so that k = 3 is also legal;
+:meth:`ArrayFlexConfig.fig5_132x132` builds that one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.control import ConfigurationPlane
+from repro.timing.technology import TechnologyModel
+
+
+@dataclass(frozen=True)
+class ArrayFlexConfig:
+    """Static configuration of one ArrayFlex accelerator instance."""
+
+    rows: int = 128
+    cols: int = 128
+    supported_depths: tuple[int, ...] = (1, 2, 4)
+    technology: TechnologyModel = field(default_factory=TechnologyModel.default_28nm)
+    #: Average datapath activity factor used by the power model.
+    activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if not self.supported_depths:
+            raise ValueError("at least one collapse depth must be supported")
+        if 1 not in self.supported_depths:
+            raise ValueError("the normal pipeline (k = 1) must always be supported")
+        if len(set(self.supported_depths)) != len(self.supported_depths):
+            raise ValueError("supported depths must be unique")
+        if not 0.0 < self.activity <= 1.0:
+            raise ValueError("activity must be in (0, 1]")
+        plane = ConfigurationPlane(self.rows, self.cols)
+        for depth in self.supported_depths:
+            if not plane.is_legal_depth(depth):
+                raise ValueError(
+                    f"collapse depth {depth} is illegal for a "
+                    f"{self.rows}x{self.cols} array (must divide both dimensions)"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.supported_depths)
+
+    def sorted_depths(self) -> tuple[int, ...]:
+        return tuple(sorted(self.supported_depths))
+
+    def configuration_plane(self) -> ConfigurationPlane:
+        return ConfigurationPlane(self.rows, self.cols)
+
+    def with_size(self, rows: int, cols: int) -> "ArrayFlexConfig":
+        """Copy of this configuration with a different array size."""
+        return replace(self, rows=rows, cols=cols)
+
+    def with_depths(self, depths: tuple[int, ...]) -> "ArrayFlexConfig":
+        """Copy of this configuration with a different supported-depth set."""
+        return replace(self, supported_depths=depths)
+
+    # ------------------------------------------------------------------ #
+    # The instances used throughout the paper
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_128x128(cls, technology: TechnologyModel | None = None) -> "ArrayFlexConfig":
+        """The 128x128 instance of Figs. 7, 8(a) and 9(a)."""
+        return cls(
+            rows=128,
+            cols=128,
+            supported_depths=(1, 2, 4),
+            technology=technology or TechnologyModel.default_28nm(),
+        )
+
+    @classmethod
+    def paper_256x256(cls, technology: TechnologyModel | None = None) -> "ArrayFlexConfig":
+        """The 256x256 instance of Figs. 8(b) and 9(b)."""
+        return cls(
+            rows=256,
+            cols=256,
+            supported_depths=(1, 2, 4),
+            technology=technology or TechnologyModel.default_28nm(),
+        )
+
+    @classmethod
+    def fig5_132x132(cls, technology: TechnologyModel | None = None) -> "ArrayFlexConfig":
+        """The 132x132 instance of Fig. 5, where k in {1, 2, 3, 4} are all legal."""
+        return cls(
+            rows=132,
+            cols=132,
+            supported_depths=(1, 2, 3, 4),
+            technology=technology or TechnologyModel.default_28nm(),
+        )

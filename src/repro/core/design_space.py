@@ -1,0 +1,149 @@
+"""Design-space exploration around the ArrayFlex design point.
+
+The paper evaluates two array sizes (128x128 and 256x256) and one supported
+mode set ({1, 2, 4}).  A natural question for anyone adopting the
+architecture is how those choices generalise: would supporting k = 8 help?
+Is a rectangular array better for a given workload mix?  How much latency
+is left on the table by restricting the mode set?
+
+:class:`DesignSpaceExplorer` answers these questions with the same models
+used for the paper experiments: every candidate design point (array
+geometry + supported collapse depths) is evaluated over a workload suite
+and scored on latency saving, power saving, EDP gain and area overhead
+relative to a conventional fixed-pipeline array of the same geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ArrayFlexConfig
+from repro.core.scheduler import Scheduler
+from repro.nn.models import CnnModel
+from repro.timing.area_model import AreaModel
+from repro.timing.technology import TechnologyModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate ArrayFlex configuration to evaluate."""
+
+    rows: int
+    cols: int
+    supported_depths: tuple[int, ...]
+
+    @property
+    def label(self) -> str:
+        depths = ",".join(str(d) for d in sorted(self.supported_depths))
+        return f"{self.rows}x{self.cols} k={{{depths}}}"
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """Aggregate metrics of one design point over a workload suite."""
+
+    point: DesignPoint
+    latency_saving: float
+    power_saving: float
+    edp_gain: float
+    pe_area_overhead: float
+    arrayflex_time_ms: float
+    conventional_time_ms: float
+    per_model_latency_saving: dict[str, float]
+
+    @property
+    def label(self) -> str:
+        return self.point.label
+
+
+class DesignSpaceExplorer:
+    """Evaluates and ranks candidate ArrayFlex design points."""
+
+    def __init__(
+        self,
+        models: list[CnnModel],
+        technology: TechnologyModel | None = None,
+    ) -> None:
+        if not models:
+            raise ValueError("the workload suite must contain at least one model")
+        self.models = models
+        self.technology = technology or TechnologyModel.default_28nm()
+
+    # ------------------------------------------------------------------ #
+    def evaluate_point(self, point: DesignPoint) -> DesignPointResult:
+        """Evaluate one candidate design point over the workload suite."""
+        config = ArrayFlexConfig(
+            rows=point.rows,
+            cols=point.cols,
+            supported_depths=point.supported_depths,
+            technology=self.technology,
+        )
+        scheduler = Scheduler(config)
+        area = AreaModel(self.technology)
+
+        total_conv_time = 0.0
+        total_af_time = 0.0
+        total_conv_energy = 0.0
+        total_af_energy = 0.0
+        per_model_saving: dict[str, float] = {}
+
+        for model in self.models:
+            arrayflex = scheduler.schedule_model_arrayflex(model)
+            conventional = scheduler.schedule_model_conventional(model)
+            per_model_saving[model.name] = (
+                1.0 - arrayflex.total_time_ns / conventional.total_time_ns
+            )
+            total_conv_time += conventional.total_time_ns
+            total_af_time += arrayflex.total_time_ns
+            total_conv_energy += conventional.total_energy_nj
+            total_af_energy += arrayflex.total_energy_nj
+
+        conv_power = total_conv_energy / total_conv_time
+        af_power = total_af_energy / total_af_time
+        conv_edp = total_conv_energy * total_conv_time
+        af_edp = total_af_energy * total_af_time
+
+        return DesignPointResult(
+            point=point,
+            latency_saving=1.0 - total_af_time / total_conv_time,
+            power_saving=1.0 - af_power / conv_power,
+            edp_gain=conv_edp / af_edp,
+            pe_area_overhead=area.pe_area_overhead(),
+            arrayflex_time_ms=total_af_time / 1e6,
+            conventional_time_ms=total_conv_time / 1e6,
+            per_model_latency_saving=per_model_saving,
+        )
+
+    # ------------------------------------------------------------------ #
+    def explore(self, points: list[DesignPoint]) -> list[DesignPointResult]:
+        """Evaluate a list of candidate points (in the given order)."""
+        if not points:
+            raise ValueError("no design points to explore")
+        return [self.evaluate_point(point) for point in points]
+
+    def rank(
+        self, points: list[DesignPoint], objective: str = "edp_gain"
+    ) -> list[DesignPointResult]:
+        """Evaluate and sort candidates by an objective (best first).
+
+        Supported objectives: ``edp_gain``, ``latency_saving``,
+        ``power_saving``.
+        """
+        valid = {"edp_gain", "latency_saving", "power_saving"}
+        if objective not in valid:
+            raise ValueError(f"objective must be one of {sorted(valid)}")
+        results = self.explore(points)
+        return sorted(results, key=lambda r: getattr(r, objective), reverse=True)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def default_candidates() -> list[DesignPoint]:
+        """A reasonable sweep around the paper's design points."""
+        candidates = []
+        for size in (64, 128, 256):
+            for depths in ((1, 2), (1, 2, 4), (1, 2, 4, 8)):
+                if all(size % d == 0 for d in depths):
+                    candidates.append(
+                        DesignPoint(rows=size, cols=size, supported_depths=depths)
+                    )
+        return candidates

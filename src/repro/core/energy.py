@@ -1,0 +1,139 @@
+"""Power, energy and energy-delay-product accounting.
+
+The paper's Fig. 9 reports the *average power* of each accelerator over a
+complete CNN run and notes that ArrayFlex spends most of its time in
+shallow modes, where the lower clock and the clock-gated transparent
+registers more than compensate for the extra switched capacitance.
+
+This module turns per-layer execution times and pipeline modes into:
+
+* per-layer power (mW) and energy (nJ),
+* run-level totals: energy, time, *time-weighted average power*
+  (total energy / total time, exactly how a power meter averaging over the
+  run would report it), and
+* the energy-delay product (EDP) used for the paper's 1.4x-1.8x claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ArrayFlexConfig
+from repro.nn.gemm_mapping import GemmShape
+from repro.timing.power_model import PowerModel
+
+
+@dataclass(frozen=True)
+class LayerEnergyReport:
+    """Power and energy of one layer executed in one pipeline mode."""
+
+    gemm: GemmShape
+    collapse_depth: int
+    power_mw: float
+    execution_time_ns: float
+
+    @property
+    def energy_nj(self) -> float:
+        """Energy in nanojoules (mW x ns = pJ; divided by 1000 for nJ)."""
+        return self.power_mw * self.execution_time_ns / 1000.0
+
+
+@dataclass(frozen=True)
+class RunEnergyReport:
+    """Aggregate energy metrics of a complete model run."""
+
+    total_time_ns: float
+    total_energy_nj: float
+
+    @property
+    def average_power_mw(self) -> float:
+        """Time-weighted average power over the run."""
+        if self.total_time_ns == 0:
+            return 0.0
+        return self.total_energy_nj * 1000.0 / self.total_time_ns
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP in nJ x ns (only ratios between designs are meaningful)."""
+        return self.total_energy_nj * self.total_time_ns
+
+
+class EnergyModel:
+    """Computes layer and run energy for both accelerator variants."""
+
+    def __init__(self, config: ArrayFlexConfig) -> None:
+        self.config = config
+        self.power_model = PowerModel(config.technology)
+
+    # ------------------------------------------------------------------ #
+    # Per-layer power
+    # ------------------------------------------------------------------ #
+    def arrayflex_power_mw(self, collapse_depth: int, frequency_ghz: float) -> float:
+        """Array power of ArrayFlex in one pipeline mode at one frequency."""
+        return self.power_model.arrayflex_array_power_mw(
+            rows=self.config.rows,
+            cols=self.config.cols,
+            collapse_depth=collapse_depth,
+            frequency_ghz=frequency_ghz,
+            activity=self.config.activity,
+        )
+
+    def conventional_power_mw(self, frequency_ghz: float) -> float:
+        """Array power of the conventional baseline at one frequency."""
+        return self.power_model.conventional_array_power_mw(
+            rows=self.config.rows,
+            cols=self.config.cols,
+            frequency_ghz=frequency_ghz,
+            activity=self.config.activity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-layer and run reports
+    # ------------------------------------------------------------------ #
+    def arrayflex_layer_report(
+        self,
+        gemm: GemmShape,
+        collapse_depth: int,
+        frequency_ghz: float,
+        execution_time_ns: float,
+    ) -> LayerEnergyReport:
+        return LayerEnergyReport(
+            gemm=gemm,
+            collapse_depth=collapse_depth,
+            power_mw=self.arrayflex_power_mw(collapse_depth, frequency_ghz),
+            execution_time_ns=execution_time_ns,
+        )
+
+    def conventional_layer_report(
+        self, gemm: GemmShape, frequency_ghz: float, execution_time_ns: float
+    ) -> LayerEnergyReport:
+        return LayerEnergyReport(
+            gemm=gemm,
+            collapse_depth=1,
+            power_mw=self.conventional_power_mw(frequency_ghz),
+            execution_time_ns=execution_time_ns,
+        )
+
+    @staticmethod
+    def run_report(layer_reports: list[LayerEnergyReport]) -> RunEnergyReport:
+        """Aggregate a list of per-layer reports into run-level metrics."""
+        total_time = sum(report.execution_time_ns for report in layer_reports)
+        total_energy = sum(report.energy_nj for report in layer_reports)
+        return RunEnergyReport(total_time_ns=total_time, total_energy_nj=total_energy)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def power_saving(conventional: RunEnergyReport, arrayflex: RunEnergyReport) -> float:
+        """Fractional average-power saving of ArrayFlex over the baseline."""
+        if conventional.average_power_mw == 0:
+            return 0.0
+        return 1.0 - arrayflex.average_power_mw / conventional.average_power_mw
+
+    @staticmethod
+    def edp_gain(conventional: RunEnergyReport, arrayflex: RunEnergyReport) -> float:
+        """Energy-delay-product improvement factor (>1 means ArrayFlex wins)."""
+        if arrayflex.energy_delay_product == 0:
+            return float("inf")
+        return conventional.energy_delay_product / arrayflex.energy_delay_product

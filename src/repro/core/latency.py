@@ -1,0 +1,138 @@
+"""Cycle-count models of matrix multiplication on the systolic array.
+
+The four latency equations of the paper:
+
+* Eq. (1):  L        = 2R + C + T - 2                 (conventional, per tile)
+* Eq. (2):  L_total  = L * ceil(N/R) * ceil(M/C)       (conventional, tiled)
+* Eq. (3):  L(k)     = R + R/k + C/k + T - 2           (ArrayFlex, per tile)
+* Eq. (4):  L_total(k) = L(k) * ceil(N/R) * ceil(M/C)  (ArrayFlex, tiled)
+
+For collapse depths that do not divide the array dimensions exactly (never
+used by the shipped configurations but useful for what-if sweeps) the
+``R/k`` and ``C/k`` terms are rounded up, which is what the hardware would
+do -- a partially filled group still takes a full cycle.
+
+Every formula here is cross-checked against the cycle-accurate simulator
+(:mod:`repro.sim.systolic_sim`) by the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import ArrayFlexConfig
+from repro.nn.gemm_mapping import GemmShape
+
+
+def conventional_tile_cycles(rows: int, cols: int, t_rows: int) -> int:
+    """Eq. (1): cycles for one tile on the conventional fixed pipeline."""
+    _check_positive(rows=rows, cols=cols, t_rows=t_rows)
+    return 2 * rows + cols + t_rows - 2
+
+
+def arrayflex_tile_cycles(rows: int, cols: int, t_rows: int, collapse_depth: int) -> int:
+    """Eq. (3): cycles for one tile with a k-collapsed pipeline.
+
+    ``collapse_depth = 1`` reproduces Eq. (1) exactly.
+    """
+    _check_positive(rows=rows, cols=cols, t_rows=t_rows, collapse_depth=collapse_depth)
+    return (
+        rows
+        + math.ceil(rows / collapse_depth)
+        + math.ceil(cols / collapse_depth)
+        + t_rows
+        - 2
+    )
+
+
+def arrayflex_tile_cycles_vertical_only(
+    rows: int, cols: int, t_rows: int, collapse_depth: int
+) -> int:
+    """Ablation: collapse only the vertical (reduction) pipeline.
+
+    The horizontal input stream still advances one column per cycle, so only
+    the ``R - 1 -> R/k - 1`` reduction saving of Section III is realised:
+    ``L = R + R/k + C + T - 2``.
+    """
+    _check_positive(rows=rows, cols=cols, t_rows=t_rows, collapse_depth=collapse_depth)
+    return rows + math.ceil(rows / collapse_depth) + cols + t_rows - 2
+
+
+def arrayflex_tile_cycles_horizontal_only(
+    rows: int, cols: int, t_rows: int, collapse_depth: int
+) -> int:
+    """Ablation: collapse only the horizontal (broadcast) pipeline.
+
+    The vertical reduction still takes ``R - 1`` cycles:
+    ``L = 2R + C/k + T - 2``.
+    """
+    _check_positive(rows=rows, cols=cols, t_rows=t_rows, collapse_depth=collapse_depth)
+    return 2 * rows + math.ceil(cols / collapse_depth) + t_rows - 2
+
+
+def tile_count(n_dim: int, m_dim: int, rows: int, cols: int) -> int:
+    """Number of tiles of a (N, M) weight matrix on an R x C array (Eqs. 2/4)."""
+    _check_positive(n_dim=n_dim, m_dim=m_dim, rows=rows, cols=cols)
+    return math.ceil(n_dim / rows) * math.ceil(m_dim / cols)
+
+
+def conventional_total_cycles(gemm: GemmShape, rows: int, cols: int) -> int:
+    """Eq. (2): total cycles of a tiled GEMM on the conventional array."""
+    per_tile = conventional_tile_cycles(rows, cols, gemm.t)
+    return per_tile * tile_count(gemm.n, gemm.m, rows, cols)
+
+
+def arrayflex_total_cycles(
+    gemm: GemmShape, rows: int, cols: int, collapse_depth: int
+) -> int:
+    """Eq. (4): total cycles of a tiled GEMM with a k-collapsed pipeline."""
+    per_tile = arrayflex_tile_cycles(rows, cols, gemm.t, collapse_depth)
+    return per_tile * tile_count(gemm.n, gemm.m, rows, cols)
+
+
+def _check_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+class LatencyModel:
+    """Convenience wrapper binding the latency equations to one configuration."""
+
+    def __init__(self, config: ArrayFlexConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Per-tile
+    # ------------------------------------------------------------------ #
+    def tile_cycles(self, t_rows: int, collapse_depth: int = 1) -> int:
+        """Cycles for one tile at the given collapse depth (Eq. 1 or 3)."""
+        return arrayflex_tile_cycles(
+            self.config.rows, self.config.cols, t_rows, collapse_depth
+        )
+
+    def conventional_tile_cycles(self, t_rows: int) -> int:
+        return conventional_tile_cycles(self.config.rows, self.config.cols, t_rows)
+
+    # ------------------------------------------------------------------ #
+    # Tiled GEMM
+    # ------------------------------------------------------------------ #
+    def tile_count(self, gemm: GemmShape) -> int:
+        return tile_count(gemm.n, gemm.m, self.config.rows, self.config.cols)
+
+    def total_cycles(self, gemm: GemmShape, collapse_depth: int = 1) -> int:
+        """Eq. (4) for this configuration's array size."""
+        return arrayflex_total_cycles(
+            gemm, self.config.rows, self.config.cols, collapse_depth
+        )
+
+    def conventional_total_cycles(self, gemm: GemmShape) -> int:
+        """Eq. (2) for this configuration's array size."""
+        return conventional_total_cycles(gemm, self.config.rows, self.config.cols)
+
+    # ------------------------------------------------------------------ #
+    def cycle_reduction(self, gemm: GemmShape, collapse_depth: int) -> float:
+        """Fractional cycle-count reduction of depth k versus the normal pipeline."""
+        base = self.total_cycles(gemm, collapse_depth=1)
+        collapsed = self.total_cycles(gemm, collapse_depth=collapse_depth)
+        return 1.0 - collapsed / base

@@ -1,0 +1,207 @@
+"""Mapping whole CNNs onto the accelerators, layer by layer.
+
+The scheduler glues the substrates together: every layer of a model is
+lowered to a GEMM, the optimizer picks the pipeline mode (ArrayFlex) or the
+single fixed mode (conventional baseline), the latency and clock models
+give the execution time, and the energy model gives power and energy.
+
+The resulting :class:`ModelSchedule` is the data behind Figs. 7, 8 and 9:
+per-layer execution times and modes, run totals, average power and EDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.clock import ClockModel
+from repro.core.config import ArrayFlexConfig
+from repro.core.energy import EnergyModel, LayerEnergyReport, RunEnergyReport
+from repro.core.latency import LatencyModel
+from repro.core.optimizer import ModeDecision, PipelineOptimizer
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import CnnModel
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """Everything decided and measured for one layer."""
+
+    index: int
+    gemm: GemmShape
+    collapse_depth: int
+    cycles: int
+    clock_frequency_ghz: float
+    execution_time_ns: float
+    power_mw: float
+    analytical_depth: float = 0.0
+
+    @property
+    def energy_nj(self) -> float:
+        return self.power_mw * self.execution_time_ns / 1000.0
+
+
+@dataclass
+class ModelSchedule:
+    """The complete schedule of one model on one accelerator."""
+
+    model_name: str
+    accelerator: str
+    rows: int
+    cols: int
+    layers: list[LayerSchedule] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_time_ns(self) -> float:
+        return sum(layer.execution_time_ns for layer in self.layers)
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.total_time_ns / 1e6
+
+    @property
+    def total_energy_nj(self) -> float:
+        return sum(layer.energy_nj for layer in self.layers)
+
+    @property
+    def average_power_mw(self) -> float:
+        if self.total_time_ns == 0:
+            return 0.0
+        return self.total_energy_nj * 1000.0 / self.total_time_ns
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.total_energy_nj * self.total_time_ns
+
+    # ------------------------------------------------------------------ #
+    def depth_histogram(self) -> dict[int, int]:
+        """Number of layers executed at each collapse depth."""
+        histogram: dict[int, int] = {}
+        for layer in self.layers:
+            histogram[layer.collapse_depth] = histogram.get(layer.collapse_depth, 0) + 1
+        return histogram
+
+    def time_share_by_depth(self) -> dict[int, float]:
+        """Fraction of the run's time spent in each collapse depth."""
+        total = self.total_time_ns
+        shares: dict[int, float] = {}
+        if total == 0:
+            return shares
+        for layer in self.layers:
+            shares[layer.collapse_depth] = (
+                shares.get(layer.collapse_depth, 0.0) + layer.execution_time_ns / total
+            )
+        return shares
+
+    def to_energy_report(self) -> RunEnergyReport:
+        return RunEnergyReport(
+            total_time_ns=self.total_time_ns, total_energy_nj=self.total_energy_nj
+        )
+
+
+class Scheduler:
+    """Schedules models on ArrayFlex (per-layer mode selection) or the baseline."""
+
+    def __init__(self, config: ArrayFlexConfig) -> None:
+        self.config = config
+        self.latency = LatencyModel(config)
+        self.clock = ClockModel(config)
+        self.optimizer = PipelineOptimizer(config)
+        self.energy = EnergyModel(config)
+
+    # ------------------------------------------------------------------ #
+    # ArrayFlex
+    # ------------------------------------------------------------------ #
+    def schedule_gemm_arrayflex(self, index: int, gemm: GemmShape) -> LayerSchedule:
+        """Schedule one GEMM on ArrayFlex with the optimal pipeline mode."""
+        decision: ModeDecision = self.optimizer.best_depth(gemm)
+        power = self.energy.arrayflex_power_mw(
+            decision.collapse_depth, decision.clock_frequency_ghz
+        )
+        return LayerSchedule(
+            index=index,
+            gemm=gemm,
+            collapse_depth=decision.collapse_depth,
+            cycles=decision.cycles,
+            clock_frequency_ghz=decision.clock_frequency_ghz,
+            execution_time_ns=decision.execution_time_ns,
+            power_mw=power,
+            analytical_depth=decision.analytical_depth,
+        )
+
+    def schedule_model_arrayflex(
+        self, model: CnnModel | list[GemmShape], model_name: str | None = None
+    ) -> ModelSchedule:
+        """Schedule a whole model on ArrayFlex (one decision per layer)."""
+        gemms, name = self._resolve(model, model_name)
+        schedule = ModelSchedule(
+            model_name=name,
+            accelerator="ArrayFlex",
+            rows=self.config.rows,
+            cols=self.config.cols,
+        )
+        for index, gemm in enumerate(gemms, start=1):
+            schedule.layers.append(self.schedule_gemm_arrayflex(index, gemm))
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Conventional baseline
+    # ------------------------------------------------------------------ #
+    def schedule_gemm_conventional(self, index: int, gemm: GemmShape) -> LayerSchedule:
+        """Schedule one GEMM on the fixed-pipeline baseline (always k = 1)."""
+        cycles = self.latency.conventional_total_cycles(gemm)
+        frequency = self.clock.conventional_frequency_ghz()
+        time_ns = self.clock.conventional_execution_time_ns(cycles)
+        power = self.energy.conventional_power_mw(frequency)
+        return LayerSchedule(
+            index=index,
+            gemm=gemm,
+            collapse_depth=1,
+            cycles=cycles,
+            clock_frequency_ghz=frequency,
+            execution_time_ns=time_ns,
+            power_mw=power,
+            analytical_depth=1.0,
+        )
+
+    def schedule_model_conventional(
+        self, model: CnnModel | list[GemmShape], model_name: str | None = None
+    ) -> ModelSchedule:
+        """Schedule a whole model on the conventional baseline."""
+        gemms, name = self._resolve(model, model_name)
+        schedule = ModelSchedule(
+            model_name=name,
+            accelerator="Conventional",
+            rows=self.config.rows,
+            cols=self.config.cols,
+        )
+        for index, gemm in enumerate(gemms, start=1):
+            schedule.layers.append(self.schedule_gemm_conventional(index, gemm))
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    def layer_energy_reports(self, schedule: ModelSchedule) -> list[LayerEnergyReport]:
+        """Re-expressed per-layer reports (used by the evaluation harness)."""
+        return [
+            LayerEnergyReport(
+                gemm=layer.gemm,
+                collapse_depth=layer.collapse_depth,
+                power_mw=layer.power_mw,
+                execution_time_ns=layer.execution_time_ns,
+            )
+            for layer in schedule.layers
+        ]
+
+    @staticmethod
+    def _resolve(
+        model: CnnModel | list[GemmShape], model_name: str | None
+    ) -> tuple[list[GemmShape], str]:
+        if isinstance(model, CnnModel):
+            return model.gemms(), model_name or model.name
+        if not model:
+            raise ValueError("cannot schedule an empty list of GEMMs")
+        return list(model), model_name or "custom"

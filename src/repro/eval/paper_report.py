@@ -1,0 +1,257 @@
+"""Generator of the measured-vs-paper report (EXPERIMENTS.md).
+
+``EXPERIMENTS.md`` records, for every table and figure of the paper's
+evaluation, what the paper reports and what this reproduction measures.
+Because every number comes from the experiment harness, the document can be
+regenerated at any time with::
+
+    python examples/generate_experiments_report.py
+
+which calls :func:`generate_experiments_markdown` and overwrites the file.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import (
+    ClockFrequencyExperiment,
+    CsaAblationExperiment,
+    DirectionAblationExperiment,
+    Eq7ValidationExperiment,
+    Fig5Experiment,
+    Fig6Experiment,
+    Fig7Experiment,
+    Fig8Experiment,
+    Fig9Experiment,
+)
+from repro.eval.report import format_percent, format_ratio
+
+
+def _fig5_section() -> list[str]:
+    lines = ["## Fig. 5 — execution time vs collapse depth (132x132 SA)", ""]
+    for layer_index, paper_best in ((20, 2), (28, 4)):
+        experiment = Fig5Experiment(layer_index=layer_index)
+        result = experiment.run()
+        lines.append(
+            f"* **Layer {layer_index}** (M, N, T) = {result.gemm.as_tuple()}: "
+            f"paper minimum at k = {paper_best}; measured minimum at "
+            f"k = {result.best_depth} "
+            f"({format_percent(result.best_saving)} faster than the conventional SA)."
+        )
+        lines.append("")
+        lines.append("```")
+        lines.append(experiment.render(result))
+        lines.append("```")
+        lines.append("")
+    return lines
+
+
+def _fig6_section() -> list[str]:
+    experiment = Fig6Experiment()
+    result = experiment.run()
+    return [
+        "## Fig. 6 — PE area overhead of reconfigurability",
+        "",
+        f"* Paper: ~16% per-PE overhead. Measured: "
+        f"{format_percent(result.pe_overhead)} "
+        f"(structural gate-count share {format_percent(result.structural_overhead)}, "
+        "the rest calibrated layout/clock-gating/config-distribution overhead).",
+        "",
+        "```",
+        experiment.render(result),
+        "```",
+        "",
+    ]
+
+
+def _fig7_section() -> list[str]:
+    experiment = Fig7Experiment()
+    result = experiment.run()
+    shallow = result.shallow_layer_savings()
+    histogram = result.arrayflex.depth_histogram()
+    return [
+        "## Fig. 7 — per-layer execution time of ConvNeXt (128x128 SA)",
+        "",
+        f"* Paper: total saving ~11%, per-layer savings 1.5%–26%, early layers at "
+        "k = 1, middle layers at k = 2, late layers at k = 4.",
+        f"* Measured: total saving {format_percent(result.total_saving)}; shallow-layer "
+        f"savings {format_percent(min(shallow))}–{format_percent(max(shallow))}; "
+        f"layers per mode {dict(sorted(histogram.items()))} "
+        "(early layers select k = 1, the last stage selects k = 4).",
+        "",
+        "The per-layer table is long; regenerate it with "
+        "`python examples/convnext_per_layer.py`.",
+        "",
+    ]
+
+
+def _fig8_section() -> list[str]:
+    experiment = Fig8Experiment(sizes=(128, 256))
+    result = experiment.run()
+    lines = [
+        "## Fig. 8 — total execution time of ResNet-34 / MobileNetV1 / ConvNeXt-T",
+        "",
+        "* Paper: ArrayFlex lowers end-to-end latency by 9%–11%, with larger savings "
+        "on the larger array.",
+        "",
+        "| array | model | conventional (ms) | ArrayFlex (ms) | measured saving |",
+        "|---|---|---|---|---|",
+    ]
+    for entry in result.entries:
+        lines.append(
+            f"| {entry.rows}x{entry.cols} | {entry.model_name} | "
+            f"{entry.conventional_time_ms:.3f} | {entry.arrayflex_time_ms:.3f} | "
+            f"{format_percent(entry.latency_saving)} |"
+        )
+    low, high = result.savings_range()
+    lines += [
+        "",
+        f"Measured savings range: {format_percent(low)}–{format_percent(high)}.",
+        "",
+    ]
+    return lines
+
+
+def _fig9_section() -> list[str]:
+    experiment = Fig9Experiment(sizes=(128, 256))
+    result = experiment.run()
+    lines = [
+        "## Fig. 9 — average power and energy-delay product",
+        "",
+        "* Paper: power savings of 13%–15% (128x128) and 17%–23% (256x256); EDP gain "
+        "1.4x–1.8x; ArrayFlex consumes slightly more power than the conventional SA "
+        "when both run the normal pipeline.",
+        "",
+        "| array | model | conventional (W) | ArrayFlex (W) | power saving | EDP gain |",
+        "|---|---|---|---|---|---|",
+    ]
+    for entry in result.entries:
+        lines.append(
+            f"| {entry.rows}x{entry.cols} | {entry.model_name} | "
+            f"{entry.conventional_power_mw / 1000:.1f} | "
+            f"{entry.arrayflex_power_mw / 1000:.1f} | "
+            f"{format_percent(entry.power_saving)} | {format_ratio(entry.edp_gain)} |"
+        )
+    for size in (128, 256):
+        low, high = result.power_saving_range(size)
+        lines.append("")
+        lines.append(
+            f"Measured {size}x{size} power savings: "
+            f"{format_percent(low)}–{format_percent(high)}."
+        )
+    edp_low, edp_high = result.edp_range()
+    lines += [
+        "",
+        f"Measured EDP gains: {format_ratio(edp_low)}–{format_ratio(edp_high)}.",
+        "",
+    ]
+    return lines
+
+
+def _eq7_section() -> list[str]:
+    result = Eq7ValidationExperiment().run()
+    return [
+        "## Eq. (7) — analytical vs discrete optimal collapse depth",
+        "",
+        "* Paper: the closed form approximates the per-layer optimum "
+        "\"fairly accurately\".",
+        f"* Measured: rounding k̂ to the supported mode set matches the discrete "
+        f"argmin for {format_percent(result.agreement_rate)} of the "
+        f"{len(result.entries)} layers of the three CNNs (128x128 SA).",
+        "",
+    ]
+
+
+def _clock_section() -> list[str]:
+    result = ClockFrequencyExperiment().run()
+    return [
+        "## Operating points (Section IV) and STA cross-check",
+        "",
+        "| design point | paper (GHz) | measured (GHz) | Eq. 5 period (ps) | STA period (ps) |",
+        "|---|---|---|---|---|",
+        f"| conventional | 2.0 | {result.conventional_ghz:.1f} | — | — |",
+        f"| ArrayFlex k=1 | 1.8 | {result.mode_ghz[1]:.1f} | "
+        f"{result.eq5_period_ps[1]:.0f} | {result.sta_period_ps[1]:.0f} |",
+        f"| ArrayFlex k=2 | 1.7 | {result.mode_ghz[2]:.1f} | "
+        f"{result.eq5_period_ps[2]:.0f} | {result.sta_period_ps[2]:.0f} |",
+        f"| ArrayFlex k=4 | 1.4 | {result.mode_ghz[4]:.1f} | "
+        f"{result.eq5_period_ps[4]:.0f} | {result.sta_period_ps[4]:.0f} |",
+        "",
+    ]
+
+
+def _ablation_section() -> list[str]:
+    csa = CsaAblationExperiment().run()
+    directions = DirectionAblationExperiment().run()
+    lines = [
+        "## Ablations",
+        "",
+        "### Collapsing without the carry-save adders (Section III-B)",
+        "",
+        "| mode | period w/ CSA (ps) | period w/o CSA (ps) | ConvNeXt saving w/ CSA | w/o CSA |",
+        "|---|---|---|---|---|",
+    ]
+    for entry in csa.entries:
+        lines.append(
+            f"| k={entry.collapse_depth} | {entry.period_with_csa_ps:.0f} | "
+            f"{entry.period_without_csa_ps:.0f} | "
+            f"{format_percent(entry.model_saving_with_csa)} | "
+            f"{format_percent(entry.model_saving_without_csa)} |"
+        )
+    lines += [
+        "",
+        "Without the 3:2 carry-save stage, the deeper collapse modes slow the clock so "
+        "much that the end-to-end savings disappear — the mechanism the paper's PE "
+        "design exists to avoid.",
+        "",
+        "### Collapse directions",
+        "",
+        "| mode | normal cycles | vertical-only | horizontal-only | both |",
+        "|---|---|---|---|---|",
+    ]
+    for entry in directions.entries:
+        lines.append(
+            f"| k={entry.collapse_depth} | {entry.cycles_conventional} | "
+            f"{entry.cycles_vertical_only} | {entry.cycles_horizontal_only} | "
+            f"{entry.cycles_both} |"
+        )
+    lines.append("")
+    return lines
+
+
+def generate_experiments_markdown() -> str:
+    """Build the full EXPERIMENTS.md content from the experiment harness."""
+    header = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Reproduction of the evaluation of *ArrayFlex: A Systolic Array Architecture "
+        "with Configurable Transparent Pipelining* (DATE 2023).  Every number below "
+        "is produced by the experiment harness in `repro.eval`; regenerate this file "
+        "with `python examples/generate_experiments_report.py`.",
+        "",
+        "Absolute times and powers are not expected to match the authors' 28 nm "
+        "implementation (the substrate here is a calibrated analytical + cycle-level "
+        "model, see DESIGN.md); the comparisons below check that the *shape* of every "
+        "result holds: who wins, by roughly what factor, and where the crossovers "
+        "fall.",
+        "",
+    ]
+    sections = (
+        header
+        + _clock_section()
+        + _fig5_section()
+        + _fig6_section()
+        + _fig7_section()
+        + _fig8_section()
+        + _fig9_section()
+        + _eq7_section()
+        + _ablation_section()
+    )
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def write_experiments_markdown(path: str) -> str:
+    """Generate and write EXPERIMENTS.md; returns the content written."""
+    content = generate_experiments_markdown()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return content

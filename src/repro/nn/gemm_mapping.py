@@ -1,0 +1,99 @@
+"""Lowering CNN layers to GEMM dimensions (paper Section II).
+
+A convolution layer is computed on the systolic array as the matrix
+multiplication ``X[T, M] = A[T, N] x B[N, M]`` obtained by im2col lowering:
+
+* ``M``  -- number of output channels (one column of B per kernel);
+* ``N``  -- kernel volume, ``K * K * Cin / groups`` (one row of B per input
+  of the dot product);
+* ``T``  -- number of output pixels, ``Hout * Wout`` (one row of A per
+  output location; single-batch inference as in the paper).
+
+With the weight-stationary dataflow, B (the kernels) is preloaded into the
+array (N maps to the R rows, M to the C columns) and A (the im2col'd input
+features) is streamed (T rows).  This mapping reproduces the paper's quoted
+shapes: ResNet-34 layer 20 -> (M, N, T) = (256, 2304, 196) and layer 28 ->
+(512, 2304, 49).
+
+Depthwise convolutions do not lower to a single dense GEMM (each output
+channel only reads its own input channel).  Following the usual
+SCALE-Sim-style approximation, a depthwise layer is mapped with
+``N = K * K`` (``Cin = 1`` per group) and ``M = Cout``; the approximation
+affects array utilisation, not the dataflow, and is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import Conv2dLayer, Layer, LayerKind, LinearLayer
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """The (M, N, T) dimensions of one lowered layer.
+
+    ``m``: columns of B (output channels), mapped to the array columns C.
+    ``n``: rows of B / columns of A (reduction dimension), mapped to the
+    array rows R.
+    ``t``: rows of A streamed through the array.
+    """
+
+    m: int
+    n: int
+    t: int
+    name: str = ""
+    kind: LayerKind = LayerKind.CONV
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.t) <= 0:
+            raise ValueError(f"GEMM {self.name!r}: dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the dense GEMM."""
+        return self.m * self.n * self.t
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.m, self.n, self.t)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name or 'gemm'}: (M={self.m}, N={self.n}, T={self.t})"
+
+
+def conv_to_gemm(layer: Conv2dLayer) -> GemmShape:
+    """Lower a convolution layer (standard, depthwise or pointwise)."""
+    kernel_volume = layer.kernel_size * layer.kernel_size * layer.channels_per_group
+    return GemmShape(
+        m=layer.out_channels,
+        n=kernel_volume,
+        t=layer.output_pixels,
+        name=layer.name,
+        kind=layer.kind,
+    )
+
+
+def linear_to_gemm(layer: LinearLayer) -> GemmShape:
+    """Lower a fully-connected layer."""
+    return GemmShape(
+        m=layer.out_features,
+        n=layer.in_features,
+        t=layer.tokens,
+        name=layer.name,
+        kind=LayerKind.LINEAR,
+    )
+
+
+def layer_to_gemm(layer: Layer) -> GemmShape:
+    """Lower any supported layer descriptor to its GEMM shape."""
+    if isinstance(layer, Conv2dLayer):
+        return conv_to_gemm(layer)
+    if isinstance(layer, LinearLayer):
+        return linear_to_gemm(layer)
+    raise TypeError(f"unsupported layer type: {type(layer).__name__}")
+
+
+def model_to_gemms(layers: list[Layer]) -> list[GemmShape]:
+    """Lower a whole model (list of layer descriptors) in order."""
+    return [layer_to_gemm(layer) for layer in layers]

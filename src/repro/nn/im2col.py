@@ -1,0 +1,182 @@
+"""Functional im2col lowering of convolutions to GEMM operands.
+
+:mod:`repro.nn.gemm_mapping` computes only the GEMM *dimensions* of each
+layer (all the latency/power models need).  This module provides the
+matching *functional* lowering: given a real input tensor and real weights
+it builds the A (im2col'd activations) and B (reshaped kernels) matrices
+whose product equals the convolution output, in the exact layout the
+weight-stationary array consumes:
+
+* ``A`` has shape (T, N) with T = Hout * Wout rows (one per output pixel)
+  and N = K * K * Cin columns;
+* ``B`` has shape (N, M) with one column per output channel;
+* ``A @ B`` reshaped to (Cout, Hout, Wout) equals the convolution.
+
+Together with :mod:`repro.sim`, this closes the loop of the paper's
+Section II: a quantized convolution layer can be executed bit-exactly on
+the cycle-accurate ArrayFlex model and verified against a direct
+convolution reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2dLayer
+
+
+def _check_input(layer: Conv2dLayer, input_tensor: np.ndarray) -> np.ndarray:
+    input_tensor = np.asarray(input_tensor)
+    if input_tensor.ndim != 3:
+        raise ValueError(
+            "input tensor must have shape (channels, height, width); "
+            f"got {input_tensor.shape}"
+        )
+    channels, height, width = input_tensor.shape
+    if channels != layer.in_channels:
+        raise ValueError(
+            f"layer {layer.name!r} expects {layer.in_channels} input channels, "
+            f"got {channels}"
+        )
+    if height != layer.input_height or width != layer.input_width:
+        raise ValueError(
+            f"layer {layer.name!r} expects a {layer.input_height}x{layer.input_width} "
+            f"input, got {height}x{width}"
+        )
+    return input_tensor
+
+
+def _check_weights(layer: Conv2dLayer, weights: np.ndarray) -> np.ndarray:
+    weights = np.asarray(weights)
+    expected = (
+        layer.out_channels,
+        layer.channels_per_group,
+        layer.kernel_size,
+        layer.kernel_size,
+    )
+    if weights.shape != expected:
+        raise ValueError(
+            f"layer {layer.name!r} expects weights of shape {expected}, "
+            f"got {weights.shape}"
+        )
+    return weights
+
+
+def pad_input(layer: Conv2dLayer, input_tensor: np.ndarray) -> np.ndarray:
+    """Zero-pad the spatial dimensions according to the layer's padding."""
+    input_tensor = _check_input(layer, input_tensor)
+    if layer.padding == 0:
+        return input_tensor
+    pad = layer.padding
+    return np.pad(input_tensor, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+
+def im2col(layer: Conv2dLayer, input_tensor: np.ndarray) -> np.ndarray:
+    """Build the (T, N) activation matrix of a *dense* convolution.
+
+    Row ``t`` contains the K*K*Cin receptive field of output pixel ``t``
+    (row-major over the output feature map); column ordering is
+    (channel, kernel row, kernel column), matching :func:`weights_to_matrix`.
+    Grouped/depthwise layers must go through :func:`grouped_im2col` instead.
+    """
+    if layer.groups != 1:
+        raise ValueError(
+            f"layer {layer.name!r} is grouped; use grouped_im2col / run per group"
+        )
+    padded = pad_input(layer, input_tensor)
+    k, stride = layer.kernel_size, layer.stride
+    out_h, out_w = layer.output_height, layer.output_width
+    columns = np.empty(
+        (out_h * out_w, layer.in_channels * k * k), dtype=padded.dtype
+    )
+    for out_y in range(out_h):
+        for out_x in range(out_w):
+            window = padded[
+                :, out_y * stride : out_y * stride + k, out_x * stride : out_x * stride + k
+            ]
+            columns[out_y * out_w + out_x, :] = window.reshape(-1)
+    return columns
+
+
+def weights_to_matrix(layer: Conv2dLayer, weights: np.ndarray) -> np.ndarray:
+    """Reshape convolution kernels into the (N, M) weight matrix B."""
+    weights = _check_weights(layer, weights)
+    if layer.groups != 1:
+        raise ValueError(
+            f"layer {layer.name!r} is grouped; use grouped lowering instead"
+        )
+    # (Cout, Cin, K, K) -> (Cin*K*K, Cout)
+    return weights.reshape(layer.out_channels, -1).T.copy()
+
+
+def grouped_im2col(
+    layer: Conv2dLayer, input_tensor: np.ndarray
+) -> list[tuple[np.ndarray, slice]]:
+    """Per-group (T, N_g) activation matrices of a grouped convolution.
+
+    Returns one (matrix, output-channel slice) pair per group.  For a
+    depthwise layer this yields ``Cin`` matrices of shape (T, K*K).
+    """
+    input_tensor = _check_input(layer, input_tensor)
+    per_group_in = layer.channels_per_group
+    per_group_out = layer.out_channels // layer.groups
+    results = []
+    for group in range(layer.groups):
+        sub_layer = Conv2dLayer(
+            name=f"{layer.name}.g{group}",
+            in_channels=per_group_in,
+            out_channels=per_group_out,
+            kernel_size=layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+            input_height=layer.input_height,
+            input_width=layer.input_width,
+        )
+        channel_slice = slice(group * per_group_in, (group + 1) * per_group_in)
+        matrix = im2col(sub_layer, input_tensor[channel_slice])
+        out_slice = slice(group * per_group_out, (group + 1) * per_group_out)
+        results.append((matrix, out_slice))
+    return results
+
+
+def direct_convolution(
+    layer: Conv2dLayer, input_tensor: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Straightforward (slow) convolution used as the verification reference."""
+    input_tensor = _check_input(layer, input_tensor)
+    weights = _check_weights(layer, weights)
+    padded = pad_input(layer, input_tensor)
+    out = np.zeros(
+        (layer.out_channels, layer.output_height, layer.output_width),
+        dtype=np.int64,
+    )
+    k, stride = layer.kernel_size, layer.stride
+    per_group_in = layer.channels_per_group
+    per_group_out = layer.out_channels // layer.groups
+    for out_ch in range(layer.out_channels):
+        group = out_ch // per_group_out
+        in_start = group * per_group_in
+        kernel = weights[out_ch]
+        for out_y in range(layer.output_height):
+            for out_x in range(layer.output_width):
+                window = padded[
+                    in_start : in_start + per_group_in,
+                    out_y * stride : out_y * stride + k,
+                    out_x * stride : out_x * stride + k,
+                ]
+                out[out_ch, out_y, out_x] = int(np.sum(window * kernel))
+    return out
+
+
+def gemm_output_to_feature_map(layer: Conv2dLayer, gemm_output: np.ndarray) -> np.ndarray:
+    """Reshape the (T, M) GEMM result back into a (Cout, Hout, Wout) tensor."""
+    gemm_output = np.asarray(gemm_output)
+    expected = (layer.output_pixels, layer.out_channels)
+    if gemm_output.shape != expected:
+        raise ValueError(
+            f"GEMM output for layer {layer.name!r} must have shape {expected}, "
+            f"got {gemm_output.shape}"
+        )
+    return gemm_output.T.reshape(
+        layer.out_channels, layer.output_height, layer.output_width
+    )

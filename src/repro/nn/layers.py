@@ -1,0 +1,145 @@
+"""Declarative layer descriptors of the evaluated CNNs.
+
+Only the information needed to size the GEMM of each layer is kept: channel
+counts, kernel geometry, stride/padding and the input resolution.  Weights
+and activations themselves are irrelevant to the latency/power evaluation
+(the arrays are exercised with synthetic data when functional simulation is
+requested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LayerKind(Enum):
+    """Categories the mapping and the reports distinguish."""
+
+    CONV = "conv"
+    DEPTHWISE_CONV = "depthwise_conv"
+    POINTWISE_CONV = "pointwise_conv"
+    LINEAR = "linear"
+
+
+@dataclass(frozen=True)
+class Conv2dLayer:
+    """A 2-D convolution layer (standard, depthwise or pointwise).
+
+    ``groups`` follows the usual convention: ``groups == in_channels ==
+    out_channels`` describes a depthwise convolution; ``kernel_size == 1``
+    a pointwise (1x1) convolution.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    input_height: int
+    input_width: int
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if min(
+            self.in_channels,
+            self.out_channels,
+            self.kernel_size,
+            self.stride,
+            self.input_height,
+            self.input_width,
+            self.groups,
+        ) <= 0:
+            raise ValueError(f"layer {self.name!r}: all dimensions must be positive")
+        if self.padding < 0:
+            raise ValueError(f"layer {self.name!r}: padding must be non-negative")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(
+                f"layer {self.name!r}: groups must divide both channel counts"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> LayerKind:
+        if self.groups == self.in_channels == self.out_channels and self.groups > 1:
+            return LayerKind.DEPTHWISE_CONV
+        if self.kernel_size == 1 and self.groups == 1:
+            return LayerKind.POINTWISE_CONV
+        return LayerKind.CONV
+
+    @property
+    def output_height(self) -> int:
+        return (self.input_height + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def output_width(self) -> int:
+        return (self.input_width + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def output_pixels(self) -> int:
+        """Spatial size of the output feature map (T of the GEMM)."""
+        return self.output_height * self.output_width
+
+    @property
+    def channels_per_group(self) -> int:
+        return self.in_channels // self.groups
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weight parameters of the layer."""
+        return (
+            self.out_channels
+            * self.channels_per_group
+            * self.kernel_size
+            * self.kernel_size
+        )
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations of one inference pass."""
+        return self.weight_count * self.output_pixels
+
+    def scaled_input(self, height: int, width: int) -> "Conv2dLayer":
+        """Copy of the layer with a different input resolution."""
+        return Conv2dLayer(
+            name=self.name,
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            kernel_size=self.kernel_size,
+            stride=self.stride,
+            padding=self.padding,
+            input_height=height,
+            input_width=width,
+            groups=self.groups,
+        )
+
+
+@dataclass(frozen=True)
+class LinearLayer:
+    """A fully-connected layer (the classifier head of each CNN)."""
+
+    name: str
+    in_features: int
+    out_features: int
+    tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_features, self.out_features, self.tokens) <= 0:
+            raise ValueError(f"layer {self.name!r}: all dimensions must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LINEAR
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def macs(self) -> int:
+        return self.weight_count * self.tokens
+
+
+#: Any layer descriptor the mapping accepts.
+Layer = Conv2dLayer | LinearLayer

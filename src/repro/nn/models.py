@@ -1,0 +1,394 @@
+"""Layer tables of the CNNs evaluated in the paper.
+
+Three models are provided, matching Section IV of the paper:
+
+* :func:`resnet34` -- ResNet-34 [He et al., CVPR 2016], the plain residual
+  trunk: the 7x7 stem plus the 32 3x3 convolutions of the four stages and
+  the classifier.  The paper numbers layers 1..34 in exactly this order;
+  the quoted GEMM shapes of layer 20, (M, N, T) = (256, 2304, 196), and of
+  layer 28, (512, 2304, 49), fall out of this table.
+* :func:`mobilenet_v1` -- MobileNetV1 [Howard et al., 2017]: the 3x3 stem,
+  13 depthwise-separable blocks and the classifier (28 layers).
+* :func:`convnext_tiny` -- ConvNeXt-T [Liu et al., CVPR 2022]: 4x4 stem,
+  stages of depths (3, 3, 9, 3) with dims (96, 192, 384, 768), three
+  2x2 downsampling convolutions and the classifier.
+
+The projection (1x1 downsample) shortcuts of ResNet-34 and all
+normalisation / activation / pooling layers are omitted -- they either do
+not lower to GEMMs or contribute negligibly, and the paper's layer
+numbering confirms they were not counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.gemm_mapping import GemmShape, model_to_gemms
+from repro.nn.layers import Conv2dLayer, Layer, LinearLayer
+
+
+@dataclass(frozen=True)
+class CnnModel:
+    """A named, ordered list of layer descriptors."""
+
+    name: str
+    input_resolution: int
+    layers: tuple[Layer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"model {self.name!r} has no layers")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def layer(self, index: int) -> Layer:
+        """Layer by 1-based index (the paper's numbering convention)."""
+        if not 1 <= index <= self.num_layers:
+            raise IndexError(
+                f"layer index {index} outside [1, {self.num_layers}] for {self.name}"
+            )
+        return self.layers[index - 1]
+
+    def gemms(self) -> list[GemmShape]:
+        """The ordered GEMM shapes of every layer."""
+        return model_to_gemms(list(self.layers))
+
+    def gemm(self, index: int) -> GemmShape:
+        """GEMM shape of a layer by 1-based index."""
+        return self.gemms()[index - 1]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(shape.macs for shape in self.gemms())
+
+
+# ---------------------------------------------------------------------- #
+# ResNet-34
+# ---------------------------------------------------------------------- #
+def resnet34(input_resolution: int = 224) -> CnnModel:
+    """ResNet-34 layer table (stem + 32 stage convolutions + classifier)."""
+    layers: list[Layer] = []
+    layers.append(
+        Conv2dLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=64,
+            kernel_size=7,
+            stride=2,
+            padding=3,
+            input_height=input_resolution,
+            input_width=input_resolution,
+        )
+    )
+    # Max pooling halves the resolution before stage conv2_x.
+    resolution = input_resolution // 4
+    stage_specs = [
+        ("conv2", 64, 64, 6, 1),
+        ("conv3", 64, 128, 8, 2),
+        ("conv4", 128, 256, 12, 2),
+        ("conv5", 256, 512, 6, 2),
+    ]
+    for stage_name, in_ch, out_ch, num_convs, first_stride in stage_specs:
+        for i in range(num_convs):
+            stride = first_stride if i == 0 else 1
+            cin = in_ch if i == 0 else out_ch
+            layers.append(
+                Conv2dLayer(
+                    name=f"{stage_name}_{i + 1}",
+                    in_channels=cin,
+                    out_channels=out_ch,
+                    kernel_size=3,
+                    stride=stride,
+                    padding=1,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+            if i == 0 and first_stride == 2:
+                resolution //= 2
+    layers.append(LinearLayer(name="fc", in_features=512, out_features=1000))
+    return CnnModel(name="ResNet-34", input_resolution=input_resolution, layers=tuple(layers))
+
+
+# ---------------------------------------------------------------------- #
+# MobileNetV1
+# ---------------------------------------------------------------------- #
+def mobilenet_v1(input_resolution: int = 224) -> CnnModel:
+    """MobileNetV1 layer table (stem + 13 depthwise-separable blocks + fc)."""
+    layers: list[Layer] = []
+    resolution = input_resolution // 2
+    layers.append(
+        Conv2dLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=32,
+            kernel_size=3,
+            stride=2,
+            padding=1,
+            input_height=input_resolution,
+            input_width=input_resolution,
+        )
+    )
+    # (input channels, output channels of the pointwise conv, depthwise stride)
+    block_specs = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ]
+    for index, (in_ch, out_ch, stride) in enumerate(block_specs, start=1):
+        layers.append(
+            Conv2dLayer(
+                name=f"dw{index}",
+                in_channels=in_ch,
+                out_channels=in_ch,
+                kernel_size=3,
+                stride=stride,
+                padding=1,
+                input_height=resolution,
+                input_width=resolution,
+                groups=in_ch,
+            )
+        )
+        if stride == 2:
+            resolution //= 2
+        layers.append(
+            Conv2dLayer(
+                name=f"pw{index}",
+                in_channels=in_ch,
+                out_channels=out_ch,
+                kernel_size=1,
+                stride=1,
+                padding=0,
+                input_height=resolution,
+                input_width=resolution,
+            )
+        )
+    layers.append(LinearLayer(name="fc", in_features=1024, out_features=1000))
+    return CnnModel(
+        name="MobileNetV1", input_resolution=input_resolution, layers=tuple(layers)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# ConvNeXt-Tiny
+# ---------------------------------------------------------------------- #
+def convnext_tiny(input_resolution: int = 224) -> CnnModel:
+    """ConvNeXt-T layer table (stem, 4 stages of ConvNeXt blocks, classifier)."""
+    layers: list[Layer] = []
+    dims = (96, 192, 384, 768)
+    depths = (3, 3, 9, 3)
+    expansion = 4
+
+    resolution = input_resolution // 4
+    layers.append(
+        Conv2dLayer(
+            name="stem",
+            in_channels=3,
+            out_channels=dims[0],
+            kernel_size=4,
+            stride=4,
+            padding=0,
+            input_height=input_resolution,
+            input_width=input_resolution,
+        )
+    )
+    for stage_index, (dim, depth) in enumerate(zip(dims, depths), start=1):
+        if stage_index > 1:
+            layers.append(
+                Conv2dLayer(
+                    name=f"downsample{stage_index - 1}",
+                    in_channels=dims[stage_index - 2],
+                    out_channels=dim,
+                    kernel_size=2,
+                    stride=2,
+                    padding=0,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+            resolution //= 2
+        for block in range(1, depth + 1):
+            prefix = f"stage{stage_index}_block{block}"
+            layers.append(
+                Conv2dLayer(
+                    name=f"{prefix}_dwconv",
+                    in_channels=dim,
+                    out_channels=dim,
+                    kernel_size=7,
+                    stride=1,
+                    padding=3,
+                    input_height=resolution,
+                    input_width=resolution,
+                    groups=dim,
+                )
+            )
+            layers.append(
+                Conv2dLayer(
+                    name=f"{prefix}_pwconv1",
+                    in_channels=dim,
+                    out_channels=dim * expansion,
+                    kernel_size=1,
+                    stride=1,
+                    padding=0,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+            layers.append(
+                Conv2dLayer(
+                    name=f"{prefix}_pwconv2",
+                    in_channels=dim * expansion,
+                    out_channels=dim,
+                    kernel_size=1,
+                    stride=1,
+                    padding=0,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+    layers.append(LinearLayer(name="head", in_features=dims[-1], out_features=1000))
+    return CnnModel(
+        name="ConvNeXt-T", input_resolution=input_resolution, layers=tuple(layers)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Additional workloads (not evaluated in the paper, provided for users who
+# want to study ArrayFlex on other popular CNN shapes)
+# ---------------------------------------------------------------------- #
+def resnet50(input_resolution: int = 224) -> CnnModel:
+    """ResNet-50 bottleneck trunk (1x1 / 3x3 / 1x1 blocks), without the
+    projection shortcuts, plus the classifier."""
+    layers: list[Layer] = []
+    layers.append(
+        Conv2dLayer(
+            name="conv1",
+            in_channels=3,
+            out_channels=64,
+            kernel_size=7,
+            stride=2,
+            padding=3,
+            input_height=input_resolution,
+            input_width=input_resolution,
+        )
+    )
+    resolution = input_resolution // 4
+    stage_specs = [
+        ("conv2", 64, 64, 3, 1),
+        ("conv3", 256, 128, 4, 2),
+        ("conv4", 512, 256, 6, 2),
+        ("conv5", 1024, 512, 3, 2),
+    ]
+    for stage_name, in_ch, mid_ch, num_blocks, first_stride in stage_specs:
+        for block in range(num_blocks):
+            stride = first_stride if block == 0 else 1
+            block_in = in_ch if block == 0 else 4 * mid_ch
+            prefix = f"{stage_name}_block{block + 1}"
+            layers.append(
+                Conv2dLayer(
+                    name=f"{prefix}_reduce",
+                    in_channels=block_in,
+                    out_channels=mid_ch,
+                    kernel_size=1,
+                    stride=1,
+                    padding=0,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+            layers.append(
+                Conv2dLayer(
+                    name=f"{prefix}_conv3x3",
+                    in_channels=mid_ch,
+                    out_channels=mid_ch,
+                    kernel_size=3,
+                    stride=stride,
+                    padding=1,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+            if stride == 2:
+                resolution //= 2
+            layers.append(
+                Conv2dLayer(
+                    name=f"{prefix}_expand",
+                    in_channels=mid_ch,
+                    out_channels=4 * mid_ch,
+                    kernel_size=1,
+                    stride=1,
+                    padding=0,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+    layers.append(LinearLayer(name="fc", in_features=2048, out_features=1000))
+    return CnnModel(name="ResNet-50", input_resolution=input_resolution, layers=tuple(layers))
+
+
+def vgg16(input_resolution: int = 224) -> CnnModel:
+    """VGG-16: thirteen 3x3 convolutions plus the three-layer classifier.
+
+    A classic large-T workload: every convolution keeps a big spatial
+    resolution, so the per-layer optimizer mostly stays in normal pipeline
+    mode -- a useful stress case for the mode-selection logic.
+    """
+    layers: list[Layer] = []
+    resolution = input_resolution
+    in_ch = 3
+    # (output channels, convolutions per stage)
+    stage_specs = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for stage_index, (out_ch, num_convs) in enumerate(stage_specs, start=1):
+        for conv in range(1, num_convs + 1):
+            layers.append(
+                Conv2dLayer(
+                    name=f"conv{stage_index}_{conv}",
+                    in_channels=in_ch,
+                    out_channels=out_ch,
+                    kernel_size=3,
+                    stride=1,
+                    padding=1,
+                    input_height=resolution,
+                    input_width=resolution,
+                )
+            )
+            in_ch = out_ch
+        resolution //= 2  # max pooling after every stage
+    layers.append(
+        LinearLayer(name="fc6", in_features=512 * resolution * resolution, out_features=4096)
+    )
+    layers.append(LinearLayer(name="fc7", in_features=4096, out_features=4096))
+    layers.append(LinearLayer(name="fc8", in_features=4096, out_features=1000))
+    return CnnModel(name="VGG-16", input_resolution=input_resolution, layers=tuple(layers))
+
+
+# ---------------------------------------------------------------------- #
+def model_zoo(input_resolution: int = 224) -> dict[str, CnnModel]:
+    """The three CNNs of the paper's evaluation, keyed by name."""
+    models = [
+        resnet34(input_resolution),
+        mobilenet_v1(input_resolution),
+        convnext_tiny(input_resolution),
+    ]
+    return {model.name: model for model in models}
+
+
+def extended_model_zoo(input_resolution: int = 224) -> dict[str, CnnModel]:
+    """The paper's three CNNs plus ResNet-50 and VGG-16."""
+    models = dict(model_zoo(input_resolution))
+    for model in (resnet50(input_resolution), vgg16(input_resolution)):
+        models[model.name] = model
+    return models

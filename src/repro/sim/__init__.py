@@ -1,0 +1,41 @@
+"""Cycle-accurate simulation of the weight-stationary systolic array.
+
+This package is the SCALE-Sim-style substrate of the reproduction: a fast,
+NumPy-vectorised, cycle-by-cycle simulator of the weight-stationary
+dataflow for both the conventional fixed pipeline (k = 1) and ArrayFlex's
+collapsed (shallow) pipelines (k >= 2).
+
+Modules
+-------
+* :mod:`repro.sim.systolic_sim` -- the per-tile cycle simulator.  It
+  produces the exact integer GEMM result, the exact cycle count (which the
+  tests compare against Eqs. 1 and 3), PE-utilisation statistics and the
+  clocked/gated register counts that anchor the power model.
+* :mod:`repro.sim.tiling` -- decomposition of an arbitrary (T, N, M) GEMM
+  into array-sized tiles (Fig. 1(c)) and the tiled execution driver with
+  south-edge accumulation.
+* :mod:`repro.sim.engine` -- a small phase-based simulation engine
+  (weight load, streaming, drain) with hooks for tracing.
+* :mod:`repro.sim.trace` -- per-cycle traces of array activity.
+* :mod:`repro.sim.stats` -- aggregated simulation statistics.
+"""
+
+from repro.sim.stats import SimulationStats
+from repro.sim.systolic_sim import CycleAccurateSystolicArray, TileSimResult
+from repro.sim.tiling import TileSpec, TiledGemmResult, TilingPlan, run_tiled_gemm
+from repro.sim.trace import CycleTrace, TraceEvent
+from repro.sim.engine import SimulationEngine, SimulationPhase
+
+__all__ = [
+    "CycleAccurateSystolicArray",
+    "TileSimResult",
+    "TilingPlan",
+    "TileSpec",
+    "TiledGemmResult",
+    "run_tiled_gemm",
+    "SimulationStats",
+    "CycleTrace",
+    "TraceEvent",
+    "SimulationEngine",
+    "SimulationPhase",
+]

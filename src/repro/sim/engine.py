@@ -1,0 +1,116 @@
+"""A small phase-based simulation engine.
+
+The cycle simulator in :mod:`repro.sim.systolic_sim` handles one tile; this
+engine strings tiles (and their phases) together, keeps a global cycle
+counter, and gives callers hook points -- which the examples use to print
+progress and the tests use to check phase ordering and cycle bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.sim.stats import SimulationStats
+from repro.sim.systolic_sim import CycleAccurateSystolicArray
+from repro.sim.tiling import TilingPlan
+
+
+class SimulationPhase(Enum):
+    """Phases of executing one tile on the weight-stationary array."""
+
+    WEIGHT_LOAD = "weight_load"
+    STREAM = "stream"
+    DRAIN = "drain"
+
+
+@dataclass
+class PhaseRecord:
+    """One executed phase: which tile, which phase, how many cycles."""
+
+    tile_index: int
+    phase: SimulationPhase
+    cycles: int
+    start_cycle: int
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.cycles
+
+
+class SimulationEngine:
+    """Drives a tiled GEMM through the cycle-accurate array, phase by phase."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        collapse_depth: int = 1,
+        configurable: bool = True,
+        on_phase: Callable[[PhaseRecord], None] | None = None,
+    ) -> None:
+        self.array = CycleAccurateSystolicArray(
+            rows=rows,
+            cols=cols,
+            collapse_depth=collapse_depth,
+            configurable=configurable,
+        )
+        self.rows = rows
+        self.cols = cols
+        self.collapse_depth = collapse_depth
+        self.on_phase = on_phase
+        self.global_cycle = 0
+        self.phase_log: list[PhaseRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def _record_phase(self, tile_index: int, phase: SimulationPhase, cycles: int) -> None:
+        record = PhaseRecord(
+            tile_index=tile_index,
+            phase=phase,
+            cycles=cycles,
+            start_cycle=self.global_cycle,
+        )
+        self.phase_log.append(record)
+        self.global_cycle += cycles
+        if self.on_phase is not None:
+            self.on_phase(record)
+
+    # ------------------------------------------------------------------ #
+    def run_gemm(self, a_matrix: np.ndarray, b_matrix: np.ndarray) -> tuple[np.ndarray, SimulationStats]:
+        """Run A @ B tile by tile, logging phases; returns (output, stats)."""
+        a_matrix = np.asarray(a_matrix, dtype=np.int64)
+        b_matrix = np.asarray(b_matrix, dtype=np.int64)
+        t_rows, n_dim = a_matrix.shape
+        m_dim = b_matrix.shape[1]
+        plan = TilingPlan(n_dim=n_dim, m_dim=m_dim, rows=self.rows, cols=self.cols)
+
+        output = np.zeros((t_rows, m_dim), dtype=np.int64)
+        stats = SimulationStats()
+        k = self.collapse_depth
+
+        for tile_index, spec in enumerate(plan.tiles()):
+            a_tile = a_matrix[:, spec.n_start : spec.n_stop]
+            b_tile = b_matrix[spec.n_start : spec.n_stop, spec.m_start : spec.m_stop]
+            result = self.array.simulate_tile(a_tile, b_tile)
+            output[:, spec.m_start : spec.m_stop] += result.output
+            stats.merge(result.stats)
+
+            # Split the measured compute cycles into the streaming window
+            # (first to last west-edge injection) and the drain tail.
+            stream_cycles = t_rows + self.rows // k - 1
+            drain_cycles = result.stats.compute_cycles - stream_cycles
+            self._record_phase(
+                tile_index, SimulationPhase.WEIGHT_LOAD, result.stats.weight_load_cycles
+            )
+            self._record_phase(tile_index, SimulationPhase.STREAM, stream_cycles)
+            self._record_phase(tile_index, SimulationPhase.DRAIN, max(drain_cycles, 0))
+
+        return output, stats
+
+    # ------------------------------------------------------------------ #
+    def phase_cycles(self, phase: SimulationPhase) -> int:
+        """Total cycles spent in one phase across all executed tiles."""
+        return sum(record.cycles for record in self.phase_log if record.phase is phase)

@@ -1,0 +1,84 @@
+"""Per-cycle traces of array activity.
+
+Traces are optional (they cost memory proportional to the number of cycles)
+and are mainly consumed by tests, debugging sessions and the examples that
+want to show *when* outputs pop out of the south edge of the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event of a simulation cycle."""
+
+    cycle: int
+    kind: str
+    detail: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[cycle {self.cycle:5d}] {self.kind}: {details}"
+
+
+class CycleTrace:
+    """An append-only, filterable log of :class:`TraceEvent` records."""
+
+    #: Event kinds emitted by the simulator.
+    WEIGHT_LOAD = "weight_load"
+    INPUT_INJECTED = "input_injected"
+    OUTPUT_CAPTURED = "output_captured"
+    PHASE = "phase"
+
+    def __init__(self, enabled: bool = True, max_events: int | None = None) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: list[TraceEvent] = []
+        self.dropped_events = 0
+
+    def record(self, cycle: int, kind: str, **detail: int) -> None:
+        """Append one event (silently dropped when tracing is disabled/full)."""
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._events.append(TraceEvent(cycle=cycle, kind=kind, detail=dict(detail)))
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """All events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def first_cycle(self, kind: str) -> int | None:
+        """Cycle of the first event of the given kind, or None."""
+        for event in self._events:
+            if event.kind == kind:
+                return event.cycle
+        return None
+
+    def last_cycle(self, kind: str) -> int | None:
+        """Cycle of the last event of the given kind, or None."""
+        result: int | None = None
+        for event in self._events:
+            if event.kind == kind:
+                result = event.cycle
+        return result
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per kind."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

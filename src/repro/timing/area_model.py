@@ -1,0 +1,175 @@
+"""Area model of conventional and ArrayFlex processing elements and arrays.
+
+The paper quantifies the cost of pipeline-depth reconfigurability from the
+physical layouts of two 8×8 arrays (Fig. 6): the ArrayFlex PE is about 16%
+larger than a conventional PE, the extra area being consumed by the 3:2
+carry-save adder, the bypass multiplexers and (marginally) the two
+configuration bits per PE.
+
+This module reproduces that comparison analytically.  Component areas are
+derived from the gate counts of the bit-level models in
+:mod:`repro.arith`, times a per-gate area from the technology model.  Two
+overhead figures are reported:
+
+* the *structural* overhead -- purely from gate counts of the added cells;
+* the *layout* overhead -- the structural extra area multiplied by the
+  technology's ``layout_overhead_factor``, which accounts for placement,
+  routing, clock-gating cells and configuration distribution that a gate
+  count cannot see.  The default factor is calibrated so the layout
+  overhead lands at the paper's ~16%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith.adders import ripple_carry_gate_count
+from repro.arith.csa import csa_gate_count
+from repro.arith.multiplier import multiplier_gate_count
+from repro.timing.technology import TechnologyModel
+
+
+@dataclass(frozen=True)
+class PEAreaBreakdown:
+    """Component-wise area of one processing element (um^2)."""
+
+    multiplier: float
+    adder: float
+    registers: float
+    carry_save_adder: float
+    bypass_muxes: float
+    config_bits: float
+    layout_overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.multiplier
+            + self.adder
+            + self.registers
+            + self.carry_save_adder
+            + self.bypass_muxes
+            + self.config_bits
+            + self.layout_overhead
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "multiplier": self.multiplier,
+            "adder": self.adder,
+            "registers": self.registers,
+            "carry_save_adder": self.carry_save_adder,
+            "bypass_muxes": self.bypass_muxes,
+            "config_bits": self.config_bits,
+            "layout_overhead": self.layout_overhead,
+            "total": self.total,
+        }
+
+
+class AreaModel:
+    """Computes PE and array areas for both accelerator variants."""
+
+    #: Gate equivalents of a 2:1 multiplexer, per bit.
+    MUX_GATE_EQUIV_PER_BIT = 1.0
+    #: Number of bypass multiplexers per ArrayFlex PE: one on the
+    #: horizontal (input-width) path and one per vector of the vertical
+    #: carry-save pair (sum and carry, accumulator width each).
+    HORIZONTAL_MUXES = 1
+    VERTICAL_MUXES = 2
+    #: Configuration bits per PE (one per direction, paper Section III-B).
+    CONFIG_BITS = 2
+
+    def __init__(self, technology: TechnologyModel | None = None) -> None:
+        self.technology = technology or TechnologyModel.default_28nm()
+
+    # ------------------------------------------------------------------ #
+    # Per-PE register complement
+    # ------------------------------------------------------------------ #
+    def register_bits_per_pe(self) -> int:
+        """Pipeline register bits per PE (both variants).
+
+        Weight register (input width, stationary), horizontal activation
+        register (input width) and vertical partial-sum register
+        (accumulator width).
+        """
+        tech = self.technology
+        return 2 * tech.input_width + tech.accum_width
+
+    # ------------------------------------------------------------------ #
+    # Areas
+    # ------------------------------------------------------------------ #
+    def _gate_area(self, gate_equivalents: float) -> float:
+        return gate_equivalents * self.technology.area_per_gate_um2
+
+    def conventional_pe_area(self) -> PEAreaBreakdown:
+        """Area of one conventional (fixed-pipeline) PE."""
+        tech = self.technology
+        return PEAreaBreakdown(
+            multiplier=self._gate_area(multiplier_gate_count(tech.input_width)),
+            adder=self._gate_area(ripple_carry_gate_count(tech.accum_width)),
+            registers=self._gate_area(
+                self.register_bits_per_pe() * tech.reg_bit_gate_equivalents
+            ),
+            carry_save_adder=0.0,
+            bypass_muxes=0.0,
+            config_bits=0.0,
+            layout_overhead=0.0,
+        )
+
+    def arrayflex_pe_area(self) -> PEAreaBreakdown:
+        """Area of one ArrayFlex (configurable-pipeline) PE."""
+        tech = self.technology
+        base = self.conventional_pe_area()
+
+        csa_area = self._gate_area(csa_gate_count(tech.accum_width))
+        mux_gate_equiv = self.MUX_GATE_EQUIV_PER_BIT * (
+            self.HORIZONTAL_MUXES * tech.input_width
+            + self.VERTICAL_MUXES * tech.accum_width
+        )
+        mux_area = self._gate_area(mux_gate_equiv)
+        config_area = self._gate_area(
+            self.CONFIG_BITS * tech.reg_bit_gate_equivalents
+        )
+        structural_extra = csa_area + mux_area + config_area
+        layout_extra = structural_extra * (tech.layout_overhead_factor - 1.0)
+
+        return PEAreaBreakdown(
+            multiplier=base.multiplier,
+            adder=base.adder,
+            registers=base.registers,
+            carry_save_adder=csa_area,
+            bypass_muxes=mux_area,
+            config_bits=config_area,
+            layout_overhead=layout_extra,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Overheads and array totals
+    # ------------------------------------------------------------------ #
+    def pe_structural_overhead(self) -> float:
+        """Fractional PE area overhead counting only the added gates."""
+        conventional = self.conventional_pe_area().total
+        arrayflex = self.arrayflex_pe_area()
+        structural_total = arrayflex.total - arrayflex.layout_overhead
+        return structural_total / conventional - 1.0
+
+    def pe_area_overhead(self) -> float:
+        """Fractional PE area overhead including layout effects (paper: ~16%)."""
+        conventional = self.conventional_pe_area().total
+        arrayflex = self.arrayflex_pe_area().total
+        return arrayflex / conventional - 1.0
+
+    def array_area_um2(self, rows: int, cols: int, configurable: bool) -> float:
+        """Total PE-array area for an ``rows × cols`` array of either variant."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        pe_area = (
+            self.arrayflex_pe_area().total
+            if configurable
+            else self.conventional_pe_area().total
+        )
+        return rows * cols * pe_area
+
+    def array_area_mm2(self, rows: int, cols: int, configurable: bool) -> float:
+        """Array area in mm^2 (convenience for reporting)."""
+        return self.array_area_um2(rows, cols, configurable) / 1e6

@@ -1,0 +1,205 @@
+"""Power model of conventional and ArrayFlex systolic arrays.
+
+The paper's power argument (Section IV-B) rests on three effects:
+
+1. ArrayFlex has *more* switched capacitance per PE than a conventional SA
+   (carry-save adder, bypass multiplexers, configuration bits), so in
+   normal pipeline mode it consumes slightly more power even at its lower
+   1.8 GHz clock.
+2. In shallow pipeline mode the clock frequency drops further
+   (1.7 / 1.4 GHz for k = 2 / 4), cutting dynamic power proportionally.
+3. The bypassed (transparent) pipeline registers are clock gated: for a
+   collapse depth of k, only one of every k horizontal registers and one of
+   every k vertical partial-sum registers is clocked, removing most of the
+   register and clock-tree power inside collapsed groups.  Only one
+   carry-propagate adder per k-group remains active.
+
+This module composes per-PE energy-per-cycle figures from the technology
+parameters, converts them to power at the per-mode operating frequency and
+aggregates them over an R × C array.  Average power over a full CNN run is
+the energy-weighted combination produced by :mod:`repro.core.energy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.area_model import AreaModel
+from repro.timing.technology import TechnologyModel
+
+
+@dataclass(frozen=True)
+class PEEnergyBreakdown:
+    """Average per-PE energy per clock cycle (pJ), split by component."""
+
+    multiplier: float
+    carry_propagate_adder: float
+    carry_save_adder: float
+    bypass_muxes: float
+    register_data: float
+    register_clock: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.multiplier
+            + self.carry_propagate_adder
+            + self.carry_save_adder
+            + self.bypass_muxes
+            + self.register_data
+            + self.register_clock
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "multiplier": self.multiplier,
+            "carry_propagate_adder": self.carry_propagate_adder,
+            "carry_save_adder": self.carry_save_adder,
+            "bypass_muxes": self.bypass_muxes,
+            "register_data": self.register_data,
+            "register_clock": self.register_clock,
+            "total": self.total,
+        }
+
+
+class PowerModel:
+    """Per-PE and per-array power for both accelerator variants."""
+
+    #: Bypass multiplexer instances per ArrayFlex PE (one horizontal, two
+    #: vertical -- sum and carry vectors of the carry-save pair).
+    MUXES_PER_PE = 3
+
+    def __init__(self, technology: TechnologyModel | None = None) -> None:
+        self.technology = technology or TechnologyModel.default_28nm()
+        self._area_model = AreaModel(self.technology)
+
+    # ------------------------------------------------------------------ #
+    # Per-PE energy per cycle
+    # ------------------------------------------------------------------ #
+    def conventional_pe_energy(self, activity: float = 1.0) -> PEEnergyBreakdown:
+        """Energy per cycle of a conventional PE while streaming data.
+
+        ``activity`` scales the datapath (multiplier, adder, register data)
+        energy to model partially idle cycles; clock power is unaffected
+        because the conventional array does not gate its pipeline
+        registers while a tile is in flight.
+        """
+        self._check_activity(activity)
+        tech = self.technology
+        data_bits = tech.input_width + tech.accum_width
+        clocked_bits = 2 * tech.input_width + tech.accum_width
+        return PEEnergyBreakdown(
+            multiplier=tech.e_mul_pj * activity,
+            carry_propagate_adder=tech.e_add_pj * activity,
+            carry_save_adder=0.0,
+            bypass_muxes=0.0,
+            register_data=tech.e_reg_bit_pj * data_bits * activity,
+            register_clock=tech.e_clk_bit_pj * clocked_bits,
+        )
+
+    def arrayflex_pe_energy(
+        self, collapse_depth: int, activity: float = 1.0
+    ) -> PEEnergyBreakdown:
+        """Average energy per cycle of an ArrayFlex PE in mode ``collapse_depth``.
+
+        The figures are averaged over one collapsed group of k PEs: every
+        PE's multiplier, carry-save adder and bypass multiplexers switch,
+        but only one carry-propagate adder, one horizontal register and one
+        vertical partial-sum register per group remain active; the bypassed
+        registers are clock gated.
+        """
+        self._check_activity(activity)
+        if collapse_depth < 1:
+            raise ValueError("collapse depth must be >= 1")
+        tech = self.technology
+        k = collapse_depth
+
+        multiplier = tech.e_mul_pj * activity
+        carry_save = tech.e_csa_pj * activity
+        muxes = self.MUXES_PER_PE * tech.e_mux_pj * activity
+        carry_propagate = tech.e_add_pj * activity / k
+
+        # One of every k horizontal (input-width) registers and one of every
+        # k vertical (accumulator-width) registers stores data; the rest are
+        # transparent.
+        register_data = (
+            tech.e_reg_bit_pj
+            * (tech.input_width + tech.accum_width)
+            * activity
+            / k
+        )
+
+        # Clocked bits per PE: the stationary weight register plus the
+        # non-bypassed share of the pipeline registers plus the two
+        # configuration bits.  Bypassed registers are clock gated.
+        clocked_bits = (
+            tech.input_width
+            + (tech.input_width + tech.accum_width) / k
+            + AreaModel.CONFIG_BITS
+        )
+        register_clock = tech.e_clk_bit_pj * clocked_bits
+
+        return PEEnergyBreakdown(
+            multiplier=multiplier,
+            carry_propagate_adder=carry_propagate,
+            carry_save_adder=carry_save,
+            bypass_muxes=muxes,
+            register_data=register_data,
+            register_clock=register_clock,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Leakage
+    # ------------------------------------------------------------------ #
+    def conventional_pe_leakage_mw(self) -> float:
+        return self.technology.p_leak_pe_mw
+
+    def arrayflex_pe_leakage_mw(self) -> float:
+        """ArrayFlex leakage scales with its PE area overhead."""
+        overhead = self._area_model.pe_area_overhead()
+        return self.technology.p_leak_pe_mw * (1.0 + overhead)
+
+    # ------------------------------------------------------------------ #
+    # Array power
+    # ------------------------------------------------------------------ #
+    def conventional_array_power_mw(
+        self,
+        rows: int,
+        cols: int,
+        frequency_ghz: float,
+        activity: float = 1.0,
+    ) -> float:
+        """Total power of a conventional R × C array at ``frequency_ghz``."""
+        self._check_array(rows, cols, frequency_ghz)
+        energy = self.conventional_pe_energy(activity).total
+        dynamic = energy * frequency_ghz  # pJ * GHz = mW
+        return rows * cols * (dynamic + self.conventional_pe_leakage_mw())
+
+    def arrayflex_array_power_mw(
+        self,
+        rows: int,
+        cols: int,
+        collapse_depth: int,
+        frequency_ghz: float,
+        activity: float = 1.0,
+    ) -> float:
+        """Total power of an ArrayFlex R × C array in one pipeline mode."""
+        self._check_array(rows, cols, frequency_ghz)
+        energy = self.arrayflex_pe_energy(collapse_depth, activity).total
+        dynamic = energy * frequency_ghz
+        return rows * cols * (dynamic + self.arrayflex_pe_leakage_mw())
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_activity(activity: float) -> None:
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be within [0, 1], got {activity}")
+
+    @staticmethod
+    def _check_array(rows: int, cols: int, frequency_ghz: float) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")

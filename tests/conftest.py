@@ -1,0 +1,30 @@
+"""Shared fixtures of the test suite."""
+
+import pytest
+
+from repro.core.config import ArrayFlexConfig
+from repro.timing.technology import TechnologyModel
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The default calibrated 28 nm technology model."""
+    return TechnologyModel.default_28nm()
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A small 16x16 ArrayFlex configuration, cheap enough for cycle simulation."""
+    return ArrayFlexConfig(rows=16, cols=16, supported_depths=(1, 2, 4))
+
+
+@pytest.fixture(scope="session")
+def paper_config_128():
+    """The paper's main 128x128 configuration."""
+    return ArrayFlexConfig.paper_128x128()
+
+
+@pytest.fixture(scope="session")
+def paper_config_256():
+    """The paper's large 256x256 configuration."""
+    return ArrayFlexConfig.paper_256x256()

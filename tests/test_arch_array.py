@@ -1,0 +1,113 @@
+"""Tests for the structural (object-per-element) systolic array model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.array import SystolicArrayModel
+from repro.core.latency import arrayflex_tile_cycles, conventional_tile_cycles
+from repro.nn.workloads import random_int_matrices
+
+
+def _run(rows, cols, k, t_rows, rows_used=None, cols_used=None, configurable=True, seed=0):
+    rows_used = rows_used or rows
+    cols_used = cols_used or cols
+    a_tile, b_tile = random_int_matrices(t_rows, rows_used, cols_used, seed=seed)
+    array = SystolicArrayModel(rows, cols, configurable=configurable)
+    array.configure(k)
+    result = array.execute_tile(a_tile, b_tile)
+    return a_tile, b_tile, result
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_full_tile_product_matches_numpy(self, k):
+        a_tile, b_tile, result = _run(rows=8, cols=8, k=k, t_rows=6, seed=k)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_partial_tile(self):
+        a_tile, b_tile, result = _run(rows=8, cols=8, k=2, t_rows=5, rows_used=5, cols_used=3)
+        assert result.output.shape == (5, 3)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_conventional_array_product(self):
+        a_tile, b_tile, result = _run(rows=6, cols=6, k=1, t_rows=4, configurable=False)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_single_row_stream(self):
+        a_tile, b_tile, result = _run(rows=4, cols=4, k=2, t_rows=1)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_negative_values(self):
+        a_tile = np.array([[-3, 2, -1, 4]], dtype=np.int64)
+        b_tile = -np.arange(16, dtype=np.int64).reshape(4, 4)
+        array = SystolicArrayModel(4, 4)
+        array.configure(4)
+        result = array.execute_tile(a_tile, b_tile)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+
+class TestCycleCounts:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_total_cycles_match_eq3(self, k):
+        _, _, result = _run(rows=8, cols=8, k=k, t_rows=7)
+        assert result.total_cycles == arrayflex_tile_cycles(8, 8, 7, k)
+
+    def test_conventional_cycles_match_eq1(self):
+        _, _, result = _run(rows=8, cols=8, k=1, t_rows=7, configurable=False)
+        assert result.total_cycles == conventional_tile_cycles(8, 8, 7)
+
+    def test_weight_load_is_r_cycles(self):
+        _, _, result = _run(rows=8, cols=4, k=1, t_rows=3)
+        assert result.weight_load_cycles == 8
+
+    def test_shallow_mode_needs_fewer_cycles(self):
+        _, _, normal = _run(rows=8, cols=8, k=1, t_rows=4)
+        _, _, shallow = _run(rows=8, cols=8, k=4, t_rows=4)
+        assert shallow.total_cycles < normal.total_cycles
+
+
+class TestActivityAndConfig:
+    def test_mac_count_positive(self):
+        _, _, result = _run(rows=4, cols=4, k=2, t_rows=3)
+        assert result.mac_operations > 0
+
+    def test_gated_registers_only_in_shallow_mode(self):
+        _, _, normal = _run(rows=4, cols=4, k=1, t_rows=3)
+        _, _, shallow = _run(rows=4, cols=4, k=2, t_rows=3)
+        assert normal.gated_register_cycles == 0
+        assert shallow.gated_register_cycles > 0
+        assert 0.0 < shallow.gated_register_fraction < 1.0
+
+    def test_conventional_rejects_shallow_configuration(self):
+        array = SystolicArrayModel(4, 4, configurable=False)
+        with pytest.raises(ValueError):
+            array.configure(2)
+
+    def test_illegal_depth_rejected(self):
+        array = SystolicArrayModel(4, 4)
+        with pytest.raises(ValueError):
+            array.configure(3)
+
+    def test_gated_register_fraction_matches_plane(self):
+        array = SystolicArrayModel(8, 8)
+        array.configure(4)
+        assert array.gated_register_fraction() == pytest.approx(0.75)
+
+    def test_oversized_tile_rejected(self):
+        array = SystolicArrayModel(4, 4)
+        with pytest.raises(ValueError):
+            array.execute_tile(np.ones((2, 5)), np.ones((5, 4)))
+
+    def test_mismatched_operands_rejected(self):
+        array = SystolicArrayModel(4, 4)
+        with pytest.raises(ValueError):
+            array.execute_tile(np.ones((2, 3)), np.ones((4, 4)))
+
+
+class TestBitLevelMode:
+    def test_bitlevel_small_array_matches_numpy(self):
+        a_tile, b_tile = random_int_matrices(2, 3, 3, seed=5, low=-8, high=7)
+        array = SystolicArrayModel(3, 3, use_bitlevel=True, input_width=8, accum_width=16)
+        array.configure(1)
+        result = array.execute_tile(a_tile, b_tile)
+        assert np.array_equal(result.output, a_tile @ b_tile)

@@ -1,0 +1,111 @@
+"""Tests for the configuration plane (per-PE config bits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.control import ConfigurationPlane, PEConfigBits
+
+
+class TestLegality:
+    def test_depth_must_divide_dimensions(self):
+        plane = ConfigurationPlane(128, 128)
+        assert plane.is_legal_depth(1)
+        assert plane.is_legal_depth(2)
+        assert plane.is_legal_depth(4)
+        assert not plane.is_legal_depth(3)
+
+    def test_k3_legal_on_132(self):
+        """Fig. 5 uses a 132x132 array precisely so k = 3 divides it."""
+        plane = ConfigurationPlane(132, 132)
+        assert plane.is_legal_depth(3)
+
+    def test_depth_zero_illegal(self):
+        assert not ConfigurationPlane(8, 8).is_legal_depth(0)
+
+    def test_rectangular_array(self):
+        plane = ConfigurationPlane(8, 16)
+        assert plane.is_legal_depth(8)
+        assert not plane.is_legal_depth(16)
+
+    def test_check_depth_raises(self):
+        with pytest.raises(ValueError):
+            ConfigurationPlane(8, 8).check_depth(3)
+
+    def test_legal_depths_listing(self):
+        assert ConfigurationPlane(8, 8).legal_depths() == [1, 2, 4, 8]
+        assert ConfigurationPlane(8, 8).legal_depths(max_depth=4) == [1, 2, 4]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ConfigurationPlane(0, 8)
+
+
+class TestPerPEConfig:
+    def test_normal_mode_all_opaque(self):
+        plane = ConfigurationPlane(4, 4)
+        for r in range(4):
+            for c in range(4):
+                bits = plane.pe_config(r, c, 1)
+                assert bits == PEConfigBits(False, False)
+
+    def test_k2_alternating_pattern(self):
+        plane = ConfigurationPlane(4, 4)
+        # Row 0 (top of its group) is vertically transparent, row 1 is not.
+        assert plane.pe_config(0, 1, 2).vertical_transparent
+        assert not plane.pe_config(1, 1, 2).vertical_transparent
+        # Column 0 (left of its group) is horizontally transparent, col 1 not.
+        assert plane.pe_config(2, 0, 2).horizontal_transparent
+        assert not plane.pe_config(2, 1, 2).horizontal_transparent
+
+    def test_bottom_row_always_opaque_vertically(self):
+        plane = ConfigurationPlane(8, 8)
+        for k in (1, 2, 4, 8):
+            for c in range(8):
+                assert not plane.pe_config(7, c, k).vertical_transparent
+
+    def test_out_of_range_coordinates(self):
+        with pytest.raises(ValueError):
+            ConfigurationPlane(4, 4).pe_config(4, 0, 1)
+
+    def test_config_matrix_matches_pe_config(self):
+        plane = ConfigurationPlane(8, 8)
+        matrix = plane.config_matrix(4)
+        for r in range(8):
+            for c in range(8):
+                bits = plane.pe_config(r, c, 4)
+                assert matrix[r, c, 0] == bits.horizontal_transparent
+                assert matrix[r, c, 1] == bits.vertical_transparent
+
+    def test_config_bits_tuple(self):
+        assert PEConfigBits(True, False).as_tuple() == (True, False)
+
+
+class TestGatingAccounting:
+    @given(st.sampled_from([(8, 8), (16, 16), (128, 128), (12, 24)]), st.data())
+    def test_gated_fraction_is_k_minus_1_over_k(self, dims, data):
+        """The fraction of transparent registers equals (k-1)/k -- the exact
+        factor the analytical power model assumes."""
+        rows, cols = dims
+        plane = ConfigurationPlane(rows, cols)
+        k = data.draw(st.sampled_from(plane.legal_depths(max_depth=min(rows, cols))))
+        assert plane.gated_fraction(k) == pytest.approx((k - 1) / k)
+
+    def test_transparent_register_counts(self):
+        plane = ConfigurationPlane(4, 4)
+        counts = plane.transparent_register_counts(2)
+        assert counts["horizontal"] == 8  # half of the 16 horizontal registers
+        assert counts["vertical"] == 8
+
+    def test_normal_mode_gates_nothing(self):
+        counts = ConfigurationPlane(8, 8).transparent_register_counts(1)
+        assert counts == {"horizontal": 0, "vertical": 0}
+
+    def test_config_load_is_free(self):
+        """Config bits ride along with the weight preload (Section III-B)."""
+        assert ConfigurationPlane(8, 8).config_load_cycles() == 0
+
+    def test_config_matrix_dtype_and_shape(self):
+        matrix = ConfigurationPlane(6, 4).config_matrix(2)
+        assert matrix.shape == (6, 4, 2)
+        assert matrix.dtype == np.bool_

@@ -1,0 +1,132 @@
+"""Tests for the weight-stationary skew schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.dataflow import WeightStationaryDataflow
+from repro.core.latency import arrayflex_tile_cycles, conventional_tile_cycles
+
+
+class TestConstruction:
+    def test_depth_must_divide_dimensions(self):
+        with pytest.raises(ValueError):
+            WeightStationaryDataflow(8, 8, collapse_depth=3)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            WeightStationaryDataflow(0, 8)
+        with pytest.raises(ValueError):
+            WeightStationaryDataflow(8, 8, collapse_depth=0)
+
+
+class TestNormalModeSchedule:
+    def test_skew_is_one_cycle_per_row(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        assert dataflow.input_arrival_cycle(t_index=0, row=0) == 0
+        assert dataflow.input_arrival_cycle(t_index=0, row=3) == 3
+        assert dataflow.input_arrival_cycle(t_index=5, row=2) == 7
+
+    def test_pe_visibility_adds_column_delay(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        assert dataflow.pe_activation_cycle(0, 0, 3) == 3
+        assert dataflow.pe_activation_cycle(2, 1, 2) == 5
+
+    def test_output_ready_cycle(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        # First output of column 0 is ready after the reduction fills (R-1 rows).
+        assert dataflow.output_ready_cycle(0, 0) == 3
+
+    def test_tile_latency_matches_eq1(self):
+        dataflow = WeightStationaryDataflow(8, 8, 1)
+        assert dataflow.tile_latency_cycles(t_rows=10) == conventional_tile_cycles(8, 8, 10)
+
+
+class TestShallowModeSchedule:
+    def test_skew_is_one_cycle_per_group(self):
+        """Paper: 'the first (and last) elements of matrix A arrive in
+        batches of k words'."""
+        dataflow = WeightStationaryDataflow(8, 8, 4)
+        assert dataflow.input_arrival_cycle(0, 0) == 0
+        assert dataflow.input_arrival_cycle(0, 3) == 0  # same group
+        assert dataflow.input_arrival_cycle(0, 4) == 1  # next group
+
+    def test_horizontal_broadcast_within_group(self):
+        dataflow = WeightStationaryDataflow(8, 8, 2)
+        assert dataflow.pe_activation_cycle(0, 0, 0) == dataflow.pe_activation_cycle(0, 0, 1)
+        assert dataflow.pe_activation_cycle(0, 0, 2) == dataflow.pe_activation_cycle(0, 0, 0) + 1
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_tile_latency_matches_eq3(self, k):
+        dataflow = WeightStationaryDataflow(8, 8, k)
+        assert dataflow.tile_latency_cycles(12) == arrayflex_tile_cycles(8, 8, 12, k)
+
+    @given(
+        st.sampled_from([(4, 4), (8, 8), (8, 16), (16, 8)]),
+        st.sampled_from([1, 2, 4]),
+        st.integers(1, 64),
+    )
+    def test_latency_formula_holds_generally(self, dims, k, t_rows):
+        rows, cols = dims
+        dataflow = WeightStationaryDataflow(rows, cols, k)
+        # Eq. (3): R (weight load) + R/k + C/k + T - 2, with ceiling division.
+        expected = rows + -(-rows // k) + -(-cols // k) + t_rows - 2
+        assert dataflow.tile_latency_cycles(t_rows) == expected
+        assert dataflow.tile_latency_cycles(t_rows) == arrayflex_tile_cycles(
+            rows, cols, t_rows, k
+        )
+
+
+class TestStreamConstruction:
+    def test_west_edge_schedule_shape(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        schedule = dataflow.west_edge_schedule(t_rows=5)
+        assert schedule.shape == (dataflow.compute_cycles(5), 4)
+
+    def test_every_activation_scheduled_exactly_once(self):
+        dataflow = WeightStationaryDataflow(4, 4, 2)
+        schedule = dataflow.west_edge_schedule(t_rows=6)
+        for row in range(4):
+            valid = schedule[:, row][schedule[:, row] >= 0]
+            assert sorted(valid.tolist()) == list(range(6))
+
+    def test_skewed_stream_places_values(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        a_tile = np.arange(1, 9).reshape(2, 4)  # T=2, rows_used=4
+        stream = dataflow.build_skewed_stream(a_tile)
+        # Row 0 receives its two values at cycles 0 and 1.
+        assert stream[0, 0] == a_tile[0, 0]
+        assert stream[1, 0] == a_tile[1, 0]
+        # Row 3 is delayed by its group index (3 for k = 1).
+        assert stream[3, 3] == a_tile[0, 3]
+
+    def test_partial_tile_rows_padded(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        a_tile = np.ones((3, 2), dtype=np.int64)
+        stream = dataflow.build_skewed_stream(a_tile)
+        # Unused array rows (2, 3) never receive data.
+        assert np.all(stream[:, 2:] == 0)
+
+    def test_stream_rejects_oversized_tiles(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        with pytest.raises(ValueError):
+            dataflow.build_skewed_stream(np.ones((2, 5)))
+
+    def test_output_collection_schedule_monotone(self):
+        dataflow = WeightStationaryDataflow(8, 8, 2)
+        schedule = dataflow.output_collection_schedule(t_rows=4)
+        assert schedule.shape == (4, 8)
+        # Later t and later column groups are captured later.
+        assert schedule[1, 0] > schedule[0, 0]
+        assert schedule[0, 7] > schedule[0, 0]
+
+    def test_invalid_queries(self):
+        dataflow = WeightStationaryDataflow(4, 4, 1)
+        with pytest.raises(ValueError):
+            dataflow.compute_cycles(0)
+        with pytest.raises(ValueError):
+            dataflow.input_arrival_cycle(-1, 0)
+        with pytest.raises(ValueError):
+            dataflow.row_group(4)
+        with pytest.raises(ValueError):
+            dataflow.col_group(-1)

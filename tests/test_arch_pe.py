@@ -1,0 +1,115 @@
+"""Tests for the conventional and configurable processing elements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.control import PEConfigBits
+from repro.arch.pe import ConfigurablePE, ConventionalPE
+
+
+class TestConventionalPE:
+    def test_multiply_accumulate(self):
+        pe = ConventionalPE(0, 0)
+        pe.load_weight(3)
+        outputs = pe.evaluate(activation_in=5, psum_in=10)
+        assert outputs.sum_out == 25
+        assert outputs.carry_out == 0
+        assert outputs.resolved
+
+    def test_activation_passes_through(self):
+        pe = ConventionalPE(0, 0)
+        pe.load_weight(2)
+        outputs = pe.evaluate(7, 0)
+        assert outputs.activation_out == 7
+
+    def test_registers_capture_on_clock(self):
+        pe = ConventionalPE(0, 0)
+        pe.load_weight(2)
+        pe.evaluate(7, 1)
+        pe.clock_edge()
+        assert pe.psum_reg.stored_value == 15
+        assert pe.activation_reg.stored_value == 7
+
+    def test_mac_counter(self):
+        pe = ConventionalPE(0, 0)
+        pe.load_weight(1)
+        for _ in range(5):
+            pe.evaluate(1, 0)
+        assert pe.mac_count == 5
+
+    def test_negative_weight(self):
+        pe = ConventionalPE(0, 0)
+        pe.load_weight(-4)
+        assert pe.evaluate(6, 0).sum_out == -24
+
+
+class TestConfigurablePE:
+    def test_default_config_is_opaque(self):
+        pe = ConfigurablePE(0, 0)
+        assert not pe.config.vertical_transparent
+        assert not pe.config.horizontal_transparent
+        assert pe.gated_register_count == 0
+
+    def test_opaque_mode_resolves_sum(self):
+        pe = ConfigurablePE(0, 0)
+        pe.load_weight(3)
+        outputs = pe.evaluate(activation_in=5, sum_in=10, carry_in=7)
+        assert outputs.resolved
+        assert outputs.sum_out == 3 * 5 + 10 + 7
+        assert outputs.carry_out == 0
+
+    def test_transparent_mode_keeps_carry_save_pair(self):
+        pe = ConfigurablePE(0, 0, config=PEConfigBits(False, True), use_bitlevel=True)
+        pe.load_weight(3)
+        outputs = pe.evaluate(activation_in=5, sum_in=10, carry_in=7)
+        assert not outputs.resolved
+        # The pair is redundant but its value is exact.
+        assert outputs.value == 3 * 5 + 10 + 7
+
+    def test_configure_updates_register_transparency(self):
+        pe = ConfigurablePE(0, 0)
+        pe.configure(PEConfigBits(horizontal_transparent=True, vertical_transparent=True))
+        assert pe.gated_register_count == 3  # activation + sum + carry registers
+        pe.configure(PEConfigBits(False, False))
+        assert pe.gated_register_count == 0
+
+    def test_horizontal_transparency_only_gates_activation_register(self):
+        pe = ConfigurablePE(0, 0, config=PEConfigBits(True, False))
+        assert pe.activation_reg.transparent
+        assert not pe.sum_reg.transparent
+
+    @given(
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+    )
+    def test_fast_and_bitlevel_paths_agree(self, weight, activation, sum_in, carry_in):
+        """The functional shortcut and the bit-level CSA datapath produce the
+        same resolved value."""
+        fast = ConfigurablePE(0, 0, use_bitlevel=False)
+        exact = ConfigurablePE(0, 0, use_bitlevel=True)
+        for pe in (fast, exact):
+            pe.load_weight(weight)
+        fast_out = fast.evaluate(activation, sum_in, carry_in)
+        exact_out = exact.evaluate(activation, sum_in, carry_in)
+        assert fast_out.value == exact_out.value
+
+    @settings(max_examples=25)
+    @given(st.integers(-(2**30), 2**30), st.integers(-(2**30), 2**30))
+    def test_bitlevel_32bit_products(self, weight, activation):
+        pe = ConfigurablePE(0, 0, use_bitlevel=True)
+        pe.load_weight(weight)
+        outputs = pe.evaluate(activation, 0, 0)
+        assert outputs.sum_out == weight * activation
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            ConfigurablePE(0, 0, input_width=0)
+        with pytest.raises(ValueError):
+            ConfigurablePE(0, 0, input_width=32, accum_width=16)
+
+    def test_weight_wraps_to_input_width(self):
+        pe = ConfigurablePE(0, 0, input_width=8, accum_width=16)
+        pe.load_weight(200)
+        assert pe.weight == 200 - 256

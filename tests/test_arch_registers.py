@@ -1,0 +1,105 @@
+"""Tests for pipeline registers with transparency and clock gating."""
+
+import pytest
+
+from repro.arch.registers import PipelineRegister
+
+
+class TestOpaqueBehaviour:
+    def test_output_is_previous_cycle_value(self):
+        reg = PipelineRegister(8, "r")
+        reg.drive(5)
+        assert reg.output() == 0  # not yet clocked
+        reg.clock_edge()
+        assert reg.output() == 5
+
+    def test_multiple_cycles_pipeline_one_deep(self):
+        reg = PipelineRegister(8, "r")
+        seen = []
+        for value in (1, 2, 3):
+            reg.drive(value)
+            seen.append(reg.output())
+            reg.clock_edge()
+        assert seen == [0, 1, 2]
+
+    def test_value_wraps_to_width(self):
+        reg = PipelineRegister(8, "r")
+        reg.drive(200)
+        reg.clock_edge()
+        assert reg.output() == 200 - 256
+
+    def test_clocked_cycles_counted(self):
+        reg = PipelineRegister(8, "r")
+        for _ in range(5):
+            reg.drive(1)
+            reg.clock_edge()
+        assert reg.activity.clocked_cycles == 5
+        assert reg.activity.gated_cycles == 0
+
+    def test_data_toggles_counted_only_on_change(self):
+        reg = PipelineRegister(8, "r")
+        for value in (1, 1, 2, 2, 3):
+            reg.drive(value)
+            reg.clock_edge()
+        assert reg.activity.data_toggles == 3  # 0->1, 1->2, 2->3
+
+
+class TestTransparentBehaviour:
+    def test_output_follows_input_combinationally(self):
+        reg = PipelineRegister(8, "r", transparent=True)
+        reg.drive(42)
+        assert reg.output() == 42
+
+    def test_clock_edge_is_gated(self):
+        reg = PipelineRegister(8, "r", transparent=True)
+        reg.drive(42)
+        reg.clock_edge()
+        assert reg.activity.gated_cycles == 1
+        assert reg.activity.clocked_cycles == 0
+        # The flip-flops never captured the value.
+        assert reg.stored_value == 0
+
+    def test_reconfiguration(self):
+        reg = PipelineRegister(8, "r")
+        reg.set_transparent(True)
+        reg.drive(7)
+        assert reg.output() == 7
+        reg.set_transparent(False)
+        assert reg.output() == 0
+
+    def test_gating_ratio(self):
+        reg = PipelineRegister(8, "r", transparent=True)
+        for _ in range(4):
+            reg.drive(0)
+            reg.clock_edge()
+        reg.set_transparent(False)
+        for _ in range(4):
+            reg.drive(0)
+            reg.clock_edge()
+        assert reg.activity.gating_ratio() == pytest.approx(0.5)
+
+    def test_gating_ratio_empty(self):
+        assert PipelineRegister(8, "r").activity.gating_ratio() == 0.0
+
+
+class TestMisc:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PipelineRegister(0, "bad")
+
+    def test_reset(self):
+        reg = PipelineRegister(8, "r")
+        reg.drive(9)
+        reg.clock_edge()
+        reg.reset()
+        assert reg.output() == 0
+
+    def test_reset_to_value_wraps(self):
+        reg = PipelineRegister(8, "r")
+        reg.reset(300)
+        assert reg.stored_value == 300 - 256
+
+    def test_driven_value_probe(self):
+        reg = PipelineRegister(8, "r")
+        reg.drive(33)
+        assert reg.driven_value == 33

@@ -1,0 +1,131 @@
+"""Tests for the carry-propagate adder models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.adders import (
+    add_ints,
+    carry_lookahead_add,
+    full_adder,
+    half_adder,
+    lookahead_logic_depth,
+    ripple_carry_add,
+    ripple_carry_gate_count,
+    ripple_carry_logic_depth,
+)
+from repro.arith.fixed_point import bits_to_int, int_to_bits, wrap_to_width
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "a, b, expected_sum, expected_carry",
+        [(0, 0, 0, 0), (0, 1, 1, 0), (1, 0, 1, 0), (1, 1, 0, 1)],
+    )
+    def test_half_adder_truth_table(self, a, b, expected_sum, expected_carry):
+        result = half_adder(a, b)
+        assert (result.sum, result.carry) == (expected_sum, expected_carry)
+
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_full_adder_truth_table(self, a, b, cin):
+        result = full_adder(a, b, cin)
+        assert result.sum + 2 * result.carry == a + b + cin
+
+    def test_full_adder_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            full_adder(2, 0, 0)
+        with pytest.raises(ValueError):
+            half_adder(0, -1)
+
+
+class TestRippleCarry:
+    def test_simple_addition(self):
+        s, carry = ripple_carry_add(int_to_bits(5, 8), int_to_bits(9, 8))
+        assert bits_to_int(s) == 14
+        assert carry == 0
+
+    def test_negative_operands(self):
+        s, _ = ripple_carry_add(int_to_bits(-5, 8), int_to_bits(3, 8))
+        assert bits_to_int(s) == -2
+
+    def test_overflow_wraps(self):
+        s, _ = ripple_carry_add(int_to_bits(127, 8), int_to_bits(1, 8))
+        assert bits_to_int(s) == -128
+
+    def test_carry_in(self):
+        s, _ = ripple_carry_add(int_to_bits(1, 8), int_to_bits(1, 8), cin=1)
+        assert bits_to_int(s) == 3
+
+    def test_mixed_widths_sign_extended(self):
+        s, _ = ripple_carry_add(int_to_bits(-1, 4), int_to_bits(0, 8), width=8)
+        assert bits_to_int(s) == -1
+
+    def test_invalid_carry_in(self):
+        with pytest.raises(ValueError):
+            ripple_carry_add([0], [1], cin=2)
+
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+    )
+    def test_matches_python_addition_32bit(self, a, b):
+        s, _ = ripple_carry_add(int_to_bits(a, 32), int_to_bits(b, 32))
+        assert bits_to_int(s) == wrap_to_width(a + b, 32)
+
+
+class TestCarryLookahead:
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_equivalent_to_ripple(self, a, b, block_size):
+        a_bits, b_bits = int_to_bits(a, 32), int_to_bits(b, 32)
+        ripple_sum, ripple_carry = ripple_carry_add(a_bits, b_bits)
+        cla_sum, cla_carry = carry_lookahead_add(a_bits, b_bits, block_size=block_size)
+        assert cla_sum == ripple_sum
+        assert cla_carry == ripple_carry
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            carry_lookahead_add([0], [1], block_size=0)
+
+    def test_carry_out_on_unsigned_overflow_pattern(self):
+        # -1 + -1 produces a carry out of the MSB.
+        _, carry = carry_lookahead_add(int_to_bits(-1, 8), int_to_bits(-1, 8))
+        assert carry == 1
+
+
+class TestAddInts:
+    @given(st.integers(-(2**40), 2**40), st.integers(-(2**40), 2**40))
+    def test_matches_wrapped_python_addition(self, a, b):
+        assert add_ints(a, b, 64) == wrap_to_width(a + b, 64)
+
+    def test_wraps_at_narrow_width(self):
+        assert add_ints(100, 100, 8) == wrap_to_width(200, 8)
+
+
+class TestCostModels:
+    def test_gate_count_linear_in_width(self):
+        assert ripple_carry_gate_count(64) == 2 * ripple_carry_gate_count(32)
+
+    def test_gate_count_positive_width_required(self):
+        with pytest.raises(ValueError):
+            ripple_carry_gate_count(0)
+
+    def test_ripple_depth_grows_linearly(self):
+        assert ripple_carry_logic_depth(64) > ripple_carry_logic_depth(32)
+        assert ripple_carry_logic_depth(64) == 2 * 64 + 1
+
+    def test_lookahead_depth_much_smaller_than_ripple(self):
+        assert lookahead_logic_depth(64) < ripple_carry_logic_depth(64) / 3
+
+    def test_lookahead_depth_monotone_in_width(self):
+        assert lookahead_logic_depth(64) >= lookahead_logic_depth(16)
+
+    def test_depth_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ripple_carry_logic_depth(-1)
+        with pytest.raises(ValueError):
+            lookahead_logic_depth(8, block_size=0)

@@ -1,0 +1,128 @@
+"""Tests for the 3:2 carry-save adder and carry-save accumulation chains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.csa import (
+    CarrySaveState,
+    carry_save_accumulate,
+    carry_save_add,
+    carry_save_chain_gate_count,
+    carry_save_resolve,
+    csa_gate_count,
+    csa_logic_depth,
+)
+from repro.arith.fixed_point import int_to_bits, wrap_to_width
+
+
+class TestCarrySaveState:
+    def test_zero_state(self):
+        state = CarrySaveState.zero(16)
+        assert state.value == 0
+        assert state.width == 16
+
+    def test_from_int(self):
+        state = CarrySaveState.from_int(-42, 16)
+        assert state.value == -42
+
+    def test_from_int_wraps(self):
+        state = CarrySaveState.from_int(1 << 20, 16)
+        assert state.value == wrap_to_width(1 << 20, 16)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            CarrySaveState.zero(0)
+
+
+class TestCarrySaveAdd:
+    def test_three_small_numbers(self):
+        state = carry_save_add(
+            int_to_bits(3, 16), int_to_bits(4, 16), int_to_bits(5, 16)
+        )
+        assert state.value == 12
+
+    def test_negative_numbers(self):
+        state = carry_save_add(
+            int_to_bits(-3, 16), int_to_bits(-4, 16), int_to_bits(5, 16)
+        )
+        assert state.value == -2
+
+    def test_redundancy_no_carry_propagation(self):
+        """A CSA never propagates carries horizontally: each output bit depends
+        only on the three input bits of the same position."""
+        a, b, c = int_to_bits(0b0101, 8), int_to_bits(0b0011, 8), int_to_bits(0b0110, 8)
+        state = carry_save_add(a, b, c)
+        for i in range(8):
+            expected_sum_bit = a[i] ^ b[i] ^ c[i]
+            assert state.sum_bits[i] == expected_sum_bit
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            carry_save_add([], [], [], width=0)
+
+    @given(
+        st.integers(-(2**30), 2**30),
+        st.integers(-(2**30), 2**30),
+        st.integers(-(2**30), 2**30),
+    )
+    def test_value_equals_sum(self, a, b, c):
+        state = carry_save_add(
+            int_to_bits(a, 64), int_to_bits(b, 64), int_to_bits(c, 64)
+        )
+        assert state.value == a + b + c
+
+
+class TestCarrySaveAccumulate:
+    def test_empty_addend_list(self):
+        state = carry_save_accumulate([], width=32)
+        assert state.value == 0
+
+    def test_single_addend(self):
+        state = carry_save_accumulate([7], width=32)
+        assert state.value == 7
+
+    def test_with_initial_state(self):
+        initial = CarrySaveState.from_int(100, 32)
+        state = carry_save_accumulate([1, 2, 3], width=32, initial=initial)
+        assert state.value == 106
+
+    def test_initial_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            carry_save_accumulate([1], width=32, initial=CarrySaveState.zero(16))
+
+    @given(st.lists(st.integers(-(2**20), 2**20), min_size=0, max_size=32))
+    def test_accumulation_matches_python_sum(self, addends):
+        state = carry_save_accumulate(addends, width=64)
+        assert state.value == wrap_to_width(sum(addends), 64)
+
+    @given(st.lists(st.integers(-(2**20), 2**20), min_size=1, max_size=16))
+    def test_resolution_matches_value(self, addends):
+        """The final CPA resolution equals the redundant pair's value -- the
+        exact property the collapsed PE group relies on (paper Fig. 4b)."""
+        state = carry_save_accumulate(addends, width=64)
+        assert carry_save_resolve(state) == state.value
+
+
+class TestCostModels:
+    def test_csa_gate_count_linear(self):
+        assert csa_gate_count(64) == 2 * csa_gate_count(32)
+
+    def test_chain_gate_count_includes_final_cpa(self):
+        assert carry_save_chain_gate_count(64, stages=0) == 5 * 64
+        assert (
+            carry_save_chain_gate_count(64, stages=4)
+            == 4 * csa_gate_count(64) + 5 * 64
+        )
+
+    def test_chain_negative_stages_rejected(self):
+        with pytest.raises(ValueError):
+            carry_save_chain_gate_count(64, stages=-1)
+
+    def test_csa_depth_is_width_independent(self):
+        """The key property exploited by Eq. (5): CSA depth does not scale
+        with operand width."""
+        assert csa_logic_depth() == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            csa_gate_count(0)

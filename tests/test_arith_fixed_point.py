@@ -1,0 +1,162 @@
+"""Tests for the two's-complement fixed-point helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith.fixed_point import (
+    accumulator_range,
+    bits_to_int,
+    int_to_bits,
+    product_width,
+    quantize_symmetric,
+    sign_extend,
+    wrap_to_width,
+)
+
+
+class TestWrapToWidth:
+    def test_positive_in_range(self):
+        assert wrap_to_width(5, 8) == 5
+
+    def test_negative_in_range(self):
+        assert wrap_to_width(-5, 8) == -5
+
+    def test_positive_overflow_wraps_negative(self):
+        assert wrap_to_width(128, 8) == -128
+
+    def test_negative_overflow_wraps_positive(self):
+        assert wrap_to_width(-129, 8) == 127
+
+    def test_full_period_wrap(self):
+        assert wrap_to_width(256, 8) == 0
+
+    def test_width_one(self):
+        assert wrap_to_width(1, 1) == -1
+        assert wrap_to_width(0, 1) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            wrap_to_width(1, 0)
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70), st.integers(1, 64))
+    def test_wrap_is_idempotent(self, value, width):
+        wrapped = wrap_to_width(value, width)
+        assert wrap_to_width(wrapped, width) == wrapped
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70), st.integers(1, 64))
+    def test_wrap_congruent_mod_2_width(self, value, width):
+        wrapped = wrap_to_width(value, width)
+        assert (wrapped - value) % (1 << width) == 0
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70), st.integers(1, 64))
+    def test_wrap_in_range(self, value, width):
+        wrapped = wrap_to_width(value, width)
+        assert -(1 << (width - 1)) <= wrapped <= (1 << (width - 1)) - 1
+
+
+class TestIntBitsRoundTrip:
+    def test_encode_positive(self):
+        assert int_to_bits(5, 4) == [1, 0, 1, 0]
+
+    def test_encode_negative_one(self):
+        assert int_to_bits(-1, 4) == [1, 1, 1, 1]
+
+    def test_encode_min_value(self):
+        assert int_to_bits(-8, 4) == [0, 0, 0, 1]
+
+    def test_decode_positive(self):
+        assert bits_to_int([1, 0, 1, 0]) == 5
+
+    def test_decode_negative(self):
+        assert bits_to_int([0, 0, 0, 1]) == -8
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 4)
+        with pytest.raises(ValueError):
+            int_to_bits(-9, 4)
+
+    def test_empty_bits_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_int([])
+
+    def test_non_binary_bits_raise(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(st.integers(1, 64), st.data())
+    def test_round_trip(self, width, data):
+        low, high = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        value = data.draw(st.integers(low, high))
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+
+class TestSignExtend:
+    def test_extend_negative(self):
+        assert sign_extend([1, 1], 4) == [1, 1, 1, 1]
+
+    def test_extend_positive(self):
+        assert sign_extend([1, 0], 4) == [1, 0, 0, 0]
+
+    def test_no_op_same_width(self):
+        assert sign_extend([0, 1], 2) == [0, 1]
+
+    def test_shrinking_raises(self):
+        with pytest.raises(ValueError):
+            sign_extend([1, 0, 1], 2)
+
+    @given(st.integers(1, 32), st.integers(33, 64), st.data())
+    def test_extension_preserves_value(self, width, wider, data):
+        value = data.draw(
+            st.integers(-(1 << (width - 1)), (1 << (width - 1)) - 1)
+        )
+        bits = int_to_bits(value, width)
+        assert bits_to_int(sign_extend(bits, wider)) == value
+
+
+class TestQuantize:
+    def test_all_zero_input(self):
+        q, scale = quantize_symmetric(np.zeros((3, 3)), width=8)
+        assert scale == 1.0
+        assert np.all(q == 0)
+
+    def test_range_respected(self):
+        values = np.linspace(-1.0, 1.0, 101)
+        q, _ = quantize_symmetric(values, width=8)
+        assert q.max() <= 127
+        assert q.min() >= -128
+
+    def test_reconstruction_error_small(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        q, scale = quantize_symmetric(values, width=16)
+        error = np.abs(values - q * scale).max()
+        assert error <= scale  # at most one quantization step
+
+    def test_scale_positive(self):
+        q, scale = quantize_symmetric(np.array([3.0, -1.0]), width=8)
+        assert scale > 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.array([1.0]), width=0)
+
+
+class TestDerivedWidths:
+    def test_product_width_doubles(self):
+        assert product_width(32) == 64
+        assert product_width(8) == 16
+
+    def test_product_width_invalid(self):
+        with pytest.raises(ValueError):
+            product_width(0)
+
+    def test_accumulator_range_64(self):
+        low, high = accumulator_range(64)
+        assert low == -(1 << 63)
+        assert high == (1 << 63) - 1
+
+    def test_accumulator_range_symmetry(self):
+        low, high = accumulator_range(16)
+        assert low == -high - 1

@@ -1,0 +1,91 @@
+"""Tests for the array multiplier model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.multiplier import (
+    array_multiply,
+    multiplier_gate_count,
+    multiplier_logic_depth,
+    partial_products,
+)
+
+
+class TestPartialProducts:
+    def test_sum_equals_product_positive(self):
+        assert sum(partial_products(7, 9, 8)) == 63
+
+    def test_sum_equals_product_negative_multiplier(self):
+        assert sum(partial_products(7, -9, 8)) == -63
+
+    def test_sum_equals_product_both_negative(self):
+        assert sum(partial_products(-7, -9, 8)) == 63
+
+    def test_zero_multiplier(self):
+        assert partial_products(5, 0, 8) == [0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            partial_products(300, 1, 8)
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_partial_product_sum_property(self, a, b):
+        assert sum(partial_products(a, b, 8)) == a * b
+
+
+class TestArrayMultiply:
+    @pytest.mark.parametrize(
+        "a, b, width",
+        [(0, 0, 8), (1, 1, 8), (-1, 1, 8), (-1, -1, 8), (127, 127, 8), (-128, -128, 8)],
+    )
+    def test_corner_cases(self, a, b, width):
+        assert array_multiply(a, b, width) == a * b
+
+    def test_asymmetric_operands(self):
+        assert array_multiply(-3, 7, 8) == -21
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_8bit_matches_python(self, a, b):
+        assert array_multiply(a, b, 8) == a * b
+
+    @settings(max_examples=30)
+    @given(st.integers(-(2**15), 2**15 - 1), st.integers(-(2**15), 2**15 - 1))
+    def test_16bit_matches_python(self, a, b):
+        assert array_multiply(a, b, 16) == a * b
+
+    @settings(max_examples=10)
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    def test_32bit_matches_python(self, a, b):
+        """The paper's 32-bit datapath: the full product always fits the
+        64-bit vertical connections, so no wrapping ever occurs."""
+        assert array_multiply(a, b, 32) == a * b
+
+
+class TestCostModels:
+    def test_gate_count_grows_quadratically(self):
+        ratio = multiplier_gate_count(32) / multiplier_gate_count(16)
+        assert 2.0 < ratio < 6.0
+
+    def test_gate_count_dominates_adder(self):
+        from repro.arith.adders import ripple_carry_gate_count
+
+        assert multiplier_gate_count(32) > 10 * ripple_carry_gate_count(64)
+
+    def test_logic_depth_monotone(self):
+        assert multiplier_logic_depth(32) >= multiplier_logic_depth(16)
+        assert multiplier_logic_depth(16) >= multiplier_logic_depth(8)
+
+    def test_logic_depth_much_larger_than_csa(self):
+        from repro.arith.csa import csa_logic_depth
+
+        assert multiplier_logic_depth(32) > 5 * csa_logic_depth()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            multiplier_gate_count(0)
+        with pytest.raises(ValueError):
+            multiplier_logic_depth(-4)
+
+    def test_width_one(self):
+        assert multiplier_logic_depth(1) > 0
+        assert array_multiply(-1, -1, 1) == 1

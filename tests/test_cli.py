@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_FACTORIES, MODEL_BUILDERS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert (args.rows, args.cols) == (128, 128)
+        assert args.depths == [1, 2, 4]
+
+    def test_experiment_choices_cover_all_paper_figures(self):
+        assert {"fig5", "fig6", "fig7", "fig8", "fig9", "eq7", "clock"} <= set(
+            EXPERIMENT_FACTORIES
+        )
+
+    def test_model_choices(self):
+        assert set(MODEL_BUILDERS) == {"resnet34", "mobilenet_v1", "convnext_tiny"}
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--rows", "64", "--cols", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "operating points" in out
+        assert "1.4" in out and "2.0" in out
+
+    def test_decide_selects_deep_mode_for_small_t(self, capsys):
+        assert main(["decide", "--m", "512", "--n", "2304", "--t", "49"]) == 0
+        out = capsys.readouterr().out
+        assert "best collapse depth k = 4" in out
+        assert "k_hat" in out
+
+    def test_decide_selects_normal_mode_for_large_t(self, capsys):
+        assert main(["decide", "--m", "64", "--n", "576", "--t", "3136"]) == 0
+        assert "best collapse depth k = 1" in capsys.readouterr().out
+
+    def test_compare_resnet(self, capsys):
+        assert main(["compare", "--model", "resnet34"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-34" in out
+        assert "saving" in out
+        assert "energy-delay product gain" in out
+
+    def test_compare_custom_geometry(self, capsys):
+        assert main(["compare", "--model", "mobilenet_v1", "--rows", "64", "--cols", "64"]) == 0
+        assert "64x64" in capsys.readouterr().out
+
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6"]) == 0
+        assert "ArrayFlex PE" in capsys.readouterr().out
+
+    def test_experiment_clock(self, capsys):
+        assert main(["experiment", "clock"]) == 0
+        assert "STA" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_invalid_geometry_surfaces_as_error(self):
+        with pytest.raises(ValueError):
+            main(["info", "--rows", "100", "--cols", "100", "--depths", "1", "3"])

@@ -1,0 +1,61 @@
+"""Tests for the configuration-bound clock model (Eq. 6 time conversion)."""
+
+import pytest
+
+from repro.core.clock import ClockModel
+from repro.core.config import ArrayFlexConfig
+
+
+@pytest.fixture(scope="module")
+def clock():
+    return ClockModel(ArrayFlexConfig(rows=128, cols=128))
+
+
+class TestOperatingPoints:
+    def test_paper_frequency_table(self, clock):
+        table = clock.frequency_table()
+        assert table["conventional"] == pytest.approx(2.0)
+        assert table["arrayflex_k1"] == pytest.approx(1.8)
+        assert table["arrayflex_k2"] == pytest.approx(1.7)
+        assert table["arrayflex_k4"] == pytest.approx(1.4)
+
+    def test_unsupported_depth_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.frequency_ghz(3)
+
+    def test_all_points_sorted(self, clock):
+        depths = [p.collapse_depth for p in clock.all_arrayflex_points()]
+        assert depths == [1, 2, 4]
+
+    def test_conventional_point_not_configurable(self, clock):
+        assert not clock.conventional_point().configurable
+
+    def test_period_matches_frequency(self, clock):
+        for depth in (1, 2, 4):
+            assert clock.period_ns(depth) == pytest.approx(1.0 / clock.frequency_ghz(depth))
+
+
+class TestExecutionTime:
+    def test_conventional_time(self, clock):
+        assert clock.conventional_execution_time_ns(2000) == pytest.approx(1000.0)
+
+    def test_arrayflex_time(self, clock):
+        assert clock.execution_time_ns(1700, 2) == pytest.approx(1000.0)
+
+    def test_zero_cycles(self, clock):
+        assert clock.execution_time_ns(0, 1) == 0.0
+
+    def test_negative_cycles_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.execution_time_ns(-1, 1)
+        with pytest.raises(ValueError):
+            clock.conventional_execution_time_ns(-5)
+
+    def test_same_cycles_slower_on_deeper_mode(self, clock):
+        cycles = 10_000
+        times = [clock.execution_time_ns(cycles, k) for k in (1, 2, 4)]
+        assert times == sorted(times)
+
+    def test_fig5_config_exposes_k3(self):
+        clock = ClockModel(ArrayFlexConfig.fig5_132x132())
+        assert clock.frequency_ghz(3) == pytest.approx(1.5)

@@ -1,0 +1,83 @@
+"""Tests for the accelerator configuration object."""
+
+import pytest
+
+from repro.core.config import ArrayFlexConfig
+from repro.timing.technology import TechnologyModel
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_instance(self):
+        config = ArrayFlexConfig()
+        assert (config.rows, config.cols) == (128, 128)
+        assert config.sorted_depths() == (1, 2, 4)
+
+    def test_depths_must_divide_dimensions(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(rows=128, cols=128, supported_depths=(1, 3))
+
+    def test_normal_mode_must_be_supported(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(supported_depths=(2, 4))
+
+    def test_duplicate_depths_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(supported_depths=(1, 2, 2))
+
+    def test_empty_depths_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(supported_depths=())
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(rows=0, cols=128)
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(activity=0.0)
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(activity=1.5)
+
+
+class TestPaperInstances:
+    def test_128(self):
+        config = ArrayFlexConfig.paper_128x128()
+        assert config.num_pes == 128 * 128
+        assert config.max_depth == 4
+
+    def test_256(self):
+        config = ArrayFlexConfig.paper_256x256()
+        assert config.rows == 256
+
+    def test_fig5_supports_k3(self):
+        config = ArrayFlexConfig.fig5_132x132()
+        assert config.sorted_depths() == (1, 2, 3, 4)
+
+    def test_custom_technology_is_carried(self):
+        tech = TechnologyModel.from_overrides(d_mul_ps=400.0)
+        config = ArrayFlexConfig.paper_128x128(technology=tech)
+        assert config.technology.d_mul_ps == 400.0
+
+
+class TestDerivedHelpers:
+    def test_with_size(self):
+        config = ArrayFlexConfig().with_size(64, 32)
+        assert (config.rows, config.cols) == (64, 32)
+        assert config.supported_depths == (1, 2, 4)
+
+    def test_with_depths(self):
+        config = ArrayFlexConfig().with_depths((1, 2))
+        assert config.sorted_depths() == (1, 2)
+
+    def test_with_size_revalidates(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig().with_size(6, 6)  # 4 does not divide 6
+
+    def test_configuration_plane_dimensions(self):
+        plane = ArrayFlexConfig(rows=16, cols=32).configuration_plane()
+        assert plane.rows == 16 and plane.cols == 32
+
+    def test_frozen(self):
+        config = ArrayFlexConfig()
+        with pytest.raises(Exception):
+            config.rows = 64  # type: ignore[misc]

@@ -1,0 +1,93 @@
+"""Tests for the design-space exploration utility."""
+
+import pytest
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer
+from repro.nn.models import mobilenet_v1, resnet34
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer([resnet34(), mobilenet_v1()])
+
+
+class TestDesignPoints:
+    def test_label(self):
+        point = DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4))
+        assert point.label == "128x128 k={1,2,4}"
+
+    def test_default_candidates_are_legal(self):
+        for point in DesignSpaceExplorer.default_candidates():
+            assert all(point.rows % depth == 0 for depth in point.supported_depths)
+
+    def test_default_candidates_cover_paper_sizes(self):
+        sizes = {(p.rows, p.cols) for p in DesignSpaceExplorer.default_candidates()}
+        assert (128, 128) in sizes and (256, 256) in sizes
+
+
+class TestEvaluation:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer([])
+
+    def test_evaluate_point_metrics(self, explorer):
+        result = explorer.evaluate_point(
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4))
+        )
+        assert 0.0 < result.latency_saving < 0.25
+        assert 0.0 < result.power_saving < 0.30
+        assert result.edp_gain > 1.0
+        assert set(result.per_model_latency_saving) == {"ResNet-34", "MobileNetV1"}
+        assert result.arrayflex_time_ms < result.conventional_time_ms
+
+    def test_illegal_point_raises(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.evaluate_point(DesignPoint(rows=100, cols=100, supported_depths=(1, 3)))
+
+    def test_explore_preserves_order(self, explorer):
+        points = [
+            DesignPoint(rows=64, cols=64, supported_depths=(1, 2, 4)),
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4)),
+        ]
+        results = explorer.explore(points)
+        assert [r.point for r in results] == points
+
+    def test_explore_empty_rejected(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.explore([])
+
+
+class TestRanking:
+    def test_rank_by_edp(self, explorer):
+        points = [
+            DesignPoint(rows=64, cols=64, supported_depths=(1, 2, 4)),
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2)),
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4)),
+        ]
+        ranked = explorer.rank(points, objective="edp_gain")
+        gains = [r.edp_gain for r in ranked]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_restricting_modes_hurts(self, explorer):
+        """Dropping the k = 4 mode can only reduce the savings."""
+        full = explorer.evaluate_point(
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4))
+        )
+        restricted = explorer.evaluate_point(
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2))
+        )
+        assert full.latency_saving >= restricted.latency_saving
+        assert full.edp_gain >= restricted.edp_gain
+
+    def test_invalid_objective(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.rank([DesignPoint(rows=64, cols=64, supported_depths=(1, 2))], "speed")
+
+    def test_paper_claim_larger_arrays_save_more(self, explorer):
+        small = explorer.evaluate_point(
+            DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4))
+        )
+        large = explorer.evaluate_point(
+            DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4))
+        )
+        assert large.power_saving > small.power_saving

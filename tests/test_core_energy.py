@@ -1,0 +1,80 @@
+"""Tests for the energy / power / EDP accounting."""
+
+import pytest
+
+from repro.core.config import ArrayFlexConfig
+from repro.core.energy import EnergyModel, LayerEnergyReport, RunEnergyReport
+from repro.nn.gemm_mapping import GemmShape
+
+
+@pytest.fixture(scope="module")
+def energy():
+    return EnergyModel(ArrayFlexConfig(rows=128, cols=128))
+
+
+class TestLayerReports:
+    def test_layer_energy_is_power_times_time(self, energy):
+        report = energy.arrayflex_layer_report(
+            GemmShape(m=1, n=1, t=1), collapse_depth=2, frequency_ghz=1.7,
+            execution_time_ns=2000.0,
+        )
+        assert report.energy_nj == pytest.approx(report.power_mw * 2000.0 / 1000.0)
+
+    def test_conventional_report_mode_is_one(self, energy):
+        report = energy.conventional_layer_report(
+            GemmShape(m=1, n=1, t=1), frequency_ghz=2.0, execution_time_ns=10.0
+        )
+        assert report.collapse_depth == 1
+
+    def test_mode_power_ordering(self, energy):
+        """k = 1 costs more than the baseline; k = 4 costs much less."""
+        conventional = energy.conventional_power_mw(2.0)
+        assert energy.arrayflex_power_mw(1, 1.8) > conventional
+        assert energy.arrayflex_power_mw(2, 1.7) < conventional
+        assert energy.arrayflex_power_mw(4, 1.4) < energy.arrayflex_power_mw(2, 1.7)
+
+
+class TestRunReports:
+    def test_run_report_aggregation(self, energy):
+        reports = [
+            LayerEnergyReport(GemmShape(m=1, n=1, t=1), 1, power_mw=100.0, execution_time_ns=10.0),
+            LayerEnergyReport(GemmShape(m=1, n=1, t=1), 2, power_mw=50.0, execution_time_ns=30.0),
+        ]
+        run = EnergyModel.run_report(reports)
+        assert run.total_time_ns == 40.0
+        assert run.total_energy_nj == pytest.approx(1.0 + 1.5)
+        # Time-weighted average power: 2.5 nJ / 40 ns = 62.5 mW.
+        assert run.average_power_mw == pytest.approx(62.5)
+
+    def test_empty_run(self):
+        run = EnergyModel.run_report([])
+        assert run.average_power_mw == 0.0
+        assert run.energy_delay_product == 0.0
+
+    def test_edp_definition(self):
+        run = RunEnergyReport(total_time_ns=10.0, total_energy_nj=3.0)
+        assert run.energy_delay_product == pytest.approx(30.0)
+
+
+class TestComparisons:
+    def test_power_saving(self):
+        conventional = RunEnergyReport(total_time_ns=100.0, total_energy_nj=10.0)
+        arrayflex = RunEnergyReport(total_time_ns=90.0, total_energy_nj=7.65)
+        saving = EnergyModel.power_saving(conventional, arrayflex)
+        assert saving == pytest.approx(1.0 - (7.65 / 90.0) / (10.0 / 100.0))
+
+    def test_edp_gain(self):
+        conventional = RunEnergyReport(total_time_ns=100.0, total_energy_nj=10.0)
+        arrayflex = RunEnergyReport(total_time_ns=90.0, total_energy_nj=8.0)
+        assert EnergyModel.edp_gain(conventional, arrayflex) == pytest.approx(
+            (10.0 * 100.0) / (8.0 * 90.0)
+        )
+
+    def test_edp_gain_with_zero_arrayflex(self):
+        conventional = RunEnergyReport(total_time_ns=1.0, total_energy_nj=1.0)
+        degenerate = RunEnergyReport(total_time_ns=0.0, total_energy_nj=0.0)
+        assert EnergyModel.edp_gain(conventional, degenerate) == float("inf")
+
+    def test_power_saving_zero_baseline(self):
+        degenerate = RunEnergyReport(total_time_ns=0.0, total_energy_nj=0.0)
+        assert EnergyModel.power_saving(degenerate, degenerate) == 0.0

@@ -1,0 +1,112 @@
+"""Tests for the latency equations (Eqs. 1-4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import ArrayFlexConfig
+from repro.core.latency import (
+    LatencyModel,
+    arrayflex_tile_cycles,
+    arrayflex_tile_cycles_horizontal_only,
+    arrayflex_tile_cycles_vertical_only,
+    arrayflex_total_cycles,
+    conventional_tile_cycles,
+    conventional_total_cycles,
+    tile_count,
+)
+from repro.nn.gemm_mapping import GemmShape
+
+
+class TestPerTileEquations:
+    def test_eq1_example(self):
+        """Eq. (1): L = 2R + C + T - 2."""
+        assert conventional_tile_cycles(128, 128, 196) == 2 * 128 + 128 + 196 - 2
+
+    def test_eq3_reduces_to_eq1_at_k1(self):
+        for rows, cols, t in [(8, 8, 5), (128, 128, 196), (132, 132, 49)]:
+            assert arrayflex_tile_cycles(rows, cols, t, 1) == conventional_tile_cycles(
+                rows, cols, t
+            )
+
+    def test_eq3_example(self):
+        """Eq. (3): L(k) = R + R/k + C/k + T - 2."""
+        assert arrayflex_tile_cycles(128, 128, 49, 4) == 128 + 32 + 32 + 49 - 2
+
+    def test_ceiling_for_non_dividing_depth(self):
+        assert arrayflex_tile_cycles(10, 10, 1, 4) == 10 + 3 + 3 + 1 - 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            conventional_tile_cycles(0, 8, 1)
+        with pytest.raises(ValueError):
+            arrayflex_tile_cycles(8, 8, 1, 0)
+
+    @given(
+        st.integers(1, 512), st.integers(1, 512), st.integers(1, 4096), st.integers(1, 8)
+    )
+    def test_collapsing_never_increases_cycles(self, rows, cols, t, k):
+        assert arrayflex_tile_cycles(rows, cols, t, k) <= conventional_tile_cycles(
+            rows, cols, t
+        )
+
+    @given(st.integers(2, 256), st.integers(2, 256), st.integers(1, 4096))
+    def test_cycles_monotone_in_depth(self, rows, cols, t):
+        cycles = [arrayflex_tile_cycles(rows, cols, t, k) for k in (1, 2, 4, 8)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    @given(st.integers(1, 256), st.integers(1, 256), st.integers(1, 4096), st.integers(1, 8))
+    def test_direction_ablations_bracket_full_collapse(self, rows, cols, t, k):
+        both = arrayflex_tile_cycles(rows, cols, t, k)
+        vertical = arrayflex_tile_cycles_vertical_only(rows, cols, t, k)
+        horizontal = arrayflex_tile_cycles_horizontal_only(rows, cols, t, k)
+        conventional = conventional_tile_cycles(rows, cols, t)
+        assert both <= vertical <= conventional
+        assert both <= horizontal <= conventional
+
+
+class TestTiling:
+    def test_tile_count_eq2(self):
+        assert tile_count(2304, 256, 128, 128) == 18 * 2
+
+    def test_tile_count_with_remainders(self):
+        assert tile_count(130, 129, 128, 128) == 2 * 2
+
+    def test_total_cycles_eq2(self):
+        gemm = GemmShape(m=256, n=2304, t=196)
+        assert conventional_total_cycles(gemm, 128, 128) == 36 * conventional_tile_cycles(
+            128, 128, 196
+        )
+
+    def test_total_cycles_eq4(self):
+        gemm = GemmShape(m=512, n=2304, t=49)
+        assert arrayflex_total_cycles(gemm, 128, 128, 4) == 18 * 4 * arrayflex_tile_cycles(
+            128, 128, 49, 4
+        )
+
+
+class TestLatencyModelWrapper:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return LatencyModel(ArrayFlexConfig(rows=128, cols=128))
+
+    def test_wrapper_matches_free_functions(self, model):
+        gemm = GemmShape(m=512, n=2304, t=49)
+        assert model.total_cycles(gemm, 2) == arrayflex_total_cycles(gemm, 128, 128, 2)
+        assert model.conventional_total_cycles(gemm) == conventional_total_cycles(
+            gemm, 128, 128
+        )
+
+    def test_tile_count(self, model):
+        assert model.tile_count(GemmShape(m=256, n=2304, t=196)) == 36
+
+    def test_cycle_reduction_fraction(self, model):
+        gemm = GemmShape(m=512, n=2304, t=49)
+        reduction = model.cycle_reduction(gemm, 4)
+        # (2R + C) - (R + R/4 + C/4) = 384 - 192 = 192 cycles out of 431.
+        assert reduction == pytest.approx(192 / 431, rel=1e-6)
+
+    def test_paper_layer20_cycle_counts(self, model):
+        """Cross-check the Fig. 5 arithmetic at the paper's array size."""
+        gemm = GemmShape(m=256, n=2304, t=196)
+        assert model.conventional_total_cycles(gemm) == 36 * 578
+        assert model.total_cycles(gemm, 2) == 36 * 450

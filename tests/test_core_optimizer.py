@@ -1,0 +1,107 @@
+"""Tests for the per-layer pipeline-depth optimizer (Eq. 7 and discrete search)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import ArrayFlexConfig
+from repro.core.optimizer import PipelineOptimizer
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import resnet34
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return PipelineOptimizer(ArrayFlexConfig(rows=128, cols=128))
+
+
+class TestAnalyticalOptimum:
+    def test_eq7_closed_form(self, optimizer):
+        """k_hat = sqrt((R + C) / (R + T - 2) * delay_ratio)."""
+        gemm = GemmShape(m=256, n=2304, t=196)
+        expected = math.sqrt((128 + 128) / (128 + 196 - 2) * 10.0)
+        assert optimizer.analytical_optimal_depth(gemm) == pytest.approx(expected)
+
+    def test_large_t_pushes_khat_below_one(self, optimizer):
+        gemm = GemmShape(m=64, n=576, t=3136)
+        assert optimizer.analytical_optimal_depth(gemm) < 1.0
+
+    def test_small_t_pushes_khat_high(self, optimizer):
+        gemm = GemmShape(m=512, n=4608, t=49)
+        assert optimizer.analytical_optimal_depth(gemm) > 3.0
+
+    def test_khat_grows_with_array_size(self):
+        """Eq. 7 'predicts' higher k for larger arrays (paper Section IV-A)."""
+        gemm = GemmShape(m=256, n=2304, t=196)
+        small = PipelineOptimizer(ArrayFlexConfig(rows=128, cols=128))
+        large = PipelineOptimizer(ArrayFlexConfig(rows=256, cols=256))
+        assert large.analytical_optimal_depth(gemm) > small.analytical_optimal_depth(gemm)
+
+    @given(st.integers(1, 8192))
+    def test_khat_monotonically_decreasing_in_t(self, t):
+        optimizer = PipelineOptimizer(ArrayFlexConfig(rows=128, cols=128))
+        k_t = optimizer.analytical_optimal_depth(GemmShape(m=64, n=64, t=t))
+        k_t2 = optimizer.analytical_optimal_depth(GemmShape(m=64, n=64, t=t + 100))
+        assert k_t >= k_t2
+
+
+class TestDiscreteSelection:
+    def test_best_depth_is_true_argmin(self, optimizer):
+        gemm = GemmShape(m=512, n=2304, t=49)
+        decision = optimizer.best_depth(gemm)
+        assert decision.execution_time_ns == min(decision.per_depth_time_ns.values())
+        assert decision.per_depth_time_ns[decision.collapse_depth] == pytest.approx(
+            decision.execution_time_ns
+        )
+
+    def test_large_t_layer_selects_normal_mode(self, optimizer):
+        decision = optimizer.best_depth(GemmShape(m=64, n=576, t=3136))
+        assert decision.collapse_depth == 1
+        assert not decision.is_shallow
+
+    def test_small_t_layer_selects_deepest_mode(self, optimizer):
+        decision = optimizer.best_depth(GemmShape(m=512, n=4608, t=49))
+        assert decision.collapse_depth == 4
+        assert decision.is_shallow
+
+    def test_decision_cycles_match_latency_model(self, optimizer):
+        gemm = GemmShape(m=512, n=2304, t=49)
+        decision = optimizer.best_depth(gemm)
+        assert decision.cycles == optimizer.latency.total_cycles(gemm, decision.collapse_depth)
+
+    def test_decision_reports_clock_of_selected_mode(self, optimizer):
+        decision = optimizer.best_depth(GemmShape(m=512, n=4608, t=49))
+        assert decision.clock_frequency_ghz == pytest.approx(1.4)
+
+    def test_per_depth_times_cover_supported_set(self, optimizer):
+        decision = optimizer.best_depth(GemmShape(m=128, n=128, t=128))
+        assert set(decision.per_depth_time_ns) == {1, 2, 4}
+
+    def test_decide_model_length(self, optimizer):
+        decisions = optimizer.decide_model(resnet34().gemms())
+        assert len(decisions) == 34
+
+    @given(st.integers(1, 8192), st.integers(1, 8192), st.integers(1, 8192))
+    def test_selected_mode_never_loses_to_other_supported_modes(self, m, n, t):
+        optimizer = PipelineOptimizer(ArrayFlexConfig(rows=128, cols=128))
+        decision = optimizer.best_depth(GemmShape(m=m, n=n, t=t))
+        for depth, time_ns in decision.per_depth_time_ns.items():
+            assert decision.execution_time_ns <= time_ns + 1e-9
+
+
+class TestExhaustiveSearch:
+    def test_exhaustive_covers_all_legal_depths(self, optimizer):
+        decision = optimizer.exhaustive_best_depth(GemmShape(m=256, n=2304, t=196))
+        assert set(decision.per_depth_time_ns) == {1, 2, 4}
+
+    def test_exhaustive_on_132_array_includes_k3(self):
+        optimizer = PipelineOptimizer(ArrayFlexConfig.fig5_132x132())
+        decision = optimizer.exhaustive_best_depth(GemmShape(m=256, n=2304, t=196))
+        assert 3 in decision.per_depth_time_ns
+
+    def test_exhaustive_never_worse_than_restricted(self, optimizer):
+        gemm = GemmShape(m=512, n=2304, t=100)
+        restricted = optimizer.best_depth(gemm)
+        exhaustive = optimizer.exhaustive_best_depth(gemm)
+        assert exhaustive.execution_time_ns <= restricted.execution_time_ns + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (one object per paper figure)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ClockFrequencyExperiment,
+    CsaAblationExperiment,
+    DirectionAblationExperiment,
+    Eq7ValidationExperiment,
+    Fig5Experiment,
+    Fig6Experiment,
+    Fig7Experiment,
+    Fig8Experiment,
+    Fig9Experiment,
+    all_experiments,
+)
+
+
+class TestFig5:
+    def test_only_paper_layers_accepted(self):
+        with pytest.raises(ValueError):
+            Fig5Experiment(layer_index=5)
+
+    def test_layer20_minimum_at_k2(self):
+        result = Fig5Experiment(layer_index=20).run()
+        assert result.best_depth == 2
+
+    def test_layer28_minimum_at_k4(self):
+        result = Fig5Experiment(layer_index=28).run()
+        assert result.best_depth == 4
+
+    def test_render_mentions_conventional_reference(self):
+        text = Fig5Experiment(layer_index=20).render()
+        assert "conventional" in text
+        assert "132x132" in text
+
+
+class TestFig6:
+    def test_overhead_close_to_paper(self):
+        result = Fig6Experiment().run()
+        assert result.pe_overhead == pytest.approx(0.16, abs=0.02)
+
+    def test_render_contains_both_designs(self):
+        text = Fig6Experiment().render()
+        assert "conventional PE" in text and "ArrayFlex PE" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Fig7Experiment().run()
+
+    def test_total_saving_band(self, result):
+        assert 0.06 < result.total_saving < 0.16
+
+    def test_layer_count_preserved(self, result):
+        assert len(result.arrayflex.layers) == len(result.conventional.layers) == 59
+
+    def test_early_layers_normal_late_layers_deep(self, result):
+        assert result.depth_of_layer(1) == 1
+        assert result.depth_of_layer(len(result.arrayflex.layers) - 1) == 4
+
+    def test_per_layer_savings_list_length(self, result):
+        assert len(result.per_layer_savings()) == 59
+
+    def test_render_footer_totals(self, result):
+        text = Fig7Experiment().render(result)
+        assert "total:" in text
+
+
+class TestFig8AndFig9:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return Fig8Experiment(sizes=(128,)).run()
+
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return Fig9Experiment(sizes=(128,)).run()
+
+    def test_fig8_entry_per_model(self, fig8):
+        assert len(fig8.entries) == 3
+
+    def test_fig8_savings_positive(self, fig8):
+        low, high = fig8.savings_range()
+        assert low > 0.0 and high < 0.25
+
+    def test_fig9_power_savings_positive(self, fig9):
+        low, high = fig9.power_saving_range(128)
+        assert low > 0.0 and high < 0.30
+
+    def test_fig9_mode_time_shares_sum_to_one(self, fig9):
+        for entry in fig9.entries:
+            assert sum(entry.mode_time_share.values()) == pytest.approx(1.0)
+
+    def test_renders_are_non_empty(self, fig8, fig9):
+        assert "Fig. 8" in Fig8Experiment(sizes=(128,)).render(fig8)
+        assert "Fig. 9" in Fig9Experiment(sizes=(128,)).render(fig9)
+
+
+class TestOtherExperiments:
+    def test_eq7_agreement_high(self):
+        result = Eq7ValidationExperiment().run()
+        assert result.agreement_rate >= 0.8
+
+    def test_clock_experiment_paper_frequencies(self):
+        result = ClockFrequencyExperiment().run()
+        assert result.conventional_ghz == pytest.approx(2.0)
+        assert result.mode_ghz[4] == pytest.approx(1.4)
+
+    def test_csa_ablation_shows_csa_benefit(self):
+        result = CsaAblationExperiment().run()
+        deepest = max(result.entries, key=lambda e: e.collapse_depth)
+        assert deepest.model_saving_with_csa > deepest.model_saving_without_csa
+
+    def test_direction_ablation_both_wins(self):
+        result = DirectionAblationExperiment().run()
+        for entry in result.entries:
+            assert entry.cycles_both < min(
+                entry.cycles_vertical_only, entry.cycles_horizontal_only
+            )
+
+    def test_all_experiments_run_and_render(self):
+        """Smoke test: every experiment exposes the same minimal interface."""
+        for experiment in all_experiments():
+            assert hasattr(experiment, "experiment_id")
+            assert isinstance(experiment.paper_reference, dict)
+            text = experiment.render()
+            assert isinstance(text, str) and text

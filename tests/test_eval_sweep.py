@@ -1,0 +1,60 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.core.config import ArrayFlexConfig
+from repro.eval.sweep import array_size_sweep, collapse_depth_sweep
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import mobilenet_v1, resnet34
+
+
+class TestCollapseDepthSweep:
+    def test_supported_depths_by_default(self):
+        config = ArrayFlexConfig(rows=128, cols=128)
+        points = collapse_depth_sweep(GemmShape(m=256, n=2304, t=196), config)
+        assert [p.collapse_depth for p in points] == [1, 2, 4]
+
+    def test_explicit_depths_including_unsupported(self):
+        """Fig. 5 evaluates k = 3 even though the shipped design omits it."""
+        config = ArrayFlexConfig.fig5_132x132()
+        points = collapse_depth_sweep(
+            GemmShape(m=256, n=2304, t=196), config, depths=(1, 2, 3, 4)
+        )
+        assert [p.collapse_depth for p in points] == [1, 2, 3, 4]
+        k3 = points[2]
+        assert k3.clock_frequency_ghz == pytest.approx(1.5)
+
+    def test_cycles_decrease_with_depth(self):
+        config = ArrayFlexConfig(rows=128, cols=128)
+        points = collapse_depth_sweep(GemmShape(m=512, n=2304, t=49), config)
+        cycles = [p.cycles for p in points]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_illegal_depth_rejected(self):
+        config = ArrayFlexConfig(rows=128, cols=128)
+        with pytest.raises(ValueError):
+            collapse_depth_sweep(GemmShape(m=1, n=1, t=1), config, depths=(3,))
+
+    def test_time_consistency(self):
+        config = ArrayFlexConfig(rows=128, cols=128)
+        for point in collapse_depth_sweep(GemmShape(m=256, n=2304, t=196), config):
+            expected_us = point.cycles / point.clock_frequency_ghz / 1000.0
+            assert point.execution_time_us == pytest.approx(expected_us, rel=1e-6)
+
+
+class TestArraySizeSweep:
+    def test_sweep_covers_models_and_sizes(self):
+        points = array_size_sweep([resnet34(), mobilenet_v1()], sizes=[(64, 64), (128, 128)])
+        assert len(points) == 4
+        assert {(p.rows, p.cols) for p in points} == {(64, 64), (128, 128)}
+
+    def test_savings_are_fractions(self):
+        points = array_size_sweep([resnet34()], sizes=[(128, 128)])
+        point = points[0]
+        assert 0.0 < point.latency_saving < 1.0
+        assert 0.0 < point.power_saving < 1.0
+        assert point.edp_gain > 1.0
+
+    def test_arrayflex_time_below_conventional(self):
+        for point in array_size_sweep([mobilenet_v1()], sizes=[(128, 128), (256, 256)]):
+            assert point.arrayflex_time_ms < point.conventional_time_ms

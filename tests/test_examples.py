@@ -1,0 +1,33 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples double as executable documentation; breaking one is breaking
+the public API story, so they are exercised here (with output captured).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=[e.stem for e in EXAMPLES])
+def test_example_runs(example, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(example)])
+    runpy.run_path(str(example), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{example.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {e.stem for e in EXAMPLES}
+    assert {
+        "quickstart",
+        "resnet34_layer_study",
+        "convnext_per_layer",
+        "cnn_suite_comparison",
+        "functional_simulation",
+    } <= names

@@ -1,0 +1,112 @@
+"""Tests for the conv -> GEMM lowering (paper Section II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nn.gemm_mapping import GemmShape, layer_to_gemm, model_to_gemms
+from repro.nn.layers import Conv2dLayer, LayerKind, LinearLayer
+from repro.nn.models import resnet34
+
+
+class TestGemmShape:
+    def test_macs(self):
+        assert GemmShape(m=4, n=5, t=6).macs == 120
+
+    def test_tuple_view(self):
+        assert GemmShape(m=1, n=2, t=3).as_tuple() == (1, 2, 3)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ValueError):
+            GemmShape(m=0, n=1, t=1)
+
+    def test_str_contains_dims(self):
+        text = str(GemmShape(m=4, n=5, t=6, name="layer"))
+        assert "M=4" in text and "N=5" in text and "T=6" in text
+
+
+class TestConvLowering:
+    def test_standard_conv(self):
+        layer = Conv2dLayer(
+            name="c", in_channels=256, out_channels=256, kernel_size=3, stride=1,
+            padding=1, input_height=14, input_width=14,
+        )
+        gemm = layer_to_gemm(layer)
+        assert gemm.as_tuple() == (256, 3 * 3 * 256, 196)
+        assert gemm.kind is LayerKind.CONV
+
+    def test_pointwise_conv(self):
+        layer = Conv2dLayer(
+            name="pw", in_channels=192, out_channels=768, kernel_size=1, stride=1,
+            padding=0, input_height=28, input_width=28,
+        )
+        gemm = layer_to_gemm(layer)
+        assert gemm.as_tuple() == (768, 192, 784)
+
+    def test_depthwise_conv_uses_single_channel_kernels(self):
+        layer = Conv2dLayer(
+            name="dw", in_channels=96, out_channels=96, kernel_size=7, stride=1,
+            padding=3, input_height=56, input_width=56, groups=96,
+        )
+        gemm = layer_to_gemm(layer)
+        assert gemm.n == 49  # K*K*1, the SCALE-Sim-style approximation
+        assert gemm.m == 96
+
+    def test_strided_conv_shrinks_t(self):
+        layer = Conv2dLayer(
+            name="s", in_channels=64, out_channels=128, kernel_size=3, stride=2,
+            padding=1, input_height=56, input_width=56,
+        )
+        assert layer_to_gemm(layer).t == 28 * 28
+
+    def test_gemm_macs_equal_layer_macs_for_dense_convs(self):
+        layer = Conv2dLayer(
+            name="c", in_channels=64, out_channels=64, kernel_size=3, stride=1,
+            padding=1, input_height=56, input_width=56,
+        )
+        assert layer_to_gemm(layer).macs == layer.macs
+
+    @given(
+        st.integers(1, 512),
+        st.integers(1, 512),
+        st.sampled_from([1, 3, 5, 7]),
+        st.sampled_from([1, 2]),
+        st.sampled_from([7, 14, 28, 56]),
+    )
+    def test_lowering_dimensions_property(self, cin, cout, kernel, stride, resolution):
+        layer = Conv2dLayer(
+            name="p", in_channels=cin, out_channels=cout, kernel_size=kernel,
+            stride=stride, padding=kernel // 2, input_height=resolution,
+            input_width=resolution,
+        )
+        gemm = layer_to_gemm(layer)
+        assert gemm.m == cout
+        assert gemm.n == kernel * kernel * cin
+        assert gemm.t == layer.output_pixels
+
+
+class TestLinearAndModelLowering:
+    def test_linear_layer(self):
+        gemm = layer_to_gemm(LinearLayer("fc", 512, 1000))
+        assert gemm.as_tuple() == (1000, 512, 1)
+        assert gemm.kind is LayerKind.LINEAR
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            layer_to_gemm("not a layer")  # type: ignore[arg-type]
+
+    def test_model_lowering_preserves_order_and_names(self):
+        model = resnet34()
+        gemms = model_to_gemms(list(model.layers))
+        assert len(gemms) == model.num_layers
+        assert gemms[0].name == "conv1"
+        assert gemms[-1].name == "fc"
+
+
+class TestPaperQuotedShapes:
+    def test_resnet34_layer20(self):
+        """Section III-C: layer 20 of ResNet-34 is (M, N, T) = (256, 2304, 196)."""
+        assert resnet34().gemm(20).as_tuple() == (256, 2304, 196)
+
+    def test_resnet34_layer28(self):
+        """Section III-C: layer 28 of ResNet-34 is (M, N, T) = (512, 2304, 49)."""
+        assert resnet34().gemm(28).as_tuple() == (512, 2304, 49)

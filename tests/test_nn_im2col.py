@@ -1,0 +1,150 @@
+"""Tests for the functional im2col lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.im2col import (
+    direct_convolution,
+    gemm_output_to_feature_map,
+    grouped_im2col,
+    im2col,
+    pad_input,
+    weights_to_matrix,
+)
+from repro.nn.layers import Conv2dLayer
+
+
+def make_layer(**overrides):
+    defaults = dict(
+        name="conv",
+        in_channels=3,
+        out_channels=4,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+        input_height=6,
+        input_width=6,
+    )
+    defaults.update(overrides)
+    return Conv2dLayer(**defaults)
+
+
+def random_tensors(layer, seed=0, low=-4, high=4):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(low, high, size=(layer.in_channels, layer.input_height, layer.input_width))
+    w = rng.integers(
+        low, high,
+        size=(layer.out_channels, layer.channels_per_group, layer.kernel_size, layer.kernel_size),
+    )
+    return x.astype(np.int64), w.astype(np.int64)
+
+
+class TestShapes:
+    def test_im2col_shape(self):
+        layer = make_layer()
+        x, _ = random_tensors(layer)
+        assert im2col(layer, x).shape == (36, 27)
+
+    def test_weight_matrix_shape(self):
+        layer = make_layer()
+        _, w = random_tensors(layer)
+        assert weights_to_matrix(layer, w).shape == (27, 4)
+
+    def test_pad_input(self):
+        layer = make_layer(padding=2)
+        x, _ = random_tensors(layer)
+        padded = pad_input(layer, x)
+        assert padded.shape == (3, 10, 10)
+        assert np.all(padded[:, :2, :] == 0)
+
+    def test_strided_layer_shapes(self):
+        layer = make_layer(stride=2)
+        x, _ = random_tensors(layer)
+        assert im2col(layer, x).shape == (9, 27)
+
+    def test_dimension_validation(self):
+        layer = make_layer()
+        with pytest.raises(ValueError):
+            im2col(layer, np.zeros((2, 6, 6)))
+        with pytest.raises(ValueError):
+            im2col(layer, np.zeros((3, 5, 6)))
+        with pytest.raises(ValueError):
+            weights_to_matrix(layer, np.zeros((4, 3, 3, 5)))
+
+    def test_grouped_layers_rejected_by_dense_path(self):
+        layer = make_layer(in_channels=4, out_channels=4, groups=4)
+        x, w = random_tensors(layer)
+        with pytest.raises(ValueError):
+            im2col(layer, x)
+        with pytest.raises(ValueError):
+            weights_to_matrix(layer, w)
+
+
+class TestCorrectness:
+    def test_gemm_equals_direct_convolution(self):
+        layer = make_layer()
+        x, w = random_tensors(layer, seed=1)
+        gemm_out = im2col(layer, x) @ weights_to_matrix(layer, w)
+        feature_map = gemm_output_to_feature_map(layer, gemm_out)
+        assert np.array_equal(feature_map, direct_convolution(layer, x, w))
+
+    def test_strided_and_unpadded(self):
+        layer = make_layer(stride=2, padding=0, kernel_size=2, input_height=8, input_width=8)
+        x, w = random_tensors(layer, seed=2)
+        gemm_out = im2col(layer, x) @ weights_to_matrix(layer, w)
+        assert np.array_equal(
+            gemm_output_to_feature_map(layer, gemm_out), direct_convolution(layer, x, w)
+        )
+
+    def test_pointwise_conv(self):
+        layer = make_layer(kernel_size=1, padding=0)
+        x, w = random_tensors(layer, seed=3)
+        gemm_out = im2col(layer, x) @ weights_to_matrix(layer, w)
+        assert np.array_equal(
+            gemm_output_to_feature_map(layer, gemm_out), direct_convolution(layer, x, w)
+        )
+
+    def test_depthwise_via_groups(self):
+        layer = make_layer(in_channels=4, out_channels=4, groups=4)
+        x, w = random_tensors(layer, seed=4)
+        out = np.zeros((4, 6, 6), dtype=np.int64)
+        for (a_matrix, out_slice), out_ch in zip(grouped_im2col(layer, x), range(4)):
+            b_matrix = w[out_slice].reshape(1, -1).T
+            out[out_ch] = (a_matrix @ b_matrix).T.reshape(6, 6)
+        assert np.array_equal(out, direct_convolution(layer, x, w))
+
+    def test_feature_map_reshape_validation(self):
+        layer = make_layer()
+        with pytest.raises(ValueError):
+            gemm_output_to_feature_map(layer, np.zeros((10, 4)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 5),
+        st.sampled_from([1, 2, 3]),
+        st.sampled_from([1, 2]),
+        st.integers(4, 8),
+        st.integers(0, 500),
+    )
+    def test_property_gemm_matches_direct(self, cin, cout, kernel, stride, size, seed):
+        layer = make_layer(
+            in_channels=cin, out_channels=cout, kernel_size=kernel, stride=stride,
+            padding=kernel // 2, input_height=size, input_width=size,
+        )
+        x, w = random_tensors(layer, seed=seed)
+        gemm_out = im2col(layer, x) @ weights_to_matrix(layer, w)
+        assert np.array_equal(
+            gemm_output_to_feature_map(layer, gemm_out), direct_convolution(layer, x, w)
+        )
+
+    def test_im2col_dimensions_match_gemm_mapping(self):
+        """The functional lowering and the analytical GEMM dimensions agree."""
+        from repro.nn.gemm_mapping import layer_to_gemm
+
+        layer = make_layer(in_channels=5, out_channels=7, input_height=9, input_width=9)
+        x, w = random_tensors(layer, seed=5)
+        gemm = layer_to_gemm(layer)
+        assert im2col(layer, x).shape == (gemm.t, gemm.n)
+        assert weights_to_matrix(layer, w).shape == (gemm.n, gemm.m)

@@ -1,0 +1,123 @@
+"""Tests for layer-level functional inference on the simulated accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArrayFlexConfig
+from repro.nn.inference import LayerExecutor
+from repro.nn.layers import Conv2dLayer, LinearLayer
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ArrayFlexConfig(rows=16, cols=16, supported_depths=(1, 2, 4))
+
+
+def small_conv(**overrides):
+    defaults = dict(
+        name="conv",
+        in_channels=6,
+        out_channels=8,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+        input_height=5,
+        input_width=5,
+    )
+    defaults.update(overrides)
+    return Conv2dLayer(**defaults)
+
+
+def tensors_for(layer, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-4, 4, size=(layer.in_channels, layer.input_height, layer.input_width))
+    w = rng.integers(
+        -4, 4,
+        size=(layer.out_channels, layer.channels_per_group, layer.kernel_size, layer.kernel_size),
+    )
+    return x.astype(np.int64), w.astype(np.int64)
+
+
+class TestConvInference:
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_dense_conv_verified(self, config, depth):
+        layer = small_conv()
+        x, w = tensors_for(layer, seed=depth)
+        executor = LayerExecutor(config)
+        result = executor.run_conv2d(layer, x, w, collapse_depth=depth, verify=True)
+        assert result.verified is True
+        assert result.collapse_depth == depth
+        assert result.output.shape == (8, 5, 5)
+
+    def test_auto_depth_matches_optimizer(self, config):
+        layer = small_conv()
+        x, w = tensors_for(layer, seed=9)
+        executor = LayerExecutor(config)
+        result = executor.run_conv2d(layer, x, w, verify=False)
+        from repro.core.optimizer import PipelineOptimizer
+        from repro.nn.gemm_mapping import layer_to_gemm
+
+        expected = PipelineOptimizer(config).best_depth(layer_to_gemm(layer)).collapse_depth
+        assert result.collapse_depth == expected
+
+    def test_depthwise_conv_verified(self, config):
+        layer = small_conv(in_channels=6, out_channels=6, groups=6)
+        x, w = tensors_for(layer, seed=2)
+        executor = LayerExecutor(config)
+        result = executor.run_conv2d(layer, x, w, collapse_depth=2, verify=True)
+        assert result.verified is True
+
+    def test_conventional_baseline_forces_k1(self, config):
+        layer = small_conv()
+        x, w = tensors_for(layer, seed=3)
+        executor = LayerExecutor(config, configurable=False)
+        result = executor.run_conv2d(layer, x, w, verify=True)
+        assert result.collapse_depth == 1
+        assert result.verified is True
+        with pytest.raises(ValueError):
+            executor.run_conv2d(layer, x, w, collapse_depth=2)
+
+    def test_stats_accumulated(self, config):
+        layer = small_conv()
+        x, w = tensors_for(layer, seed=4)
+        result = LayerExecutor(config).run_conv2d(layer, x, w, collapse_depth=2)
+        assert result.total_cycles > 0
+        assert result.stats.mac_operations > 0
+
+    def test_shallow_mode_uses_fewer_cycles(self, config):
+        layer = small_conv(in_channels=16, out_channels=16)
+        x, w = tensors_for(layer, seed=5)
+        executor = LayerExecutor(config)
+        cycles = {
+            depth: executor.run_conv2d(layer, x, w, collapse_depth=depth).total_cycles
+            for depth in (1, 4)
+        }
+        assert cycles[4] < cycles[1]
+
+
+class TestLinearInference:
+    def test_linear_verified(self, config):
+        layer = LinearLayer("fc", in_features=20, out_features=12, tokens=3)
+        rng = np.random.default_rng(0)
+        x = rng.integers(-5, 5, size=(3, 20)).astype(np.int64)
+        w = rng.integers(-5, 5, size=(12, 20)).astype(np.int64)
+        result = LayerExecutor(config).run_linear(layer, x, w, verify=True)
+        assert result.verified is True
+        assert result.output.shape == (3, 12)
+
+    def test_linear_accepts_1d_single_token(self, config):
+        layer = LinearLayer("fc", in_features=10, out_features=4)
+        rng = np.random.default_rng(1)
+        x = rng.integers(-5, 5, size=10).astype(np.int64)
+        w = rng.integers(-5, 5, size=(4, 10)).astype(np.int64)
+        result = LayerExecutor(config).run_linear(layer, x, w, verify=True)
+        assert result.verified is True
+        assert result.output.shape == (1, 4)
+
+    def test_linear_shape_validation(self, config):
+        layer = LinearLayer("fc", in_features=10, out_features=4)
+        executor = LayerExecutor(config)
+        with pytest.raises(ValueError):
+            executor.run_linear(layer, np.zeros((1, 9)), np.zeros((4, 10)))
+        with pytest.raises(ValueError):
+            executor.run_linear(layer, np.zeros((1, 10)), np.zeros((4, 9)))

@@ -1,0 +1,111 @@
+"""Tests for the CNN layer descriptors."""
+
+import pytest
+
+from repro.nn.layers import Conv2dLayer, LayerKind, LinearLayer
+
+
+def make_conv(**overrides):
+    defaults = dict(
+        name="conv",
+        in_channels=64,
+        out_channels=128,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+        input_height=56,
+        input_width=56,
+    )
+    defaults.update(overrides)
+    return Conv2dLayer(**defaults)
+
+
+class TestConvGeometry:
+    def test_same_padding_preserves_resolution(self):
+        layer = make_conv()
+        assert layer.output_height == 56
+        assert layer.output_width == 56
+
+    def test_stride_two_halves_resolution(self):
+        layer = make_conv(stride=2)
+        assert layer.output_height == 28
+
+    def test_valid_padding(self):
+        layer = make_conv(padding=0, kernel_size=7, input_height=112, input_width=112)
+        assert layer.output_height == 106
+
+    def test_stem_conv_like_resnet(self):
+        layer = make_conv(
+            in_channels=3, out_channels=64, kernel_size=7, stride=2, padding=3,
+            input_height=224, input_width=224,
+        )
+        assert layer.output_height == 112
+
+    def test_output_pixels(self):
+        assert make_conv(stride=2).output_pixels == 28 * 28
+
+    def test_non_square_input(self):
+        layer = make_conv(input_height=32, input_width=64)
+        assert layer.output_pixels == 32 * 64
+
+
+class TestConvKinds:
+    def test_standard_conv(self):
+        assert make_conv().kind is LayerKind.CONV
+
+    def test_pointwise(self):
+        assert make_conv(kernel_size=1, padding=0).kind is LayerKind.POINTWISE_CONV
+
+    def test_depthwise(self):
+        layer = make_conv(in_channels=64, out_channels=64, groups=64)
+        assert layer.kind is LayerKind.DEPTHWISE_CONV
+
+    def test_grouped_but_not_depthwise(self):
+        layer = make_conv(in_channels=64, out_channels=128, groups=2)
+        assert layer.kind is LayerKind.CONV
+
+
+class TestConvCosts:
+    def test_weight_count(self):
+        assert make_conv().weight_count == 128 * 64 * 9
+
+    def test_depthwise_weight_count(self):
+        layer = make_conv(in_channels=64, out_channels=64, groups=64)
+        assert layer.weight_count == 64 * 9
+
+    def test_macs(self):
+        layer = make_conv()
+        assert layer.macs == layer.weight_count * 56 * 56
+
+    def test_scaled_input(self):
+        layer = make_conv().scaled_input(28, 28)
+        assert layer.output_pixels == 28 * 28
+        assert layer.in_channels == 64
+
+
+class TestValidation:
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            make_conv(padding=-1)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ValueError):
+            make_conv(in_channels=0)
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            make_conv(groups=3)
+
+
+class TestLinearLayer:
+    def test_kind(self):
+        assert LinearLayer("fc", 512, 1000).kind is LayerKind.LINEAR
+
+    def test_weight_count_and_macs(self):
+        layer = LinearLayer("fc", 512, 1000, tokens=4)
+        assert layer.weight_count == 512000
+        assert layer.macs == 512000 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearLayer("fc", 0, 10)

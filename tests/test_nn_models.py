@@ -1,0 +1,138 @@
+"""Tests for the CNN model zoo."""
+
+import pytest
+
+from repro.nn.layers import Conv2dLayer, LayerKind, LinearLayer
+from repro.nn.models import CnnModel, convnext_tiny, mobilenet_v1, model_zoo, resnet34
+
+
+class TestResNet34:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return resnet34()
+
+    def test_layer_count(self, model):
+        """Stem + 32 stage convolutions + classifier = 34 layers."""
+        assert model.num_layers == 34
+
+    def test_stage_structure(self, model):
+        convs = [l for l in model.layers if isinstance(l, Conv2dLayer)]
+        assert len(convs) == 33
+        out_channels = [c.out_channels for c in convs[1:]]
+        assert out_channels.count(64) == 6
+        assert out_channels.count(128) == 8
+        assert out_channels.count(256) == 12
+        assert out_channels.count(512) == 6
+
+    def test_resolutions_per_stage(self, model):
+        assert model.layer(2).output_pixels == 56 * 56
+        assert model.layer(10).output_pixels == 28 * 28
+        assert model.layer(20).output_pixels == 14 * 14
+        assert model.layer(30).output_pixels == 7 * 7
+
+    def test_classifier(self, model):
+        fc = model.layer(34)
+        assert isinstance(fc, LinearLayer)
+        assert fc.in_features == 512 and fc.out_features == 1000
+
+    def test_total_macs_in_expected_range(self, model):
+        """ResNet-34 is ~3.6 GMACs at 224x224; the plain trunk without the
+        projection shortcuts lands slightly below."""
+        assert 3.0e9 < model.total_macs < 4.2e9
+
+    def test_layer_index_is_one_based(self, model):
+        assert model.layer(1).name == "conv1"
+        with pytest.raises(IndexError):
+            model.layer(0)
+        with pytest.raises(IndexError):
+            model.layer(35)
+
+
+class TestMobileNetV1:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return mobilenet_v1()
+
+    def test_layer_count(self, model):
+        """Stem + 13 x (depthwise + pointwise) + classifier = 28 layers."""
+        assert model.num_layers == 28
+
+    def test_alternating_depthwise_pointwise(self, model):
+        kinds = [layer.kind for layer in model.layers[1:-1]]
+        assert kinds[0::2] == [LayerKind.DEPTHWISE_CONV] * 13
+        assert kinds[1::2] == [LayerKind.POINTWISE_CONV] * 13
+
+    def test_final_resolution(self, model):
+        last_conv = model.layers[-2]
+        assert isinstance(last_conv, Conv2dLayer)
+        assert last_conv.output_pixels == 49
+
+    def test_total_macs_in_expected_range(self, model):
+        """MobileNetV1 is ~0.57 GMACs at 224x224."""
+        assert 0.4e9 < model.total_macs < 0.7e9
+
+    def test_channel_progression(self, model):
+        pointwise = [l for l in model.layers if getattr(l, "kind", None) is LayerKind.POINTWISE_CONV]
+        assert pointwise[0].out_channels == 64
+        assert pointwise[-1].out_channels == 1024
+
+
+class TestConvNeXtTiny:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return convnext_tiny()
+
+    def test_layer_count(self, model):
+        """Stem + 3 downsamplers + (3+3+9+3) blocks x 3 convs + classifier."""
+        assert model.num_layers == 1 + 3 + 18 * 3 + 1
+
+    def test_stage_dims(self, model):
+        dwconvs = [
+            l for l in model.layers
+            if isinstance(l, Conv2dLayer) and l.kind is LayerKind.DEPTHWISE_CONV
+        ]
+        dims = sorted({l.out_channels for l in dwconvs})
+        assert dims == [96, 192, 384, 768]
+
+    def test_expansion_ratio(self, model):
+        pw1 = next(l for l in model.layers if l.name == "stage1_block1_pwconv1")
+        assert pw1.out_channels == 4 * pw1.in_channels
+
+    def test_stem_downsamples_by_four(self, model):
+        stem = model.layer(1)
+        assert isinstance(stem, Conv2dLayer)
+        assert stem.output_pixels == 56 * 56
+
+    def test_late_layers_have_small_t(self, model):
+        gemms = model.gemms()
+        assert gemms[-2].t == 49  # last stage at 7x7
+        assert gemms[1].t == 3136  # first stage at 56x56
+
+    def test_total_macs_in_expected_range(self, model):
+        """ConvNeXt-T is ~4.5 GMACs at 224x224."""
+        assert 3.5e9 < model.total_macs < 5.5e9
+
+    def test_runtime_dominates_other_models(self, model):
+        """The reason the paper normalizes Fig. 8: ConvNeXt takes far longer."""
+        assert model.total_macs > mobilenet_v1().total_macs * 5
+
+
+class TestModelZoo:
+    def test_zoo_contains_all_three_models(self):
+        zoo = model_zoo()
+        assert set(zoo) == {"ResNet-34", "MobileNetV1", "ConvNeXt-T"}
+
+    def test_zoo_resolution_parameter(self):
+        zoo = model_zoo(input_resolution=112)
+        assert zoo["ResNet-34"].input_resolution == 112
+        assert zoo["ResNet-34"].gemm(2).t == 28 * 28
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            CnnModel(name="empty", input_resolution=224, layers=())
+
+    def test_gemms_are_cached_per_call_but_consistent(self):
+        model = resnet34()
+        assert [g.as_tuple() for g in model.gemms()] == [
+            g.as_tuple() for g in model.gemms()
+        ]

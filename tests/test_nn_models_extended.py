@@ -1,0 +1,94 @@
+"""Tests for the extended model zoo (ResNet-50, VGG-16) and its scheduling."""
+
+import pytest
+
+from repro.core.arrayflex import ArrayFlexAccelerator
+from repro.nn.layers import Conv2dLayer, LinearLayer
+from repro.nn.models import extended_model_zoo, resnet50, vgg16
+
+
+class TestResNet50:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return resnet50()
+
+    def test_layer_count(self, model):
+        """Stem + 16 bottleneck blocks x 3 convs + classifier = 50 layers."""
+        assert model.num_layers == 1 + 16 * 3 + 1
+
+    def test_total_macs_in_expected_range(self, model):
+        """ResNet-50 is ~4.1 GMACs at 224x224 (trunk only, no shortcuts)."""
+        assert 3.4e9 < model.total_macs < 4.6e9
+
+    def test_bottleneck_structure(self, model):
+        block = [l for l in model.layers if l.name.startswith("conv3_block1")]
+        assert [l.kernel_size for l in block] == [1, 3, 1]
+        assert block[0].in_channels == 256
+        assert block[2].out_channels == 512
+
+    def test_final_stage_resolution(self, model):
+        last_conv = [l for l in model.layers if isinstance(l, Conv2dLayer)][-1]
+        assert last_conv.output_pixels == 49
+
+    def test_classifier_width(self, model):
+        fc = model.layers[-1]
+        assert isinstance(fc, LinearLayer)
+        assert fc.in_features == 2048
+
+
+class TestVGG16:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return vgg16()
+
+    def test_layer_count(self, model):
+        assert model.num_layers == 13 + 3
+
+    def test_total_macs_in_expected_range(self, model):
+        """VGG-16 is ~15.5 GMACs at 224x224."""
+        assert 13e9 < model.total_macs < 17e9
+
+    def test_classifier_sizes(self, model):
+        fc6 = model.layers[13]
+        assert isinstance(fc6, LinearLayer)
+        assert fc6.in_features == 512 * 7 * 7
+        assert model.layers[-1].out_features == 1000
+
+    def test_large_t_everywhere(self, model):
+        """Every VGG conv keeps a large spatial resolution (T >= 49)."""
+        for gemm in model.gemms()[:13]:
+            assert gemm.t >= 14 * 14
+
+
+class TestExtendedZooScheduling:
+    def test_zoo_contains_five_models(self):
+        assert set(extended_model_zoo()) == {
+            "ResNet-34",
+            "MobileNetV1",
+            "ConvNeXt-T",
+            "ResNet-50",
+            "VGG-16",
+        }
+
+    def test_resnet50_benefits_from_arrayflex(self):
+        report = ArrayFlexAccelerator(rows=128, cols=128).compare_with_conventional(resnet50())
+        assert report.latency_saving > 0.04
+        assert report.edp_gain > 1.2
+
+    def test_vgg16_mode_split_follows_eq7(self):
+        """VGG's convolutions keep a huge spatial T, so they never pick the
+        deepest collapse; its single-token fully-connected layers (T = 1) are
+        pure fill/drain and always pick k = 4 -- exactly the workload
+        dependence Eq. (7) predicts."""
+        accel = ArrayFlexAccelerator(rows=128, cols=128)
+        schedule = accel.run_model(vgg16())
+        conv_depths = [layer.collapse_depth for layer in schedule.layers[:13]]
+        fc_depths = [layer.collapse_depth for layer in schedule.layers[13:]]
+        assert set(conv_depths) <= {1, 2}
+        assert conv_depths[:4] == [1, 1, 1, 1]
+        assert fc_depths == [4, 4, 4]
+
+    def test_vgg16_benefits_from_arrayflex(self):
+        report = ArrayFlexAccelerator(rows=128, cols=128).compare_with_conventional(vgg16())
+        assert report.latency_saving > 0.05
+        assert report.edp_gain > 1.2

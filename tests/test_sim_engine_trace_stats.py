@@ -1,0 +1,128 @@
+"""Tests for the simulation engine, traces and statistics containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.workloads import random_int_matrices
+from repro.sim.engine import SimulationEngine, SimulationPhase
+from repro.sim.stats import SimulationStats
+from repro.sim.trace import CycleTrace, TraceEvent
+
+
+class TestSimulationStats:
+    def test_defaults(self):
+        stats = SimulationStats()
+        assert stats.total_cycles == 0
+        assert stats.pe_utilization == 0.0
+        assert stats.gated_register_fraction == 0.0
+
+    def test_merge_accumulates(self):
+        a = SimulationStats(weight_load_cycles=5, compute_cycles=10, mac_operations=100)
+        b = SimulationStats(weight_load_cycles=3, compute_cycles=7, mac_operations=50)
+        a.merge(b)
+        assert a.weight_load_cycles == 8
+        assert a.compute_cycles == 17
+        assert a.mac_operations == 150
+
+    def test_merge_extra_dict(self):
+        a = SimulationStats(extra={"x": 1.0})
+        b = SimulationStats(extra={"x": 2.0, "y": 3.0})
+        a.merge(b)
+        assert a.extra == {"x": 3.0, "y": 3.0}
+
+    def test_merge_returns_self(self):
+        a = SimulationStats()
+        assert a.merge(SimulationStats()) is a
+
+    def test_as_dict_contains_derived_metrics(self):
+        stats = SimulationStats(
+            weight_load_cycles=2,
+            compute_cycles=8,
+            active_pe_cycles=5,
+            total_pe_cycles=10,
+        )
+        d = stats.as_dict()
+        assert d["total_cycles"] == 10
+        assert d["pe_utilization"] == 0.5
+
+
+class TestCycleTrace:
+    def test_record_and_filter(self):
+        trace = CycleTrace()
+        trace.record(1, "a", x=1)
+        trace.record(2, "b", y=2)
+        trace.record(3, "a", x=3)
+        assert len(trace) == 3
+        assert [e.cycle for e in trace.events("a")] == [1, 3]
+
+    def test_disabled_trace_records_nothing(self):
+        trace = CycleTrace(enabled=False)
+        trace.record(1, "a")
+        assert len(trace) == 0
+
+    def test_max_events_cap(self):
+        trace = CycleTrace(max_events=2)
+        for i in range(5):
+            trace.record(i, "a")
+        assert len(trace) == 2
+        assert trace.dropped_events == 3
+
+    def test_first_and_last_cycle(self):
+        trace = CycleTrace()
+        trace.record(4, "a")
+        trace.record(9, "a")
+        assert trace.first_cycle("a") == 4
+        assert trace.last_cycle("a") == 9
+        assert trace.first_cycle("missing") is None
+
+    def test_event_formatting(self):
+        event = TraceEvent(cycle=3, kind="output_captured", detail={"outputs": 2})
+        assert "cycle" in str(event)
+        assert "output_captured" in str(event)
+
+    def test_iteration(self):
+        trace = CycleTrace()
+        trace.record(0, "a")
+        assert [e.kind for e in trace] == ["a"]
+
+
+class TestSimulationEngine:
+    @pytest.fixture()
+    def engine(self):
+        return SimulationEngine(rows=8, cols=8, collapse_depth=2)
+
+    def test_run_gemm_matches_numpy(self, engine):
+        a_matrix, b_matrix = random_int_matrices(6, 20, 10, seed=1)
+        output, stats = engine.run_gemm(a_matrix, b_matrix)
+        assert np.array_equal(output, a_matrix @ b_matrix)
+        assert stats.tiles_executed == 6
+
+    def test_phase_log_structure(self, engine):
+        a_matrix, b_matrix = random_int_matrices(4, 8, 8, seed=2)
+        engine.run_gemm(a_matrix, b_matrix)
+        phases = [record.phase for record in engine.phase_log]
+        assert phases[:3] == [
+            SimulationPhase.WEIGHT_LOAD,
+            SimulationPhase.STREAM,
+            SimulationPhase.DRAIN,
+        ]
+
+    def test_global_cycle_accumulates_all_phases(self, engine):
+        a_matrix, b_matrix = random_int_matrices(4, 8, 8, seed=3)
+        _, stats = engine.run_gemm(a_matrix, b_matrix)
+        assert engine.global_cycle == stats.total_cycles
+
+    def test_phase_cycles_sum(self, engine):
+        a_matrix, b_matrix = random_int_matrices(4, 16, 8, seed=4)
+        _, stats = engine.run_gemm(a_matrix, b_matrix)
+        total = sum(engine.phase_cycles(phase) for phase in SimulationPhase)
+        assert total == stats.total_cycles
+
+    def test_on_phase_callback(self):
+        seen = []
+        engine = SimulationEngine(rows=4, cols=4, on_phase=seen.append)
+        a_matrix, b_matrix = random_int_matrices(3, 4, 4, seed=5)
+        engine.run_gemm(a_matrix, b_matrix)
+        assert len(seen) == 3
+        assert seen[0].start_cycle == 0
+        assert seen[1].start_cycle == seen[0].end_cycle

@@ -1,0 +1,149 @@
+"""Tests for the vectorised cycle-accurate systolic array simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.latency import arrayflex_tile_cycles
+from repro.nn.workloads import random_int_matrices
+from repro.sim.systolic_sim import CycleAccurateSystolicArray
+from repro.sim.trace import CycleTrace
+
+
+class TestConstruction:
+    def test_depth_must_divide_dimensions(self):
+        with pytest.raises(ValueError):
+            CycleAccurateSystolicArray(8, 8, collapse_depth=3)
+
+    def test_conventional_only_k1(self):
+        with pytest.raises(ValueError):
+            CycleAccurateSystolicArray(8, 8, collapse_depth=2, configurable=False)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CycleAccurateSystolicArray(0, 8)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_single_tile_matches_numpy(self, k):
+        array = CycleAccurateSystolicArray(8, 8, collapse_depth=k)
+        a_tile, b_tile = random_int_matrices(10, 8, 8, seed=k)
+        result = array.simulate_tile(a_tile, b_tile)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_partial_tile(self):
+        array = CycleAccurateSystolicArray(16, 16, collapse_depth=4)
+        a_tile, b_tile = random_int_matrices(7, 11, 5, seed=3)
+        result = array.simulate_tile(a_tile, b_tile)
+        assert result.output.shape == (7, 5)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_t_equal_one(self):
+        array = CycleAccurateSystolicArray(8, 8, collapse_depth=2)
+        a_tile, b_tile = random_int_matrices(1, 8, 8, seed=1)
+        result = array.simulate_tile(a_tile, b_tile)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+
+    def test_all_zero_inputs(self):
+        array = CycleAccurateSystolicArray(4, 4, collapse_depth=2)
+        result = array.simulate_tile(np.zeros((3, 4), dtype=np.int64), np.zeros((4, 4), dtype=np.int64))
+        assert np.all(result.output == 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sampled_from([(4, 4), (8, 8), (8, 4), (4, 8), (16, 8)]),
+        st.sampled_from([1, 2, 4]),
+        st.integers(1, 12),
+        st.integers(0, 1000),
+    )
+    def test_random_shapes_and_modes(self, dims, k, t_rows, seed):
+        """Property: for any legal configuration the simulator is bit-exact
+        and cycle-exact with respect to Eqs. (1)/(3)."""
+        rows, cols = dims
+        array = CycleAccurateSystolicArray(rows, cols, collapse_depth=k)
+        rows_used = 1 + seed % rows
+        cols_used = 1 + (seed // 7) % cols
+        a_tile, b_tile = random_int_matrices(t_rows, rows_used, cols_used, seed=seed)
+        result = array.simulate_tile(a_tile, b_tile)
+        assert np.array_equal(result.output, a_tile @ b_tile)
+        assert result.total_cycles == arrayflex_tile_cycles(rows, cols, t_rows, k)
+
+
+class TestCyclesAndStats:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_measured_cycles_equal_closed_form(self, k):
+        array = CycleAccurateSystolicArray(16, 16, collapse_depth=k)
+        a_tile, b_tile = random_int_matrices(9, 16, 16, seed=k)
+        result = array.simulate_tile(a_tile, b_tile)
+        assert result.total_cycles == array.expected_tile_cycles(9)
+        assert result.total_cycles == arrayflex_tile_cycles(16, 16, 9, k)
+
+    def test_mac_count_equals_dense_work(self):
+        """Every (t, row, col-group broadcast) multiplication is counted once;
+        for a full tile that is T x R x C MACs."""
+        array = CycleAccurateSystolicArray(4, 4, collapse_depth=1)
+        a_tile, b_tile = random_int_matrices(5, 4, 4, seed=2)
+        result = array.simulate_tile(a_tile, b_tile)
+        assert result.stats.mac_operations == 5 * 4 * 4
+
+    def test_utilization_increases_with_collapsing(self):
+        """Shallow modes shrink the fill/drain bubbles, so utilisation rises."""
+        results = {}
+        for k in (1, 2, 4):
+            array = CycleAccurateSystolicArray(8, 8, collapse_depth=k)
+            a_tile, b_tile = random_int_matrices(6, 8, 8, seed=4)
+            results[k] = array.simulate_tile(a_tile, b_tile).stats.pe_utilization
+        assert results[1] < results[2] < results[4]
+
+    def test_gated_register_fraction(self):
+        for k in (1, 2, 4):
+            array = CycleAccurateSystolicArray(8, 8, collapse_depth=k)
+            a_tile, b_tile = random_int_matrices(4, 8, 8, seed=k)
+            stats = array.simulate_tile(a_tile, b_tile).stats
+            assert stats.gated_register_fraction == pytest.approx((k - 1) / k)
+
+    def test_conventional_never_gates(self):
+        array = CycleAccurateSystolicArray(8, 8, collapse_depth=1, configurable=False)
+        a_tile, b_tile = random_int_matrices(4, 8, 8, seed=9)
+        stats = array.simulate_tile(a_tile, b_tile).stats
+        assert stats.gated_register_cycles == 0
+
+    def test_sram_accounting(self):
+        array = CycleAccurateSystolicArray(8, 8, collapse_depth=1)
+        a_tile, b_tile = random_int_matrices(4, 6, 5, seed=9)
+        stats = array.simulate_tile(a_tile, b_tile).stats
+        assert stats.sram_reads == 6 * 5 + 4 * 6  # weights + activations
+        assert stats.sram_writes == 4 * 5  # results
+
+    def test_mismatched_operands_rejected(self):
+        array = CycleAccurateSystolicArray(8, 8)
+        with pytest.raises(ValueError):
+            array.simulate_tile(np.ones((3, 4)), np.ones((5, 6)))
+
+    def test_oversized_tile_rejected(self):
+        array = CycleAccurateSystolicArray(4, 4)
+        with pytest.raises(ValueError):
+            array.simulate_tile(np.ones((3, 6)), np.ones((6, 4)))
+
+
+class TestTracing:
+    def test_trace_records_phases_inputs_outputs(self):
+        array = CycleAccurateSystolicArray(4, 4, collapse_depth=2)
+        a_tile, b_tile = random_int_matrices(3, 4, 4, seed=0)
+        trace = CycleTrace()
+        array.simulate_tile(a_tile, b_tile, trace=trace)
+        summary = trace.summary()
+        assert summary[CycleTrace.PHASE] == 1
+        assert summary[CycleTrace.INPUT_INJECTED] > 0
+        assert summary[CycleTrace.OUTPUT_CAPTURED] > 0
+
+    def test_outputs_follow_inputs(self):
+        array = CycleAccurateSystolicArray(4, 4, collapse_depth=1)
+        a_tile, b_tile = random_int_matrices(3, 4, 4, seed=0)
+        trace = CycleTrace()
+        array.simulate_tile(a_tile, b_tile, trace=trace)
+        first_in = trace.first_cycle(CycleTrace.INPUT_INJECTED)
+        first_out = trace.first_cycle(CycleTrace.OUTPUT_CAPTURED)
+        assert first_in is not None and first_out is not None
+        assert first_out > first_in

@@ -1,0 +1,82 @@
+"""Tests for the PE / array area model (Fig. 6 substitute)."""
+
+import pytest
+
+from repro.timing.area_model import AreaModel
+from repro.timing.technology import TechnologyModel
+
+
+@pytest.fixture(scope="module")
+def area():
+    return AreaModel(TechnologyModel.default_28nm())
+
+
+class TestPEAreas:
+    def test_conventional_pe_has_no_arrayflex_extras(self, area):
+        breakdown = area.conventional_pe_area()
+        assert breakdown.carry_save_adder == 0.0
+        assert breakdown.bypass_muxes == 0.0
+        assert breakdown.config_bits == 0.0
+        assert breakdown.layout_overhead == 0.0
+
+    def test_arrayflex_pe_has_all_extras(self, area):
+        breakdown = area.arrayflex_pe_area()
+        assert breakdown.carry_save_adder > 0
+        assert breakdown.bypass_muxes > 0
+        assert breakdown.config_bits > 0
+        assert breakdown.layout_overhead > 0
+
+    def test_shared_components_identical(self, area):
+        conventional = area.conventional_pe_area()
+        arrayflex = area.arrayflex_pe_area()
+        assert arrayflex.multiplier == conventional.multiplier
+        assert arrayflex.adder == conventional.adder
+        assert arrayflex.registers == conventional.registers
+
+    def test_multiplier_dominates_pe_area(self, area):
+        breakdown = area.conventional_pe_area()
+        assert breakdown.multiplier > 0.5 * breakdown.total
+
+    def test_breakdown_total_is_sum(self, area):
+        breakdown = area.arrayflex_pe_area()
+        parts = breakdown.as_dict()
+        total = parts.pop("total")
+        assert total == pytest.approx(sum(parts.values()))
+
+    def test_register_bits_per_pe(self, area):
+        # weight (32) + activation (32) + partial sum (64)
+        assert area.register_bits_per_pe() == 128
+
+
+class TestOverheads:
+    def test_paper_16_percent_overhead(self, area):
+        """Fig. 6: ArrayFlex PEs are ~16% larger."""
+        assert area.pe_area_overhead() == pytest.approx(0.16, abs=0.02)
+
+    def test_structural_overhead_below_layout_overhead(self, area):
+        assert 0.0 < area.pe_structural_overhead() < area.pe_area_overhead()
+
+    def test_overhead_independent_of_array_size(self, area):
+        small = area.array_area_um2(8, 8, True) / area.array_area_um2(8, 8, False)
+        large = area.array_area_um2(128, 128, True) / area.array_area_um2(128, 128, False)
+        assert small == pytest.approx(large)
+
+
+class TestArrayAreas:
+    def test_array_area_scales_with_pe_count(self, area):
+        assert area.array_area_um2(16, 16, False) == pytest.approx(
+            4 * area.array_area_um2(8, 8, False)
+        )
+
+    def test_mm2_conversion(self, area):
+        assert area.array_area_mm2(8, 8, True) == pytest.approx(
+            area.array_area_um2(8, 8, True) / 1e6
+        )
+
+    def test_invalid_dimensions(self, area):
+        with pytest.raises(ValueError):
+            area.array_area_um2(0, 8, True)
+
+    def test_paper_arrays_have_plausible_size(self, area):
+        """A 128x128 32-bit MAC array in 28 nm lands in the tens of mm^2."""
+        assert 10.0 < area.array_area_mm2(128, 128, False) < 300.0

@@ -1,0 +1,93 @@
+"""Tests for the clock-period model (Eq. 5) and operating points."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.delay_model import DelayModel
+from repro.timing.technology import TechnologyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DelayModel(TechnologyModel.default_28nm())
+
+
+class TestEquation5:
+    def test_conventional_period(self, model):
+        assert model.conventional_clock_period_ps() == pytest.approx(500.0)
+
+    @pytest.mark.parametrize("k, expected", [(1, 550.0), (2, 600.0), (3, 650.0), (4, 700.0)])
+    def test_collapsed_periods(self, model, k, expected):
+        assert model.clock_period_ps(k) == pytest.approx(expected)
+
+    def test_depth_zero_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.clock_period_ps(0)
+
+    @given(st.integers(1, 64))
+    def test_period_linear_in_depth(self, k):
+        model = DelayModel()
+        tech = model.technology
+        expected = tech.baseline_path_ps + k * tech.collapse_increment_ps
+        assert model.clock_period_ps(k) == pytest.approx(expected)
+
+    @given(st.integers(1, 16))
+    def test_csa_version_never_slower_than_cpa_version(self, k):
+        """The carry-save datapath is the faster option for every depth."""
+        model = DelayModel()
+        assert model.clock_period_ps(k) <= model.clock_period_ps_without_csa(k) + 1e-9 or k == 1
+
+    def test_no_csa_k1_slightly_faster(self, model):
+        """With k = 1, the no-CSA datapath skips the CSA stage and is a bit
+        faster -- that is exactly the conventional PE's advantage."""
+        assert model.clock_period_ps_without_csa(1) < model.clock_period_ps(1)
+
+    def test_no_csa_degrades_much_faster(self, model):
+        with_csa_slope = model.clock_period_ps(4) - model.clock_period_ps(1)
+        without_slope = model.clock_period_ps_without_csa(4) - model.clock_period_ps_without_csa(1)
+        assert without_slope > 2 * with_csa_slope
+
+
+class TestFrequencies:
+    def test_paper_operating_points(self, model):
+        """Section IV: 2.0 / 1.8 / 1.7 / 1.4 GHz."""
+        assert model.conventional_operating_point().clock_frequency_ghz == pytest.approx(2.0)
+        assert model.arrayflex_operating_point(1).clock_frequency_ghz == pytest.approx(1.8)
+        assert model.arrayflex_operating_point(2).clock_frequency_ghz == pytest.approx(1.7)
+        assert model.arrayflex_operating_point(4).clock_frequency_ghz == pytest.approx(1.4)
+
+    def test_unrounded_frequency(self, model):
+        freq = model.frequency_ghz(550.0, rounded=False)
+        assert freq == pytest.approx(1.8181818, rel=1e-6)
+
+    def test_frequency_requires_positive_period(self, model):
+        with pytest.raises(ValueError):
+            model.frequency_ghz(0.0)
+
+    def test_operating_point_period_consistent_with_frequency(self, model):
+        point = model.arrayflex_operating_point(2)
+        assert point.clock_period_ps == pytest.approx(1000.0 / point.clock_frequency_ghz)
+
+    def test_operating_points_sorted_unique(self, model):
+        points = model.operating_points((4, 1, 2, 2))
+        assert [p.collapse_depth for p in points] == [1, 2, 4]
+
+    def test_describe_mentions_kind(self, model):
+        assert "conventional" in model.conventional_operating_point().describe()
+        assert "ArrayFlex" in model.arrayflex_operating_point(2).describe()
+
+    def test_unit_conversions(self, model):
+        point = model.conventional_operating_point()
+        assert point.clock_period_s == pytest.approx(500e-12)
+        assert point.clock_frequency_hz == pytest.approx(2.0e9)
+
+
+class TestDelayRatio:
+    def test_delay_ratio_is_ten(self, model):
+        """(d_FF + d_mul + d_add) / (d_CSA + 2 d_mux) = 500 / 50 = 10, the
+        factor entering Eq. (7)."""
+        assert model.delay_ratio() == pytest.approx(10.0)
+
+    def test_delay_ratio_tracks_technology(self):
+        tech = TechnologyModel.from_overrides(d_csa_ps=40.0, d_mux_ps=30.0)
+        assert DelayModel(tech).delay_ratio() == pytest.approx(500.0 / 100.0)

@@ -1,0 +1,125 @@
+"""Tests for the power model (Fig. 9 substitute)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.power_model import PowerModel
+from repro.timing.technology import TechnologyModel
+
+
+@pytest.fixture(scope="module")
+def power():
+    return PowerModel(TechnologyModel.default_28nm())
+
+
+class TestPEEnergy:
+    def test_conventional_has_no_csa_or_mux_energy(self, power):
+        breakdown = power.conventional_pe_energy()
+        assert breakdown.carry_save_adder == 0.0
+        assert breakdown.bypass_muxes == 0.0
+
+    def test_arrayflex_k1_has_overhead_energy(self, power):
+        conventional = power.conventional_pe_energy().total
+        arrayflex_k1 = power.arrayflex_pe_energy(1).total
+        assert arrayflex_k1 > conventional
+
+    def test_energy_decreases_with_depth(self, power):
+        """Deeper collapse -> more registers gated, fewer CPAs active."""
+        e1 = power.arrayflex_pe_energy(1).total
+        e2 = power.arrayflex_pe_energy(2).total
+        e4 = power.arrayflex_pe_energy(4).total
+        assert e1 > e2 > e4
+
+    def test_cpa_energy_scales_inverse_k(self, power):
+        e1 = power.arrayflex_pe_energy(1).carry_propagate_adder
+        e4 = power.arrayflex_pe_energy(4).carry_propagate_adder
+        assert e4 == pytest.approx(e1 / 4)
+
+    def test_register_clock_energy_drops_with_gating(self, power):
+        e1 = power.arrayflex_pe_energy(1).register_clock
+        e4 = power.arrayflex_pe_energy(4).register_clock
+        assert e4 < e1
+
+    def test_multiplier_energy_independent_of_depth(self, power):
+        assert power.arrayflex_pe_energy(1).multiplier == power.arrayflex_pe_energy(4).multiplier
+
+    def test_activity_scales_datapath_not_clock(self, power):
+        full = power.conventional_pe_energy(activity=1.0)
+        half = power.conventional_pe_energy(activity=0.5)
+        assert half.multiplier == pytest.approx(full.multiplier / 2)
+        assert half.register_clock == pytest.approx(full.register_clock)
+
+    def test_breakdown_total_is_sum(self, power):
+        breakdown = power.arrayflex_pe_energy(2)
+        parts = breakdown.as_dict()
+        total = parts.pop("total")
+        assert total == pytest.approx(sum(parts.values()))
+
+    def test_invalid_activity(self, power):
+        with pytest.raises(ValueError):
+            power.conventional_pe_energy(activity=1.5)
+        with pytest.raises(ValueError):
+            power.arrayflex_pe_energy(2, activity=-0.1)
+
+    def test_invalid_depth(self, power):
+        with pytest.raises(ValueError):
+            power.arrayflex_pe_energy(0)
+
+    @given(st.integers(1, 16))
+    def test_energy_positive_for_any_depth(self, k):
+        power = PowerModel()
+        assert power.arrayflex_pe_energy(k).total > 0
+
+
+class TestLeakage:
+    def test_arrayflex_leaks_more(self, power):
+        """Leakage tracks the ~16% area overhead."""
+        ratio = power.arrayflex_pe_leakage_mw() / power.conventional_pe_leakage_mw()
+        assert ratio == pytest.approx(1.16, abs=0.03)
+
+    def test_leakage_small_versus_dynamic(self, power):
+        dynamic = power.conventional_pe_energy().total * 2.0  # mW at 2 GHz
+        assert power.conventional_pe_leakage_mw() < 0.05 * dynamic
+
+
+class TestArrayPower:
+    def test_paper_mode_power_ordering(self, power):
+        """ArrayFlex in normal mode costs more power than the conventional SA;
+        in shallow modes it costs less (Section IV-B)."""
+        conventional = power.conventional_array_power_mw(128, 128, 2.0)
+        k1 = power.arrayflex_array_power_mw(128, 128, 1, 1.8)
+        k2 = power.arrayflex_array_power_mw(128, 128, 2, 1.7)
+        k4 = power.arrayflex_array_power_mw(128, 128, 4, 1.4)
+        assert k1 > conventional
+        assert k2 < conventional
+        assert k4 < k2
+
+    def test_shallow_savings_in_paper_band(self, power):
+        conventional = power.conventional_array_power_mw(128, 128, 2.0)
+        k4 = power.arrayflex_array_power_mw(128, 128, 4, 1.4)
+        saving = 1 - k4 / conventional
+        assert 0.15 < saving < 0.40
+
+    def test_power_scales_with_pe_count(self, power):
+        small = power.conventional_array_power_mw(8, 8, 2.0)
+        large = power.conventional_array_power_mw(16, 16, 2.0)
+        assert large == pytest.approx(4 * small)
+
+    def test_power_scales_with_frequency(self, power):
+        """Dynamic power is linear in f; leakage adds a constant offset."""
+        leak = 128 * 128 * power.conventional_pe_leakage_mw()
+        full = power.conventional_array_power_mw(128, 128, 2.0) - leak
+        half = power.conventional_array_power_mw(128, 128, 1.0) - leak
+        assert full == pytest.approx(2 * half)
+
+    def test_invalid_array_arguments(self, power):
+        with pytest.raises(ValueError):
+            power.conventional_array_power_mw(0, 8, 2.0)
+        with pytest.raises(ValueError):
+            power.arrayflex_array_power_mw(8, 8, 2, 0.0)
+
+    def test_absolute_magnitude_plausible(self, power):
+        """A 128x128 32-bit MAC array at 2 GHz should land in the tens-of-watts
+        range, not milliwatts or kilowatts."""
+        watts = power.conventional_array_power_mw(128, 128, 2.0) / 1000.0
+        assert 20.0 < watts < 400.0

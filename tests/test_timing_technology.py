@@ -1,0 +1,87 @@
+"""Tests for the calibrated technology model."""
+
+import pytest
+
+from repro.timing.technology import TechnologyModel
+
+
+class TestDefaults:
+    def test_default_name(self, tech):
+        assert tech.name == "arrayflex-28nm"
+
+    def test_datapath_widths_match_paper(self, tech):
+        """Section IV: 32-bit quantized operands, 64-bit column additions."""
+        assert tech.input_width == 32
+        assert tech.accum_width == 64
+
+    def test_baseline_path_is_500ps(self, tech):
+        """Calibration target: the conventional SA closes at 2 GHz."""
+        assert tech.baseline_path_ps == pytest.approx(500.0)
+
+    def test_collapse_increment_is_50ps(self, tech):
+        """Calibration target: Eq. 5 adds 50 ps per collapsed stage."""
+        assert tech.collapse_increment_ps == pytest.approx(50.0)
+
+    def test_multiplier_dominates_path(self, tech):
+        assert tech.d_mul_ps > tech.d_add_ps > tech.d_csa_ps
+
+    def test_csa_much_faster_than_cpa(self, tech):
+        """The whole point of the carry-save stage (Section III-B)."""
+        assert tech.d_csa_ps < tech.d_add_ps / 3
+
+    def test_leakage_non_negative(self, tech):
+        assert tech.p_leak_pe_mw >= 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("d_mul_ps", 0.0),
+            ("d_ff_ps", -1.0),
+            ("e_mul_pj", 0.0),
+            ("input_width", 0),
+            ("area_per_gate_um2", -0.1),
+            ("frequency_round_ghz", 0.0),
+        ],
+    )
+    def test_non_positive_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            TechnologyModel.from_overrides(**{field: value})
+
+    def test_accumulator_narrower_than_input_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyModel.from_overrides(input_width=32, accum_width=16)
+
+    def test_negative_leakage_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyModel.from_overrides(p_leak_pe_mw=-0.1)
+
+
+class TestDerivedAndVariants:
+    def test_from_overrides(self):
+        tech = TechnologyModel.from_overrides(d_mul_ps=400.0)
+        assert tech.d_mul_ps == 400.0
+        assert tech.d_add_ps == TechnologyModel.default_28nm().d_add_ps
+
+    def test_scaled_scales_all_delays(self, tech):
+        slow = tech.scaled(2.0)
+        assert slow.d_mul_ps == 2 * tech.d_mul_ps
+        assert slow.d_csa_ps == 2 * tech.d_csa_ps
+        assert slow.baseline_path_ps == 2 * tech.baseline_path_ps
+
+    def test_scaled_keeps_energy(self, tech):
+        slow = tech.scaled(2.0)
+        assert slow.e_mul_pj == tech.e_mul_pj
+
+    def test_scaled_names_variant(self, tech):
+        assert "x2" in tech.scaled(2.0).name
+        assert tech.scaled(0.5, name="fast").name == "fast"
+
+    def test_scaled_invalid_factor(self, tech):
+        with pytest.raises(ValueError):
+            tech.scaled(0.0)
+
+    def test_frozen(self, tech):
+        with pytest.raises(Exception):
+            tech.d_mul_ps = 1.0  # type: ignore[misc]
