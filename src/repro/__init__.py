@@ -16,6 +16,9 @@ Architecture with Configurable Transparent Pipelining* (DATE 2023):
 * :mod:`repro.nn` -- the CNN workload substrate (ResNet-34, MobileNetV1,
   ConvNeXt-T) and the conv-to-GEMM lowering.
 * :mod:`repro.baselines` -- the conventional fixed-pipeline baseline.
+* :mod:`repro.backends` -- pluggable execution backends: the analytical
+  reference, the batched/cached fast path (identical numbers) and the
+  cycle-accurate measured path, all behind one protocol.
 * :mod:`repro.eval` -- the experiment harness regenerating every figure of
   the paper's evaluation.
 
@@ -29,20 +32,32 @@ Quickstart
 True
 """
 
+from repro.backends import (
+    AnalyticalBackend,
+    BatchedCachedBackend,
+    CycleAccurateBackend,
+    ExecutionBackend,
+    create_backend,
+)
 from repro.core.arrayflex import ArrayFlexAccelerator, ComparisonReport
 from repro.core.config import ArrayFlexConfig
 from repro.baselines.conventional import ConventionalAccelerator
 from repro.nn.gemm_mapping import GemmShape
 from repro.timing.technology import TechnologyModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalyticalBackend",
     "ArrayFlexAccelerator",
-    "ConventionalAccelerator",
     "ArrayFlexConfig",
+    "BatchedCachedBackend",
     "ComparisonReport",
+    "ConventionalAccelerator",
+    "CycleAccurateBackend",
+    "ExecutionBackend",
     "GemmShape",
     "TechnologyModel",
+    "create_backend",
     "__version__",
 ]

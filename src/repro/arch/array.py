@@ -197,7 +197,7 @@ class SystolicArrayModel:
                 for r in range(self.rows):
                     pe = self.pes[r][c]
                     if isinstance(pe, ConfigurablePE):
-                        outputs = pe.evaluate(int(visible[r, c]), sum_in, carry_in)
+                        pe.evaluate(int(visible[r, c]), sum_in, carry_in)
                         sum_in = pe.sum_reg.output()
                         carry_in = pe.carry_reg.output()
                     else:

@@ -1,0 +1,73 @@
+"""Pluggable execution backends.
+
+One protocol, three fidelities:
+
+========================  =====================================================
+backend                   what it does
+========================  =====================================================
+``analytical``            reference closed forms (Eqs. 1–7), per layer
+``batched``               same numbers from one vectorised NumPy pass per
+                          model, memoised across repeated shapes and sweeps
+``cycle``                 cycle counts measured on the cycle-accurate tile
+                          simulator (slow; for validation)
+========================  =====================================================
+
+Pick one by instance (``ArrayFlexAccelerator(backend=BatchedCachedBackend())``),
+by name (``create_backend("batched")``), or from the command line
+(``python -m repro --backend batched ...``).
+"""
+
+from __future__ import annotations
+
+from repro.backends.analytical import AnalyticalBackend
+from repro.backends.base import (
+    ExecutionBackend,
+    ExecutionBackendProtocol,
+    LayerResult,
+)
+from repro.backends.batched import BatchedCachedBackend
+from repro.backends.cycle_accurate import CycleAccurateBackend
+
+#: Registry of backend constructors, keyed by their CLI names.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    AnalyticalBackend.name: AnalyticalBackend,
+    BatchedCachedBackend.name: BatchedCachedBackend,
+    CycleAccurateBackend.name: CycleAccurateBackend,
+}
+
+
+def create_backend(
+    backend: ExecutionBackend | ExecutionBackendProtocol | str | None,
+    default: str = "analytical",
+) -> ExecutionBackend | ExecutionBackendProtocol:
+    """Resolve a backend argument (instance, registry name or None).
+
+    ``None`` resolves to ``default``: the reference analytical backend for
+    the accelerator facade (historical behaviour), while sweep-style call
+    sites pass ``default="batched"`` to get the numerically identical
+    fast path.
+    """
+    if backend is None:
+        backend = default
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if not isinstance(backend, str) and isinstance(backend, ExecutionBackendProtocol):
+        return backend  # duck-typed implementation of the protocol
+    try:
+        return BACKENDS[backend]()
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown backend {backend!r} (available: {sorted(BACKENDS)})"
+        ) from None
+
+
+__all__ = [
+    "AnalyticalBackend",
+    "BatchedCachedBackend",
+    "CycleAccurateBackend",
+    "ExecutionBackend",
+    "ExecutionBackendProtocol",
+    "LayerResult",
+    "BACKENDS",
+    "create_backend",
+]

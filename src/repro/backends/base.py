@@ -1,0 +1,202 @@
+"""The execution-backend contract.
+
+Every way of "running" a workload on the accelerator — the closed-form
+analytical models, the vectorised batched/cached evaluator, the
+cycle-accurate tile simulator — implements the same two-method protocol:
+
+* ``schedule_layer(gemm, config) -> LayerResult`` decides the pipeline
+  mode of one GEMM and returns its cycles / time / power;
+* ``schedule_model(model, config) -> ModelSchedule`` does the same for
+  every layer of a CNN and aggregates the run.
+
+Callers (the accelerator facade, the design-space explorer, the sweeps,
+the experiment harness and the CLI) program against this protocol only,
+so fidelity and speed can be traded per call site: pick
+:class:`~repro.backends.analytical.AnalyticalBackend` for the reference
+closed forms, :class:`~repro.backends.batched.BatchedCachedBackend` for
+production-scale sweeps, or
+:class:`~repro.backends.cycle_accurate.CycleAccurateBackend` when cycle
+counts must come from simulation rather than Eq. (3).
+
+All backends must produce :class:`ModelSchedule` objects that are
+*numerically interchangeable*: the batched backend is bit-identical to
+the analytical one, and the cycle-accurate backend matches wherever the
+simulator agrees with the latency equations (which the test-suite pins
+down).  ``tests/test_backends.py`` enforces this parity.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Protocol, runtime_checkable
+
+from repro.core.clock import ClockModel
+from repro.core.config import ArrayFlexConfig
+from repro.core.energy import EnergyModel
+from repro.core.latency import LatencyModel
+from repro.core.optimizer import PipelineOptimizer
+from repro.core.scheduler import LayerSchedule, ModelSchedule, resolve_workload
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import CnnModel
+
+#: The per-layer result type shared by every backend.  A backend's
+#: ``schedule_layer`` returns exactly what the scheduler records for a
+#: layer, so schedules built from any backend compose with the whole
+#: reporting stack (energy reports, histograms, EXPERIMENTS.md, ...).
+LayerResult = LayerSchedule
+
+
+@runtime_checkable
+class ExecutionBackendProtocol(Protocol):
+    """Structural type of an execution backend.
+
+    Duck-typed implementations of this protocol (without subclassing
+    :class:`ExecutionBackend`) are accepted everywhere a backend is,
+    including :func:`repro.backends.create_backend`.
+    """
+
+    name: str
+
+    def schedule_layer(
+        self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1
+    ) -> LayerResult: ...
+
+    def schedule_model(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ) -> ModelSchedule: ...
+
+    def schedule_model_conventional(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ) -> ModelSchedule: ...
+
+
+class ExecutionBackend(abc.ABC):
+    """Base class of all execution backends.
+
+    Subclasses implement :meth:`schedule_layer`; the model-level loop,
+    the conventional-baseline path and the per-configuration component
+    cache are shared here.  Backends are stateless with respect to the
+    accelerator configuration — the configuration is an argument of every
+    call — so one backend instance can serve arbitrarily many design
+    points (which is what lets the batched backend's cache span a whole
+    design-space sweep).
+    """
+
+    #: Registry key and CLI spelling of the backend.
+    name: str = "abstract"
+
+    #: Bound on the per-configuration component bundles kept alive, so a
+    #: sweep over very many geometries cannot grow the backend unboundedly.
+    MAX_COMPONENT_BUNDLES = 128
+
+    def __init__(self) -> None:
+        self._components: OrderedDict[tuple, _ConfigComponents] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # The protocol
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def schedule_layer(
+        self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1
+    ) -> LayerResult:
+        """Decide the pipeline mode of one GEMM and measure/model its run."""
+
+    def schedule_model(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ) -> ModelSchedule:
+        """Schedule every layer of a model (one decision per layer)."""
+        gemms, name = resolve_workload(model, model_name)
+        schedule = ModelSchedule(
+            model_name=name,
+            accelerator="ArrayFlex",
+            rows=config.rows,
+            cols=config.cols,
+        )
+        for index, gemm in enumerate(gemms, start=1):
+            schedule.layers.append(self.schedule_layer(gemm, config, index=index))
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Conventional baseline (single fixed mode, shared closed form)
+    # ------------------------------------------------------------------ #
+    def schedule_layer_conventional(
+        self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1
+    ) -> LayerResult:
+        """Schedule one GEMM on the fixed-pipeline baseline (always k = 1)."""
+        parts = self.components(config)
+        cycles = parts.latency.conventional_total_cycles(gemm)
+        frequency = parts.clock.conventional_frequency_ghz()
+        return LayerSchedule(
+            index=index,
+            gemm=gemm,
+            collapse_depth=1,
+            cycles=cycles,
+            clock_frequency_ghz=frequency,
+            execution_time_ns=parts.clock.conventional_execution_time_ns(cycles),
+            power_mw=parts.energy.conventional_power_mw(frequency),
+            analytical_depth=1.0,
+        )
+
+    def schedule_model_conventional(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ) -> ModelSchedule:
+        """Schedule a whole model on the conventional baseline."""
+        gemms, name = resolve_workload(model, model_name)
+        schedule = ModelSchedule(
+            model_name=name,
+            accelerator="Conventional",
+            rows=config.rows,
+            cols=config.cols,
+        )
+        for index, gemm in enumerate(gemms, start=1):
+            schedule.layers.append(
+                self.schedule_layer_conventional(gemm, config, index=index)
+            )
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Shared per-configuration model components
+    # ------------------------------------------------------------------ #
+    def components(self, config: ArrayFlexConfig) -> "_ConfigComponents":
+        """Latency/clock/optimizer/energy models bound to one configuration.
+
+        Building a :class:`ClockModel` resolves every operating point, so
+        the bundles are memoised per configuration (keyed by
+        :meth:`ArrayFlexConfig.cache_key`).
+        """
+        key = config.cache_key()
+        parts = self._components.get(key)
+        if parts is None:
+            parts = _ConfigComponents(config)
+            self._components[key] = parts
+            while len(self._components) > self.MAX_COMPONENT_BUNDLES:
+                self._components.popitem(last=False)
+        else:
+            self._components.move_to_end(key)
+        return parts
+
+
+class _ConfigComponents:
+    """The analytical model stack bound to one accelerator configuration."""
+
+    __slots__ = ("config", "latency", "clock", "optimizer", "energy")
+
+    def __init__(self, config: ArrayFlexConfig) -> None:
+        self.config = config
+        self.latency = LatencyModel(config)
+        self.clock = ClockModel(config)
+        self.optimizer = PipelineOptimizer(config)
+        self.energy = EnergyModel(config)

@@ -1,0 +1,272 @@
+"""Batched, memoised fast backend.
+
+Two observations make model scheduling much cheaper than the per-layer
+reference path without changing a single number:
+
+* the Eq. (6) mode search evaluates closed forms only, so all layers of a
+  model (and all supported depths) can be evaluated in one vectorised
+  NumPy pass instead of a Python loop per layer per depth;
+* CNNs repeat GEMM shapes heavily (every ResNet/ConvNeXt stage repeats
+  its block, and design-space sweeps revisit the same workloads point
+  after point), so decisions memoised by
+  ``(GEMM dims, array geometry, mode set, technology)`` are near-free on
+  re-encounter.
+
+:class:`BatchedCachedBackend` combines both behind the standard
+:class:`~repro.backends.base.ExecutionBackend` protocol.  Its results are
+bit-identical to :class:`~repro.backends.analytical.AnalyticalBackend`:
+the vectorised argmin replicates the sequential shallow-first tie-break
+of :meth:`repro.core.optimizer.PipelineOptimizer.best_depth` (including
+its 1e-12 tolerance), and times/powers are computed from the same
+operating points.  ``tests/test_backends.py`` pins the parity down.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend, LayerResult
+from repro.core.config import ArrayFlexConfig
+from repro.core.scheduler import LayerSchedule, ModelSchedule, resolve_workload
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import CnnModel
+
+#: Tie-break tolerance of the discrete mode search (same constant as
+#: :meth:`PipelineOptimizer.best_depth`).
+_TIE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class _Decision:
+    """Cached outcome of one (GEMM, configuration) mode decision."""
+
+    collapse_depth: int
+    cycles: int
+    clock_frequency_ghz: float
+    execution_time_ns: float
+    power_mw: float
+    analytical_depth: float
+
+
+def _ceil_div(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
+    return -(-a // b)
+
+
+class BatchedCachedBackend(ExecutionBackend):
+    """Vectorised mode optimisation with an LRU decision cache."""
+
+    name = "batched"
+
+    def __init__(self, cache_size: int = 65536) -> None:
+        super().__init__()
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, _Decision] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Protocol implementation
+    # ------------------------------------------------------------------ #
+    def schedule_layer(
+        self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1
+    ) -> LayerResult:
+        decision = self._decide_batch([gemm], config)[0]
+        return self._to_layer(index, gemm, decision)
+
+    def schedule_model(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ) -> ModelSchedule:
+        gemms, name = resolve_workload(model, model_name)
+        decisions = self._decide_batch(gemms, config)
+        schedule = ModelSchedule(
+            model_name=name,
+            accelerator="ArrayFlex",
+            rows=config.rows,
+            cols=config.cols,
+        )
+        for index, (gemm, decision) in enumerate(zip(gemms, decisions), start=1):
+            schedule.layers.append(self._to_layer(index, gemm, decision))
+        return schedule
+
+    def schedule_model_conventional(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ) -> ModelSchedule:
+        """Baseline schedule with the per-mode constants hoisted out.
+
+        The single fixed mode needs no vectorised search: Eq. (2) comes
+        from the shared closed-form helper, and only the clock/power
+        lookups (identical for every layer) are computed once instead of
+        per layer.
+        """
+        gemms, name = resolve_workload(model, model_name)
+        parts = self.components(config)
+        period_ns = parts.clock.conventional_period_ns()
+        frequency = parts.clock.conventional_frequency_ghz()
+        power = parts.energy.conventional_power_mw(frequency)
+        schedule = ModelSchedule(
+            model_name=name,
+            accelerator="Conventional",
+            rows=config.rows,
+            cols=config.cols,
+        )
+        for index, gemm in enumerate(gemms, start=1):
+            cycles = parts.latency.conventional_total_cycles(gemm)
+            schedule.layers.append(
+                LayerSchedule(
+                    index=index,
+                    gemm=gemm,
+                    collapse_depth=1,
+                    cycles=cycles,
+                    clock_frequency_ghz=frequency,
+                    execution_time_ns=cycles * period_ns,
+                    power_mw=power,
+                    analytical_depth=1.0,
+                )
+            )
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Cache bookkeeping
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the decision cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "max_size": self.cache_size,
+        }
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def _config_key(config: ArrayFlexConfig) -> tuple:
+        return config.cache_key()
+
+    # ------------------------------------------------------------------ #
+    # The vectorised decision pass
+    # ------------------------------------------------------------------ #
+    def _decide_batch(
+        self, gemms: list[GemmShape], config: ArrayFlexConfig
+    ) -> list[_Decision]:
+        """Decisions for a batch of GEMMs: cache lookups + one NumPy pass."""
+        config_key = self._config_key(config)
+        decisions: list[_Decision | None] = [None] * len(gemms)
+        missing: list[int] = []
+        unique_keys: dict[tuple, int] = {}
+        unique_gemms: list[GemmShape] = []
+        for i, gemm in enumerate(gemms):
+            key = (gemm.m, gemm.n, gemm.t, config_key)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                decisions[i] = cached
+            else:
+                self._misses += 1
+                missing.append(i)
+                if key not in unique_keys:
+                    unique_keys[key] = len(unique_gemms)
+                    unique_gemms.append(gemm)
+
+        if missing:
+            fresh = self._solve_vectorised(unique_gemms, config)
+            for key, position in unique_keys.items():
+                self._cache[key] = fresh[position]
+            for i in missing:
+                gemm = gemms[i]
+                key = (gemm.m, gemm.n, gemm.t, config_key)
+                decisions[i] = self._cache[key]
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return decisions  # type: ignore[return-value]
+
+    def _solve_vectorised(
+        self, gemms: list[GemmShape], config: ArrayFlexConfig
+    ) -> list[_Decision]:
+        """One NumPy pass of the Eq. (6) mode search over many layers.
+
+        Shapes: ``times`` is (layers, depths); the column scan below is
+        the exact vector analogue of the sequential shallow-first
+        tie-break in ``PipelineOptimizer.best_depth``.
+        """
+        parts = self.components(config)
+        rows, cols = config.rows, config.cols
+        depths = config.sorted_depths()
+
+        m = np.array([g.m for g in gemms], dtype=np.int64)
+        n = np.array([g.n for g in gemms], dtype=np.int64)
+        t = np.array([g.t for g in gemms], dtype=np.int64)
+        tiles = _ceil_div(n, rows) * _ceil_div(m, cols)
+
+        # Eq. (3)/(4) cycles for every layer at every supported depth.
+        per_tile = np.stack(
+            [
+                rows + _ceil_div(rows, depth) + _ceil_div(cols, depth) + t - 2
+                for depth in depths
+            ],
+            axis=1,
+        )
+        cycles = per_tile * tiles[:, None]
+
+        # Eq. (6): absolute time under each mode's discrete operating point.
+        periods_ns = np.array([parts.clock.period_ns(d) for d in depths])
+        frequencies = np.array([parts.clock.frequency_ghz(d) for d in depths])
+        powers = np.array(
+            [
+                parts.energy.arrayflex_power_mw(d, parts.clock.frequency_ghz(d))
+                for d in depths
+            ]
+        )
+        times = cycles * periods_ns[None, :]
+
+        # Shallow-first argmin with the optimizer's strict-improvement rule.
+        best_col = np.zeros(len(gemms), dtype=np.int64)
+        best_time = times[:, 0].copy()
+        for j in range(1, len(depths)):
+            better = times[:, j] < best_time - _TIE_EPS
+            best_col[better] = j
+            best_time[better] = times[better, j]
+
+        layer_index = np.arange(len(gemms))
+        best_cycles = cycles[layer_index, best_col]
+        return [
+            _Decision(
+                collapse_depth=depths[best_col[i]],
+                cycles=int(best_cycles[i]),
+                clock_frequency_ghz=float(frequencies[best_col[i]]),
+                execution_time_ns=float(best_time[i]),
+                power_mw=float(powers[best_col[i]]),
+                # Eq. (7) lives in one place: the optimizer's closed form.
+                analytical_depth=parts.optimizer.analytical_optimal_depth(gemms[i]),
+            )
+            for i in range(len(gemms))
+        ]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _to_layer(index: int, gemm: GemmShape, decision: _Decision) -> LayerSchedule:
+        return LayerSchedule(
+            index=index,
+            gemm=gemm,
+            collapse_depth=decision.collapse_depth,
+            cycles=decision.cycles,
+            clock_frequency_ghz=decision.clock_frequency_ghz,
+            execution_time_ns=decision.execution_time_ns,
+            power_mw=decision.power_mw,
+            analytical_depth=decision.analytical_depth,
+        )

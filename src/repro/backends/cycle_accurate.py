@@ -1,0 +1,109 @@
+"""Cycle-accurate (measured) backend.
+
+Instead of trusting Eq. (3), this backend *measures* the per-tile cycle
+count by running one representative tile of each layer through the
+cycle-accurate weight-stationary simulator
+(:class:`repro.sim.systolic_sim.CycleAccurateSystolicArray`), checking
+bit-exactness against NumPy along the way, and scales the measurement by
+the Eq. (4) tile count (every tile of a layer takes the same number of
+cycles — the per-tile latency depends only on the array geometry, the
+streamed dimension T and the collapse depth).
+
+Mode selection still uses the Eq. (6) discrete search — that is the
+policy a deployment would programme — but the cycles, and therefore the
+times and energies, come from simulation.  Because the simulator is
+cycle-exact with respect to Eq. (3) (property-tested in
+``tests/test_sim_systolic.py``), the schedules agree with the analytical
+backend; the value of this path is that the agreement is *established by
+measurement*, and that it keeps holding if either side changes.
+
+Measurements are memoised per ``(rows, cols, T, k)``, so a whole CNN
+costs one simulation per distinct (T, mode) pair rather than one per
+layer.  Still orders of magnitude slower than the other backends — use
+it for validation, not for sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend, LayerResult
+from repro.core.config import ArrayFlexConfig
+from repro.core.scheduler import LayerSchedule
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.workloads import random_int_matrices
+from repro.sim.systolic_sim import CycleAccurateSystolicArray
+
+
+class CycleAccurateBackend(ExecutionBackend):
+    """Schedules layers from measured (simulated) tile cycle counts."""
+
+    name = "cycle"
+
+    #: Bound on memoised tile measurements (LRU-evicted beyond this).
+    MAX_TILE_MEASUREMENTS = 4096
+
+    def __init__(self, measurement_seed: int = 0) -> None:
+        super().__init__()
+        self.measurement_seed = measurement_seed
+        self._tile_cycles: OrderedDict[tuple[int, int, int, int], int] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    def schedule_layer(
+        self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1
+    ) -> LayerResult:
+        parts = self.components(config)
+        decision = parts.optimizer.best_depth(gemm)
+        depth = decision.collapse_depth
+        per_tile = self.measure_tile_cycles(config, gemm.t, depth)
+        cycles = per_tile * parts.latency.tile_count(gemm)
+        time_ns = parts.clock.execution_time_ns(cycles, depth)
+        frequency = parts.clock.frequency_ghz(depth)
+        return LayerSchedule(
+            index=index,
+            gemm=gemm,
+            collapse_depth=depth,
+            cycles=cycles,
+            clock_frequency_ghz=frequency,
+            execution_time_ns=time_ns,
+            power_mw=parts.energy.arrayflex_power_mw(depth, frequency),
+            analytical_depth=decision.analytical_depth,
+        )
+
+    # ------------------------------------------------------------------ #
+    def measure_tile_cycles(
+        self, config: ArrayFlexConfig, t_rows: int, collapse_depth: int
+    ) -> int:
+        """Measured cycles of one full (R x C) tile streaming T rows.
+
+        Runs the simulator once per distinct ``(rows, cols, T, k)`` and
+        verifies the functional output against NumPy before trusting the
+        cycle count.
+        """
+        key = (config.rows, config.cols, t_rows, collapse_depth)
+        cached = self._tile_cycles.get(key)
+        if cached is not None:
+            self._tile_cycles.move_to_end(key)
+            return cached
+        array = CycleAccurateSystolicArray(
+            rows=config.rows,
+            cols=config.cols,
+            collapse_depth=collapse_depth,
+            configurable=True,
+        )
+        a_tile, b_tile = random_int_matrices(
+            t_rows, config.rows, config.cols, seed=self.measurement_seed
+        )
+        result = array.simulate_tile(a_tile, b_tile)
+        if not np.array_equal(result.output, a_tile @ b_tile):
+            raise RuntimeError(
+                f"cycle-accurate simulation produced a wrong product for "
+                f"tile (rows={config.rows}, cols={config.cols}, T={t_rows}, "
+                f"k={collapse_depth})"
+            )
+        self._tile_cycles[key] = result.total_cycles
+        while len(self._tile_cycles) > self.MAX_TILE_MEASUREMENTS:
+            self._tile_cycles.popitem(last=False)
+        return result.total_cycles

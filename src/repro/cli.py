@@ -13,6 +13,13 @@ Commands
 ``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
                 fig9, eq7, clock, abl_csa, abl_dirs) and print its table.
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
+
+The global ``--backend {analytical,batched,cycle}`` flag (before the
+command) selects the execution backend: the closed-form reference, the
+vectorised/cached fast path (same numbers), or the cycle-accurate
+measured path (slow; for validation)::
+
+    python -m repro --backend batched compare --model resnet34
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.backends import BACKENDS
 from repro.core.arrayflex import ArrayFlexAccelerator
 from repro.eval.experiments import (
     ClockFrequencyExperiment,
@@ -43,17 +51,19 @@ MODEL_BUILDERS = {
     "convnext_tiny": convnext_tiny,
 }
 
-#: Experiments selectable from the command line.
+#: Experiments selectable from the command line.  Factories take the
+#: backend name; experiments whose schedules are backend-independent
+#: ignore it.
 EXPERIMENT_FACTORIES = {
-    "fig5": lambda: [Fig5Experiment(20), Fig5Experiment(28)],
-    "fig6": lambda: [Fig6Experiment()],
-    "fig7": lambda: [Fig7Experiment()],
-    "fig8": lambda: [Fig8Experiment()],
-    "fig9": lambda: [Fig9Experiment()],
-    "eq7": lambda: [Eq7ValidationExperiment()],
-    "clock": lambda: [ClockFrequencyExperiment()],
-    "abl_csa": lambda: [CsaAblationExperiment()],
-    "abl_dirs": lambda: [DirectionAblationExperiment()],
+    "fig5": lambda backend=None: [Fig5Experiment(20), Fig5Experiment(28)],
+    "fig6": lambda backend=None: [Fig6Experiment()],
+    "fig7": lambda backend=None: [Fig7Experiment(backend=backend)],
+    "fig8": lambda backend=None: [Fig8Experiment(backend=backend)],
+    "fig9": lambda backend=None: [Fig9Experiment(backend=backend)],
+    "eq7": lambda backend=None: [Eq7ValidationExperiment()],
+    "clock": lambda backend=None: [ClockFrequencyExperiment()],
+    "abl_csa": lambda backend=None: [CsaAblationExperiment()],
+    "abl_dirs": lambda backend=None: [DirectionAblationExperiment()],
 }
 
 
@@ -67,12 +77,34 @@ def _add_array_arguments(parser: argparse.ArgumentParser) -> None:
         default=[1, 2, 4],
         help="supported collapse depths (default: 1 2 4)",
     )
+    _add_backend_argument(parser)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    # Also accepted after the subcommand; SUPPRESS keeps the subparser from
+    # overwriting the global flag's value when it is not repeated there.
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=argparse.SUPPRESS,
+        help="execution backend (may also be given before the command)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ArrayFlex (DATE 2023) reproduction command-line interface",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="analytical",
+        help=(
+            "execution backend: 'analytical' closed forms (default), 'batched' "
+            "vectorised+cached fast path (identical numbers), 'cycle' "
+            "cycle-accurate measurement (slow)"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -98,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("id", choices=sorted(EXPERIMENT_FACTORIES), help="experiment id")
+    _add_backend_argument(experiment)
 
     report = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument(
@@ -111,7 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------- #
 def _build_accelerator(args: argparse.Namespace) -> ArrayFlexAccelerator:
     return ArrayFlexAccelerator(
-        rows=args.rows, cols=args.cols, supported_depths=tuple(args.depths)
+        rows=args.rows,
+        cols=args.cols,
+        supported_depths=tuple(args.depths),
+        backend=args.backend,
     )
 
 
@@ -137,6 +173,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_decide(args: argparse.Namespace) -> int:
     accel = _build_accelerator(args)
     decision = accel.decide((args.m, args.n, args.t))
+    if args.backend != "analytical":
+        print(
+            f"note: mode decisions always use the analytical Eq. (6) policy; "
+            f"the '{args.backend}' backend changes how schedules are "
+            f"executed/measured, not this decision"
+        )
     print(
         f"GEMM (M={args.m}, N={args.n}, T={args.t}) on {args.rows}x{args.cols}: "
         f"best collapse depth k = {decision.collapse_depth} "
@@ -153,7 +195,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     accel = _build_accelerator(args)
     model = MODEL_BUILDERS[args.model]()
     report = accel.compare_with_conventional(model)
-    print(f"{model.name} on {args.rows}x{args.cols} SAs (single-batch inference)")
+    print(
+        f"{model.name} on {args.rows}x{args.cols} SAs "
+        f"(single-batch inference, {accel.backend.name} backend)"
+    )
     print(
         f"  execution time: conventional {report.conventional.total_time_ms:.3f} ms, "
         f"ArrayFlex {report.arrayflex.total_time_ms:.3f} ms "
@@ -170,7 +215,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    for experiment in EXPERIMENT_FACTORIES[args.id]():
+    for experiment in EXPERIMENT_FACTORIES[args.id](args.backend):
         print(experiment.render())
         print()
     return 0

@@ -13,11 +13,22 @@ It wraps the configuration, the per-layer optimizer, the scheduler, the
 energy model and (optionally) the cycle-accurate functional simulator, and
 it exposes the conventional fixed-pipeline baseline for side-by-side
 comparisons -- the comparison the whole paper is about.
+
+Scheduling is delegated to a pluggable :class:`repro.backends.ExecutionBackend`:
+
+>>> from repro import ArrayFlexAccelerator
+>>> from repro.backends import BatchedCachedBackend
+>>> accel = ArrayFlexAccelerator(rows=128, cols=128, backend=BatchedCachedBackend())
+
+keeps the exact numbers of the default analytical backend while making
+repeated and sweep-style workloads much faster; ``backend="cycle"``
+swaps in the cycle-accurate measured path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +42,9 @@ from repro.nn.models import CnnModel
 from repro.sim.tiling import TiledGemmResult, run_tiled_gemm
 from repro.timing.area_model import AreaModel
 from repro.timing.technology import TechnologyModel
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.backends import ExecutionBackend
 
 
 @dataclass(frozen=True)
@@ -87,6 +101,7 @@ class ArrayFlexAccelerator:
         supported_depths: tuple[int, ...] = (1, 2, 4),
         technology: TechnologyModel | None = None,
         config: ArrayFlexConfig | None = None,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         if config is not None:
             self.config = config
@@ -97,11 +112,30 @@ class ArrayFlexAccelerator:
                 supported_depths=supported_depths,
                 technology=technology or TechnologyModel.default_28nm(),
             )
-        self.scheduler = Scheduler(self.config)
+        from repro.backends import create_backend
+
+        #: The execution backend scheduling runs on this accelerator.  May
+        #: be an :class:`~repro.backends.ExecutionBackend` instance or a
+        #: registry name ("analytical", "batched", "cycle"); defaults to
+        #: the reference analytical backend.
+        self.backend = create_backend(backend)
+        self._scheduler: Scheduler | None = None
         self.optimizer = PipelineOptimizer(self.config)
         self.clock = ClockModel(self.config)
         self.energy = EnergyModel(self.config)
         self.area = AreaModel(self.config.technology)
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The pre-backend per-layer scheduler (kept for compatibility).
+
+        Scheduling now routes through :attr:`backend`; this is built
+        lazily for callers that still reach into the scheduler's model
+        stack directly.
+        """
+        if self._scheduler is None:
+            self._scheduler = Scheduler(self.config)
+        return self._scheduler
 
     # ------------------------------------------------------------------ #
     # Analytical execution (latency / power / energy models)
@@ -112,15 +146,15 @@ class ArrayFlexAccelerator:
 
     def run_gemm(self, gemm: GemmShape | tuple[int, int, int]) -> LayerSchedule:
         """Schedule one GEMM with the optimal pipeline mode."""
-        return self.scheduler.schedule_gemm_arrayflex(1, self._to_gemm(gemm))
+        return self.backend.schedule_layer(self._to_gemm(gemm), self.config, index=1)
 
     def run_model(self, model: CnnModel | list[GemmShape]) -> ModelSchedule:
         """Schedule every layer of a model with per-layer mode selection."""
-        return self.scheduler.schedule_model_arrayflex(model)
+        return self.backend.schedule_model(model, self.config)
 
     def run_model_conventional(self, model: CnnModel | list[GemmShape]) -> ModelSchedule:
         """Schedule the same model on the conventional fixed-pipeline baseline."""
-        return self.scheduler.schedule_model_conventional(model)
+        return self.backend.schedule_model_conventional(model, self.config)
 
     def compare_with_conventional(
         self, model: CnnModel | list[GemmShape]

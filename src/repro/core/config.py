@@ -65,6 +65,21 @@ class ArrayFlexConfig:
     def configuration_plane(self) -> ConfigurationPlane:
         return ConfigurationPlane(self.rows, self.cols)
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of this configuration (for backend memo keys).
+
+        The dataclass cannot be hashed directly because the technology
+        model carries a dict field; this tuple captures everything that
+        influences scheduling decisions.
+        """
+        return (
+            self.rows,
+            self.cols,
+            self.sorted_depths(),
+            self.activity,
+            self.technology.cache_key(),
+        )
+
     def with_size(self, rows: int, cols: int) -> "ArrayFlexConfig":
         """Copy of this configuration with a different array size."""
         return replace(self, rows=rows, cols=cols)

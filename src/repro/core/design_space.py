@@ -11,17 +11,27 @@ used for the paper experiments: every candidate design point (array
 geometry + supported collapse depths) is evaluated over a workload suite
 and scored on latency saving, power saving, EDP gain and area overhead
 relative to a conventional fixed-pipeline array of the same geometry.
+
+Evaluation runs on a pluggable execution backend (default: the batched /
+cached backend, which memoises mode decisions across design points and is
+numerically identical to the analytical reference).  Multi-point sweeps
+can additionally fan out over a process pool: pass ``max_workers`` to the
+constructor or to :meth:`DesignSpaceExplorer.explore`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.config import ArrayFlexConfig
-from repro.core.scheduler import Scheduler
 from repro.nn.models import CnnModel
 from repro.timing.area_model import AreaModel
 from repro.timing.technology import TechnologyModel
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.backends import ExecutionBackend
 
 
 @dataclass(frozen=True)
@@ -56,6 +66,34 @@ class DesignPointResult:
         return self.point.label
 
 
+#: Per-worker explorer built once by :func:`_init_worker`; reused across
+#: every design point the worker evaluates, so backend memoisation spans
+#: the worker's whole share of the sweep.
+_WORKER_EXPLORER: "DesignSpaceExplorer | None" = None
+
+
+def _init_worker(
+    models: list[CnnModel],
+    technology: TechnologyModel,
+    backend: "ExecutionBackend",
+) -> None:
+    """Process-pool initializer: build one explorer per worker process.
+
+    The backend *instance* is shipped (pickled) once per worker, so custom
+    backend subclasses and non-default configurations (e.g. a tuned cache
+    size) survive the fan-out, and whatever cache state the parent already
+    accumulated seeds every worker.
+    """
+    global _WORKER_EXPLORER
+    _WORKER_EXPLORER = DesignSpaceExplorer(models, technology, backend=backend)
+
+
+def _evaluate_point_task(point: DesignPoint) -> DesignPointResult:
+    """Process-pool task: evaluate one point on the worker-global explorer."""
+    assert _WORKER_EXPLORER is not None, "worker initializer did not run"
+    return _WORKER_EXPLORER.evaluate_point(point)
+
+
 class DesignSpaceExplorer:
     """Evaluates and ranks candidate ArrayFlex design points."""
 
@@ -63,11 +101,22 @@ class DesignSpaceExplorer:
         self,
         models: list[CnnModel],
         technology: TechnologyModel | None = None,
+        backend: ExecutionBackend | str | None = None,
+        max_workers: int | None = None,
     ) -> None:
+        from repro.backends import create_backend
+
         if not models:
             raise ValueError("the workload suite must contain at least one model")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.models = models
         self.technology = technology or TechnologyModel.default_28nm()
+        #: Backend evaluating every (design point, model) pair.  Defaults
+        #: to the batched/cached backend: bit-identical to the analytical
+        #: reference and much faster on sweeps, where workloads repeat.
+        self.backend = create_backend(backend, default="batched")
+        self.max_workers = max_workers
 
     # ------------------------------------------------------------------ #
     def evaluate_point(self, point: DesignPoint) -> DesignPointResult:
@@ -78,7 +127,6 @@ class DesignSpaceExplorer:
             supported_depths=point.supported_depths,
             technology=self.technology,
         )
-        scheduler = Scheduler(config)
         area = AreaModel(self.technology)
 
         total_conv_time = 0.0
@@ -88,8 +136,8 @@ class DesignSpaceExplorer:
         per_model_saving: dict[str, float] = {}
 
         for model in self.models:
-            arrayflex = scheduler.schedule_model_arrayflex(model)
-            conventional = scheduler.schedule_model_conventional(model)
+            arrayflex = self.backend.schedule_model(model, config)
+            conventional = self.backend.schedule_model_conventional(model, config)
             per_model_saving[model.name] = (
                 1.0 - arrayflex.total_time_ns / conventional.total_time_ns
             )
@@ -115,11 +163,31 @@ class DesignSpaceExplorer:
         )
 
     # ------------------------------------------------------------------ #
-    def explore(self, points: list[DesignPoint]) -> list[DesignPointResult]:
-        """Evaluate a list of candidate points (in the given order)."""
+    def explore(
+        self, points: list[DesignPoint], max_workers: int | None = None
+    ) -> list[DesignPointResult]:
+        """Evaluate a list of candidate points (in the given order).
+
+        With ``max_workers`` (here or on the constructor) greater than 1,
+        the points are fanned out over a process pool; results come back
+        in input order either way.
+        """
         if not points:
             raise ValueError("no design points to explore")
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is not None and workers > 1 and len(points) > 1:
+            return self._explore_parallel(points, workers)
         return [self.evaluate_point(point) for point in points]
+
+    def _explore_parallel(
+        self, points: list[DesignPoint], workers: int
+    ) -> list[DesignPointResult]:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(points)),
+            initializer=_init_worker,
+            initargs=(self.models, self.technology, self.backend),
+        ) as pool:
+            return list(pool.map(_evaluate_point_task, points))
 
     def rank(
         self, points: list[DesignPoint], objective: str = "edp_gain"

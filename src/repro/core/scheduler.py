@@ -22,6 +22,22 @@ from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import CnnModel
 
 
+def resolve_workload(
+    model: CnnModel | list[GemmShape], model_name: str | None = None
+) -> tuple[list[GemmShape], str]:
+    """Normalise a workload argument into ``(gemms, name)``.
+
+    Accepts either a :class:`CnnModel` (lowered layer by layer) or an
+    explicit list of GEMM shapes.  Shared by the scheduler and every
+    execution backend so all entry points agree on what a "model" is.
+    """
+    if isinstance(model, CnnModel):
+        return model.gemms(), model_name or model.name
+    if not model:
+        raise ValueError("cannot schedule an empty list of GEMMs")
+    return list(model), model_name or "custom"
+
+
 @dataclass(frozen=True)
 class LayerSchedule:
     """Everything decided and measured for one layer."""
@@ -200,8 +216,4 @@ class Scheduler:
     def _resolve(
         model: CnnModel | list[GemmShape], model_name: str | None
     ) -> tuple[list[GemmShape], str]:
-        if isinstance(model, CnnModel):
-            return model.gemms(), model_name or model.name
-        if not model:
-            raise ValueError("cannot schedule an empty list of GEMMs")
-        return list(model), model_name or "custom"
+        return resolve_workload(model, model_name)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backends import ExecutionBackend, create_backend
 from repro.core.arrayflex import ArrayFlexAccelerator, ComparisonReport
 from repro.core.config import ArrayFlexConfig
 from repro.core.clock import ClockModel
@@ -250,18 +251,21 @@ class Fig7Experiment:
         rows: int = 128,
         cols: int = 128,
         technology: TechnologyModel | None = None,
+        backend: ExecutionBackend | str | None = None,
     ):
         self.model = model or convnext_tiny()
         self.config = ArrayFlexConfig(
             rows=rows, cols=cols, technology=technology or TechnologyModel.default_28nm()
         )
+        self.backend = create_backend(backend, default="batched")
 
     def run(self) -> Fig7Result:
-        scheduler = Scheduler(self.config)
         return Fig7Result(
             model_name=self.model.name,
-            conventional=scheduler.schedule_model_conventional(self.model),
-            arrayflex=scheduler.schedule_model_arrayflex(self.model),
+            conventional=self.backend.schedule_model_conventional(
+                self.model, self.config
+            ),
+            arrayflex=self.backend.schedule_model(self.model, self.config),
         )
 
     def render(self, result: Fig7Result | None = None) -> str:
@@ -348,19 +352,20 @@ class Fig8Experiment:
         sizes: tuple[int, ...] = (128, 256),
         models: list[CnnModel] | None = None,
         technology: TechnologyModel | None = None,
+        backend: ExecutionBackend | str | None = None,
     ):
         self.sizes = sizes
         self.models = models or list(model_zoo().values())
         self.technology = technology or TechnologyModel.default_28nm()
+        self.backend = create_backend(backend, default="batched")
 
     def run(self) -> Fig8Result:
         entries = []
         for size in self.sizes:
             config = ArrayFlexConfig(rows=size, cols=size, technology=self.technology)
-            scheduler = Scheduler(config)
             for model in self.models:
-                arrayflex = scheduler.schedule_model_arrayflex(model)
-                conventional = scheduler.schedule_model_conventional(model)
+                arrayflex = self.backend.schedule_model(model, config)
+                conventional = self.backend.schedule_model_conventional(model, config)
                 entries.append(
                     Fig8Entry(
                         rows=size,
@@ -465,16 +470,18 @@ class Fig9Experiment:
         sizes: tuple[int, ...] = (128, 256),
         models: list[CnnModel] | None = None,
         technology: TechnologyModel | None = None,
+        backend: ExecutionBackend | str | None = None,
     ):
         self.sizes = sizes
         self.models = models or list(model_zoo().values())
         self.technology = technology or TechnologyModel.default_28nm()
+        self.backend = create_backend(backend, default="batched")
 
     def run(self) -> Fig9Result:
         entries = []
         for size in self.sizes:
             config = ArrayFlexConfig(rows=size, cols=size, technology=self.technology)
-            accel = ArrayFlexAccelerator(config=config)
+            accel = ArrayFlexAccelerator(config=config, backend=self.backend)
             for model in self.models:
                 comparison: ComparisonReport = accel.compare_with_conventional(model)
                 arrayflex = comparison.arrayflex

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backends import ExecutionBackend, create_backend
 from repro.core.config import ArrayFlexConfig
 from repro.core.clock import ClockModel
 from repro.core.latency import LatencyModel
-from repro.core.scheduler import Scheduler
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import CnnModel
 
@@ -82,15 +82,21 @@ def array_size_sweep(
     models: list[CnnModel],
     sizes: list[tuple[int, int]],
     base_config: ArrayFlexConfig | None = None,
+    backend: ExecutionBackend | str | None = None,
 ) -> list[SizeSweepPoint]:
-    """Run every model at every array size and collect the savings."""
+    """Run every model at every array size and collect the savings.
+
+    ``backend`` selects the execution backend; the default is the
+    batched/cached backend, which memoises repeated layer shapes across
+    the size grid and is numerically identical to the analytical path.
+    """
+    resolved = create_backend(backend, default="batched")
     points = []
     for rows, cols in sizes:
         config = (base_config or ArrayFlexConfig()).with_size(rows, cols)
-        scheduler = Scheduler(config)
         for model in models:
-            arrayflex = scheduler.schedule_model_arrayflex(model)
-            conventional = scheduler.schedule_model_conventional(model)
+            arrayflex = resolved.schedule_model(model, config)
+            conventional = resolved.schedule_model_conventional(model, config)
             conventional_power = conventional.average_power_mw
             arrayflex_power = arrayflex.average_power_mw
             points.append(

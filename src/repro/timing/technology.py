@@ -27,7 +27,7 @@ numbers; the reproduction relies only on the component *ratios*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass(frozen=True)
@@ -137,6 +137,22 @@ class TechnologyModel:
             raise ValueError("accumulator width must be at least the input width")
         if self.p_leak_pe_mw < 0:
             raise ValueError("leakage power must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def cache_key(self) -> tuple:
+        """Hashable identity of this parameter set.
+
+        The dataclass itself is not hashable because of the ``extras``
+        dict; memoisation layers (the execution backends) key their
+        caches on this tuple instead.
+        """
+        values: list[object] = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = tuple(sorted(value.items()))
+            values.append(value)
+        return tuple(values)
 
     # ------------------------------------------------------------------ #
     # Derived quantities

@@ -77,3 +77,51 @@ class TestCommands:
     def test_invalid_geometry_surfaces_as_error(self):
         with pytest.raises(ValueError):
             main(["info", "--rows", "100", "--cols", "100", "--depths", "1", "3"])
+
+
+class TestBackendFlag:
+    def test_default_backend_is_analytical(self):
+        assert build_parser().parse_args(["info"]).backend == "analytical"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "verilog", "info"])
+
+    def test_compare_batched_matches_analytical(self, capsys):
+        assert main(["--backend", "analytical", "compare", "--model", "resnet34"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["--backend", "batched", "compare", "--model", "resnet34"]) == 0
+        fast = capsys.readouterr().out
+        # Identical numbers, only the backend tag in the header differs.
+        assert fast.replace("batched backend", "analytical backend") == reference
+
+    def test_compare_cycle_backend_small_array(self, capsys):
+        assert (
+            main(
+                [
+                    "--backend",
+                    "cycle",
+                    "compare",
+                    "--rows",
+                    "8",
+                    "--cols",
+                    "8",
+                    "--model",
+                    "mobilenet_v1",
+                ]
+            )
+            == 0
+        )
+        assert "cycle backend" in capsys.readouterr().out
+
+    def test_decide_accepts_backend_flag(self, capsys):
+        assert main(["--backend", "cycle", "decide", "--m", "512", "--n", "2304", "--t", "49"]) == 0
+        out = capsys.readouterr().out
+        assert "best collapse depth" in out
+        # decide always uses the Eq. (6) policy; the CLI says so explicitly
+        # instead of silently ignoring the flag.
+        assert "analytical Eq. (6) policy" in out
+
+    def test_backend_flag_accepted_after_subcommand(self, capsys):
+        assert main(["compare", "--model", "resnet34", "--backend", "batched"]) == 0
+        assert "batched backend" in capsys.readouterr().out

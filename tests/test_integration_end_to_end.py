@@ -17,7 +17,6 @@ from repro import ArrayFlexAccelerator, ConventionalAccelerator
 from repro.arch.array import SystolicArrayModel
 from repro.core.config import ArrayFlexConfig
 from repro.core.latency import LatencyModel
-from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import convnext_tiny, mobilenet_v1, resnet34
 from repro.nn.workloads import random_int_matrices
 from repro.sim.systolic_sim import CycleAccurateSystolicArray
@@ -62,7 +61,7 @@ class TestThreeWayCrossValidation:
             )
             structural = SystolicArrayModel(rows, cols)
             structural.configure(k)
-            structural_result = structural.execute_tile(a_tile, b_tile)
+            structural.execute_tile(a_tile, b_tile)
             expected = (k - 1) / k
             assert vectorised.stats.gated_register_fraction == pytest.approx(expected)
             # The structural model also carries a weight register per PE and
