@@ -1,0 +1,158 @@
+"""Produce the per-commit benchmark artifact (``BENCH_<sha>.json``).
+
+Runs the perf-trajectory scenarios of ``test_bench_backends.py`` with a
+plain ``time.perf_counter`` harness (no pytest-benchmark dependency, so
+the same script works in any CI job) and writes one JSON summary that the
+CI ``bench`` job uploads as a workflow artifact — giving the repository a
+timing record per commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py [--output BENCH_abc.json]
+
+With no ``--output`` the file name is derived from ``$GITHUB_SHA`` or, in
+a local checkout, from ``git rev-parse HEAD``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Make the script runnable without an installed package or PYTHONPATH, and
+# make the shared scenario module importable from any working directory.
+_HERE = Path(__file__).resolve().parent
+for _path in (_HERE.parent / "src", _HERE):
+    if str(_path) not in sys.path:
+        sys.path.insert(0, str(_path))
+
+from bench_scenarios import DESIGN_POINTS, best_of as _best_of  # noqa: E402
+
+from repro import __version__  # noqa: E402
+from repro.backends import (  # noqa: E402
+    AnalyticalBackend,
+    BatchedCachedBackend,
+    CycleAccurateBackend,
+    DecisionStore,
+)
+from repro.core.config import ArrayFlexConfig  # noqa: E402
+from repro.core.design_space import DesignSpaceExplorer  # noqa: E402
+from repro.nn.models import model_zoo, resnet34  # noqa: E402
+
+
+def _commit_sha() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def collect(rounds: int = 3) -> dict:
+    """Time every tracked scenario and return the artifact payload."""
+    models = list(model_zoo().values())
+    resnet = resnet34()
+    config_128 = ArrayFlexConfig.paper_128x128()
+    config_16 = ArrayFlexConfig(rows=16, cols=16)
+
+    timings_ms: dict[str, float] = {}
+
+    analytical = AnalyticalBackend()
+    timings_ms["schedule_resnet34_analytical"] = 1e3 * _best_of(
+        lambda: analytical.schedule_model(resnet, config_128), rounds
+    )
+    batched = BatchedCachedBackend()
+    timings_ms["schedule_resnet34_batched"] = 1e3 * _best_of(
+        lambda: batched.schedule_model(resnet, config_128), rounds
+    )
+    cycle = CycleAccurateBackend()
+    cycle.schedule_model(resnet, config_16)  # memoised steady state
+    timings_ms["schedule_resnet34_cycle_16x16"] = 1e3 * _best_of(
+        lambda: cycle.schedule_model(resnet, config_16), rounds
+    )
+
+    def cold_analytical():
+        return DesignSpaceExplorer(models, backend=AnalyticalBackend()).explore(
+            DESIGN_POINTS
+        )
+
+    timings_ms["design_space_analytical"] = 1e3 * _best_of(cold_analytical, rounds)
+
+    batched_explorer = DesignSpaceExplorer(models, backend="batched")
+    batched_explorer.explore(DESIGN_POINTS)
+    timings_ms["design_space_batched"] = 1e3 * _best_of(
+        lambda: batched_explorer.explore(DESIGN_POINTS), rounds
+    )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        seed = BatchedCachedBackend(store=DecisionStore(cache_dir))
+        DesignSpaceExplorer(models, backend=seed).explore(DESIGN_POINTS)
+
+        def warm_rerun():
+            backend = BatchedCachedBackend(store=DecisionStore(cache_dir))
+            return DesignSpaceExplorer(models, backend=backend).explore(DESIGN_POINTS)
+
+        assert warm_rerun() == cold_analytical(), "warm rerun must be bit-identical"
+        timings_ms["design_space_warm_store_rerun"] = 1e3 * _best_of(warm_rerun, rounds)
+
+    speedups = {
+        "batched_vs_analytical": (
+            timings_ms["design_space_analytical"] / timings_ms["design_space_batched"]
+        ),
+        "warm_rerun_vs_analytical": (
+            timings_ms["design_space_analytical"]
+            / timings_ms["design_space_warm_store_rerun"]
+        ),
+    }
+
+    return {
+        "schema": 1,
+        "sha": _commit_sha(),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rounds": rounds,
+        "timings_ms": {name: round(value, 4) for name, value in timings_ms.items()},
+        "speedups": {name: round(value, 3) for name, value in speedups.items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="output path (default: BENCH_<sha12>.json in the working directory)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="best-of rounds per scenario (default: 3)"
+    )
+    args = parser.parse_args(argv)
+
+    payload = collect(rounds=args.rounds)
+    output = Path(args.output or f"BENCH_{payload['sha'][:12]}.json")
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    for name, value in payload["timings_ms"].items():
+        print(f"  {name:36s} {value:10.3f} ms")
+    for name, value in payload["speedups"].items():
+        print(f"  {name:36s} {value:9.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The shared perf-trajectory scenario, in exactly one place.
+
+``test_bench_backends.py`` (the asserted benchmarks) and
+``bench_report.py`` (the per-commit ``BENCH_<sha>.json`` artifact) must
+measure the *same* workload, or the trajectory silently stops being
+comparable; both import the design-point list and the timing harness
+from here.
+
+Speedup assertions are scaled by ``REPRO_BENCH_SPEEDUP_SCALE`` (default
+1.0): CI sets it below 1 so a throttled shared runner cannot fail a push
+on timing noise, while local runs keep the strict floors.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.design_space import DesignPoint
+
+#: The design-space sweep scenario every backend benchmark pins down
+#: (also the scenario of ``test_bench_design_space.py``).
+DESIGN_POINTS = [
+    DesignPoint(rows=128, cols=128, supported_depths=(1, 2)),
+    DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4)),
+    DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4, 8)),
+    DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4)),
+]
+
+
+def best_of(fn, rounds: int = 3) -> float:
+    """Best-of-N wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def speedup_floor(strict: float) -> float:
+    """An asserted speedup threshold, relaxed on noisy (CI) machines."""
+    return strict * float(os.environ.get("REPRO_BENCH_SPEEDUP_SCALE", "1.0"))

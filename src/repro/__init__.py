@@ -18,7 +18,10 @@ Architecture with Configurable Transparent Pipelining* (DATE 2023):
 * :mod:`repro.baselines` -- the conventional fixed-pipeline baseline.
 * :mod:`repro.backends` -- pluggable execution backends: the analytical
   reference, the batched/cached fast path (identical numbers) and the
-  cycle-accurate measured path, all behind one protocol.
+  cycle-accurate measured path, all behind one protocol; plus the
+  disk-persistent decision cache (:mod:`repro.backends.store`).
+* :mod:`repro.serve` -- the batch-serving front-end: deduplicating,
+  future-returning ``schedule_many()`` over thread/process executors.
 * :mod:`repro.eval` -- the experiment harness regenerating every figure of
   the paper's evaluation.
 
@@ -36,16 +39,19 @@ from repro.backends import (
     AnalyticalBackend,
     BatchedCachedBackend,
     CycleAccurateBackend,
+    DecisionStore,
     ExecutionBackend,
     create_backend,
+    default_cache_dir,
 )
 from repro.core.arrayflex import ArrayFlexAccelerator, ComparisonReport
 from repro.core.config import ArrayFlexConfig
 from repro.baselines.conventional import ConventionalAccelerator
 from repro.nn.gemm_mapping import GemmShape
+from repro.serve import ScheduleRequest, SchedulingService
 from repro.timing.technology import TechnologyModel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalyticalBackend",
@@ -55,9 +61,13 @@ __all__ = [
     "ComparisonReport",
     "ConventionalAccelerator",
     "CycleAccurateBackend",
+    "DecisionStore",
     "ExecutionBackend",
     "GemmShape",
+    "ScheduleRequest",
+    "SchedulingService",
     "TechnologyModel",
     "create_backend",
+    "default_cache_dir",
     "__version__",
 ]

@@ -28,7 +28,9 @@ down).  ``tests/test_backends.py`` enforces this parity.
 from __future__ import annotations
 
 import abc
+import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.core.clock import ClockModel
@@ -45,6 +47,31 @@ from repro.nn.models import CnnModel
 #: layer, so schedules built from any backend compose with the whole
 #: reporting stack (energy reports, histograms, EXPERIMENTS.md, ...).
 LayerResult = LayerSchedule
+
+
+@dataclass(frozen=True)
+class ModelTotals:
+    """Aggregate run metrics of one model on one accelerator.
+
+    The sweep-style call sites (design-space exploration, size sweeps)
+    only consume totals, so backends may produce these without
+    materialising per-layer :class:`LayerResult` objects.  Totals are
+    bit-identical to summing the corresponding :class:`ModelSchedule`
+    properties: same values, same left-to-right summation order.
+    """
+
+    time_ns: float
+    energy_nj: float
+
+    @property
+    def average_power_mw(self) -> float:
+        if self.time_ns == 0:
+            return 0.0
+        return self.energy_nj * 1000.0 / self.time_ns
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy_nj * self.time_ns
 
 
 @runtime_checkable
@@ -98,6 +125,20 @@ class ExecutionBackend(abc.ABC):
 
     def __init__(self) -> None:
         self._components: OrderedDict[tuple, _ConfigComponents] = OrderedDict()
+        self._components_lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Pickling (locks cannot cross process boundaries; subclasses with
+    # extra transient state extend these)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_components_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._components_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # The protocol
@@ -125,6 +166,27 @@ class ExecutionBackend(abc.ABC):
         for index, gemm in enumerate(gemms, start=1):
             schedule.layers.append(self.schedule_layer(gemm, config, index=index))
         return schedule
+
+    def schedule_model_totals(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+        conventional: bool = False,
+    ) -> ModelTotals:
+        """Aggregate time/energy of one model run (sweep fast path).
+
+        The generic implementation materialises the full schedule and sums
+        it; backends that can produce totals without building per-layer
+        objects (the batched backend) override this.  Either way the
+        numbers equal the :class:`~repro.core.scheduler.ModelSchedule`
+        property sums bit-for-bit.
+        """
+        scheduler = self.schedule_model_conventional if conventional else self.schedule_model
+        schedule = scheduler(model, config, model_name=model_name)
+        return ModelTotals(
+            time_ns=schedule.total_time_ns, energy_nj=schedule.total_energy_nj
+        )
 
     # ------------------------------------------------------------------ #
     # Conventional baseline (single fixed mode, shared closed form)
@@ -175,18 +237,22 @@ class ExecutionBackend(abc.ABC):
 
         Building a :class:`ClockModel` resolves every operating point, so
         the bundles are memoised per configuration (keyed by
-        :meth:`ArrayFlexConfig.cache_key`).
+        :meth:`ArrayFlexConfig.cache_key`).  Backends are shared across
+        :class:`~repro.serve.SchedulingService` threads, so the memo's
+        get / move-to-end / evict sequence is lock-serialised; the
+        returned bundle itself is read-only.
         """
         key = config.cache_key()
-        parts = self._components.get(key)
-        if parts is None:
-            parts = _ConfigComponents(config)
-            self._components[key] = parts
-            while len(self._components) > self.MAX_COMPONENT_BUNDLES:
-                self._components.popitem(last=False)
-        else:
-            self._components.move_to_end(key)
-        return parts
+        with self._components_lock:
+            parts = self._components.get(key)
+            if parts is None:
+                parts = _ConfigComponents(config)
+                self._components[key] = parts
+                while len(self._components) > self.MAX_COMPONENT_BUNDLES:
+                    self._components.popitem(last=False)
+            else:
+                self._components.move_to_end(key)
+            return parts
 
 
 class _ConfigComponents:

@@ -19,16 +19,26 @@ the vectorised argmin replicates the sequential shallow-first tie-break
 of :meth:`repro.core.optimizer.PipelineOptimizer.best_depth` (including
 its 1e-12 tolerance), and times/powers are computed from the same
 operating points.  ``tests/test_backends.py`` pins the parity down.
+
+With a :class:`~repro.backends.store.DecisionStore` attached, the LRU is
+additionally spilled to disk: every freshly solved decision is flushed to
+the store, and memory misses consult it before falling back to the NumPy
+solve, so a new process (a rerun CLI invocation, a CI job, a pool worker)
+starts warm.  All cache bookkeeping is serialised on an internal lock,
+which makes one backend instance safe to share across the threads of
+:class:`~repro.serve.SchedulingService`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backends.base import ExecutionBackend, LayerResult
+from repro.backends.base import ExecutionBackend, LayerResult, ModelTotals
+from repro.backends.store import DecisionStore
 from repro.core.config import ArrayFlexConfig
 from repro.core.scheduler import LayerSchedule, ModelSchedule, resolve_workload
 from repro.nn.gemm_mapping import GemmShape
@@ -51,8 +61,48 @@ class _Decision:
     analytical_depth: float
 
 
+def _decision_to_row(decision: _Decision) -> list:
+    """The JSON-serialisable store row of one decision.
+
+    Floats round-trip bit-exactly through JSON (repr-based encoding), so a
+    decision read back from disk equals the freshly solved one.
+    """
+    return [
+        decision.collapse_depth,
+        decision.cycles,
+        decision.clock_frequency_ghz,
+        decision.execution_time_ns,
+        decision.power_mw,
+        decision.analytical_depth,
+    ]
+
+
+def _decision_from_row(row: list) -> _Decision:
+    return _Decision(
+        collapse_depth=int(row[0]),
+        cycles=int(row[1]),
+        clock_frequency_ghz=float(row[2]),
+        execution_time_ns=float(row[3]),
+        power_mw=float(row[4]),
+        analytical_depth=float(row[5]),
+    )
+
+
 def _ceil_div(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
     return -(-a // b)
+
+
+def _conventional_cycles_vector(
+    rows: int, cols: int, m: np.ndarray, n: np.ndarray, t: np.ndarray
+) -> np.ndarray:
+    """Eq. (2) over layer vectors: per-tile Eq. (1) cycles x tile count.
+
+    The scalar reference lives in
+    :func:`repro.core.latency.conventional_total_cycles`; this is its only
+    vectorised restatement, shared by every conventional-path call site of
+    this backend, and the parity tests pin the two against each other.
+    """
+    return (2 * rows + cols + t - 2) * (_ceil_div(n, rows) * _ceil_div(m, cols))
 
 
 class BatchedCachedBackend(ExecutionBackend):
@@ -60,14 +110,30 @@ class BatchedCachedBackend(ExecutionBackend):
 
     name = "batched"
 
-    def __init__(self, cache_size: int = 65536) -> None:
+    def __init__(self, cache_size: int = 65536, store: DecisionStore | None = None) -> None:
         super().__init__()
         if cache_size <= 0:
             raise ValueError("cache_size must be positive")
         self.cache_size = cache_size
+        #: Optional disk persistence layer; see :mod:`repro.backends.store`.
+        self.store = store
         self._cache: OrderedDict[tuple, _Decision] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Pickling (the cache lock cannot cross process boundaries)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Protocol implementation
@@ -104,16 +170,26 @@ class BatchedCachedBackend(ExecutionBackend):
     ) -> ModelSchedule:
         """Baseline schedule with the per-mode constants hoisted out.
 
-        The single fixed mode needs no vectorised search: Eq. (2) comes
-        from the shared closed-form helper, and only the clock/power
-        lookups (identical for every layer) are computed once instead of
-        per layer.
+        The single fixed mode needs no mode search: Eq. (1)/(2) are
+        evaluated for all layers in one NumPy pass (bit-identical to the
+        per-layer closed form — int64 cycles are exact and the int * float
+        time product is the same IEEE double either way), and the
+        clock/power lookups (identical for every layer) are computed once
+        instead of per layer.
         """
         gemms, name = resolve_workload(model, model_name)
         parts = self.components(config)
+        rows, cols = config.rows, config.cols
         period_ns = parts.clock.conventional_period_ns()
         frequency = parts.clock.conventional_frequency_ghz()
         power = parts.energy.conventional_power_mw(frequency)
+
+        m = np.array([g.m for g in gemms], dtype=np.int64)
+        n = np.array([g.n for g in gemms], dtype=np.int64)
+        t = np.array([g.t for g in gemms], dtype=np.int64)
+        cycles = _conventional_cycles_vector(rows, cols, m, n, t)
+        times_ns = cycles * period_ns
+
         schedule = ModelSchedule(
             model_name=name,
             accelerator="Conventional",
@@ -121,37 +197,85 @@ class BatchedCachedBackend(ExecutionBackend):
             cols=config.cols,
         )
         for index, gemm in enumerate(gemms, start=1):
-            cycles = parts.latency.conventional_total_cycles(gemm)
             schedule.layers.append(
                 LayerSchedule(
                     index=index,
                     gemm=gemm,
                     collapse_depth=1,
-                    cycles=cycles,
+                    cycles=int(cycles[index - 1]),
                     clock_frequency_ghz=frequency,
-                    execution_time_ns=cycles * period_ns,
+                    execution_time_ns=float(times_ns[index - 1]),
                     power_mw=power,
                     analytical_depth=1.0,
                 )
             )
         return schedule
 
+    def schedule_model_totals(
+        self,
+        model: CnnModel | list[GemmShape],
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+        conventional: bool = False,
+    ) -> ModelTotals:
+        """Totals without materialising per-layer schedule objects.
+
+        Sweeps aggregate nothing but total time and energy, so this skips
+        the :class:`~repro.core.scheduler.LayerSchedule` construction
+        entirely and accumulates the same per-layer terms in the same
+        left-to-right order as the ``ModelSchedule`` property sums — the
+        numbers are bit-identical, only cheaper to produce.
+        """
+        gemms, _ = resolve_workload(model, model_name)
+        time_ns = 0.0
+        energy_nj = 0.0
+        if conventional:
+            parts = self.components(config)
+            rows, cols = config.rows, config.cols
+            period_ns = parts.clock.conventional_period_ns()
+            frequency = parts.clock.conventional_frequency_ghz()
+            power = parts.energy.conventional_power_mw(frequency)
+            t = np.array([g.t for g in gemms], dtype=np.int64)
+            n = np.array([g.n for g in gemms], dtype=np.int64)
+            m = np.array([g.m for g in gemms], dtype=np.int64)
+            cycles = _conventional_cycles_vector(rows, cols, m, n, t)
+            for layer_time in (cycles * period_ns).tolist():
+                time_ns += layer_time
+                energy_nj += power * layer_time / 1000.0
+        else:
+            for decision in self._decide_batch(gemms, config):
+                layer_time = decision.execution_time_ns
+                time_ns += layer_time
+                energy_nj += decision.power_mw * layer_time / 1000.0
+        return ModelTotals(time_ns=time_ns, energy_nj=energy_nj)
+
     # ------------------------------------------------------------------ #
     # Cache bookkeeping
     # ------------------------------------------------------------------ #
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss/size counters of the decision cache."""
+        """Hit/miss/size counters of the decision cache.
+
+        ``store_hits`` counts memory misses that were answered from the
+        attached :class:`~repro.backends.store.DecisionStore` instead of
+        being re-derived; ``misses`` counts lookups that fell through to
+        the NumPy solve pass — per GEMM occurrence, so duplicate shapes
+        in one cold batch each count even though they share one solve.
+        """
         return {
             "hits": self._hits,
             "misses": self._misses,
+            "store_hits": self._store_hits,
             "size": len(self._cache),
             "max_size": self.cache_size,
         }
 
     def cache_clear(self) -> None:
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        """Drop the in-memory cache and counters (the disk store persists)."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+            self._store_hits = 0
 
     @staticmethod
     def _config_key(config: ArrayFlexConfig) -> tuple:
@@ -163,36 +287,65 @@ class BatchedCachedBackend(ExecutionBackend):
     def _decide_batch(
         self, gemms: list[GemmShape], config: ArrayFlexConfig
     ) -> list[_Decision]:
-        """Decisions for a batch of GEMMs: cache lookups + one NumPy pass."""
+        """Decisions for a batch of GEMMs: cache/store lookups + one NumPy pass.
+
+        The lock guards only the cache bookkeeping; the NumPy solve and
+        all store disk I/O run outside it, so service threads overlap
+        their real work.  Two threads racing on the same cold keys at
+        worst both solve them — identical numbers, last write wins.
+        """
         config_key = self._config_key(config)
+        # Disk I/O before taking the backend lock (the store has its own).
+        stored = self.store.load(config_key) if self.store is not None else None
+        keys = [(gemm.m, gemm.n, gemm.t, config_key) for gemm in gemms]
         decisions: list[_Decision | None] = [None] * len(gemms)
         missing: list[int] = []
         unique_keys: dict[tuple, int] = {}
         unique_gemms: list[GemmShape] = []
-        for i, gemm in enumerate(gemms):
-            key = (gemm.m, gemm.n, gemm.t, config_key)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self._hits += 1
-                decisions[i] = cached
-            else:
+        with self._lock:
+            for i, (gemm, key) in enumerate(zip(gemms, keys)):
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    decisions[i] = cached
+                    continue
+                if stored is not None:
+                    row = stored.get(DecisionStore.gemm_key(gemm.m, gemm.n, gemm.t))
+                    if row is not None:
+                        cached = _decision_from_row(row)
+                        self._cache[key] = cached
+                        self._store_hits += 1
+                        decisions[i] = cached
+                        continue
                 self._misses += 1
                 missing.append(i)
                 if key not in unique_keys:
                     unique_keys[key] = len(unique_gemms)
                     unique_gemms.append(gemm)
+            # Store hits insert too: enforce the cap on every path.
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
         if missing:
             fresh = self._solve_vectorised(unique_gemms, config)
-            for key, position in unique_keys.items():
-                self._cache[key] = fresh[position]
-            for i in missing:
-                gemm = gemms[i]
-                key = (gemm.m, gemm.n, gemm.t, config_key)
-                decisions[i] = self._cache[key]
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+            if self.store is not None:
+                self.store.put_many(
+                    config_key,
+                    {
+                        DecisionStore.gemm_key(g.m, g.n, g.t): _decision_to_row(d)
+                        for g, d in zip(unique_gemms, fresh)
+                    },
+                )
+            with self._lock:
+                for key, position in unique_keys.items():
+                    self._cache[key] = fresh[position]
+                for i in missing:
+                    # From `fresh`, not the cache: a concurrent batch may
+                    # have evicted the entry already.
+                    decisions[i] = fresh[unique_keys[keys[i]]]
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
         return decisions  # type: ignore[return-value]
 
     def _solve_vectorised(

@@ -25,6 +25,7 @@ it for validation, not for sweeps.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -49,6 +50,19 @@ class CycleAccurateBackend(ExecutionBackend):
         super().__init__()
         self.measurement_seed = measurement_seed
         self._tile_cycles: OrderedDict[tuple[int, int, int, int], int] = OrderedDict()
+        self._measure_lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Pickling (the memo lock cannot cross process boundaries)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state.pop("_measure_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._measure_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     def schedule_layer(
@@ -83,10 +97,15 @@ class CycleAccurateBackend(ExecutionBackend):
         cycle count.
         """
         key = (config.rows, config.cols, t_rows, collapse_depth)
-        cached = self._tile_cycles.get(key)
-        if cached is not None:
-            self._tile_cycles.move_to_end(key)
-            return cached
+        # Backends are shared across service threads: the memo's
+        # get/move-to-end/evict sequence is lock-serialised, while the
+        # simulation itself runs unlocked (a race costs one duplicated
+        # measurement of the same deterministic number, nothing more).
+        with self._measure_lock:
+            cached = self._tile_cycles.get(key)
+            if cached is not None:
+                self._tile_cycles.move_to_end(key)
+                return cached
         array = CycleAccurateSystolicArray(
             rows=config.rows,
             cols=config.cols,
@@ -103,7 +122,8 @@ class CycleAccurateBackend(ExecutionBackend):
                 f"tile (rows={config.rows}, cols={config.cols}, T={t_rows}, "
                 f"k={collapse_depth})"
             )
-        self._tile_cycles[key] = result.total_cycles
-        while len(self._tile_cycles) > self.MAX_TILE_MEASUREMENTS:
-            self._tile_cycles.popitem(last=False)
+        with self._measure_lock:
+            self._tile_cycles[key] = result.total_cycles
+            while len(self._tile_cycles) > self.MAX_TILE_MEASUREMENTS:
+                self._tile_cycles.popitem(last=False)
         return result.total_cycles

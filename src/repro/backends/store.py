@@ -1,0 +1,249 @@
+"""Disk-persistent decision cache.
+
+:class:`DecisionStore` spills the batched backend's LRU decision cache to
+an on-disk store so repeated CLI / CI invocations skip re-deriving mode
+decisions entirely.  One *shard* file holds every cached decision of one
+accelerator configuration; shards are named by a digest of
+``(store version, ArrayFlexConfig.cache_key())``, so decisions computed
+under a different array geometry, mode set, activity factor or technology
+model can never be confused — the technology model's full parameter set is
+part of :meth:`~repro.core.config.ArrayFlexConfig.cache_key`.
+
+Versioning and invalidation are explicit:
+
+* :data:`STORE_FORMAT_VERSION` changes when the on-disk layout changes;
+* :data:`DECISION_MODEL_VERSION` changes when the latency / clock / energy
+  closed forms change (anything that would alter a cached number);
+* the combined :data:`CACHE_VERSION` is baked into every shard digest and
+  recorded both in a ``VERSION`` marker file and inside each shard, so a
+  version bump atomically orphans every stale entry and the store purges
+  them on the next write.
+
+Writes are atomic (temp file + :func:`os.replace` in the same directory)
+and merge with whatever a concurrent writer already flushed, so parallel
+sweeps sharing one cache directory lose at most duplicated work, never
+correctness.  The store never writes inside the repository tree: the
+default location honours ``REPRO_CACHE_DIR`` and ``XDG_CACHE_HOME`` and
+falls back to ``~/.cache/repro-arrayflex``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+#: Bump when the on-disk shard layout changes.
+STORE_FORMAT_VERSION = 1
+#: Bump when the scheduling closed forms (latency / clock / energy models)
+#: change in a way that alters cached decisions.
+DECISION_MODEL_VERSION = 1
+#: The combined version every shard is keyed and stamped with.
+CACHE_VERSION = f"{STORE_FORMAT_VERSION}.{DECISION_MODEL_VERSION}"
+
+#: Name of the marker file recording the version a cache directory serves.
+_VERSION_MARKER = "VERSION"
+_SHARD_PREFIX = "decisions-"
+
+
+def default_cache_dir() -> Path:
+    """The user-level cache directory (never inside the repository tree).
+
+    Resolution order: ``$REPRO_CACHE_DIR``, ``$XDG_CACHE_HOME/repro-arrayflex``,
+    ``~/.cache/repro-arrayflex``.
+    """
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        # expanduser: env files and CI yaml set these without a shell, so
+        # a literal '~' must not become a directory in the cwd (possibly
+        # inside the repository tree).
+        return Path(explicit).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-arrayflex"
+
+
+class DecisionStore:
+    """On-disk, versioned store of ``(GEMM, configuration) -> decision``.
+
+    Decisions are the six numbers cached by
+    :class:`~repro.backends.batched.BatchedCachedBackend`; they are stored
+    as JSON (floats round-trip bit-exactly through ``repr``), one shard
+    file per configuration.  The store is safe for concurrent use from
+    threads (a lock serialises shard mutation) and from processes (atomic
+    replace + merge-on-write).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        version: str = CACHE_VERSION,
+    ) -> None:
+        self.directory = (
+            Path(directory).expanduser() if directory is not None else default_cache_dir()
+        )
+        self.version = version
+        self._lock = threading.Lock()
+        #: Shard cache: digest -> decisions dict, loaded lazily per shard.
+        self._shards: dict[str, dict[str, list]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Pickling (process-pool workers reopen the same directory)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        return {"directory": self.directory, "version": self.version}
+
+    def __setstate__(self, state: dict) -> None:
+        self.directory = state["directory"]
+        self.version = state["version"]
+        self._lock = threading.Lock()
+        self._shards = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DecisionStore({str(self.directory)!r}, version={self.version!r})"
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    def _digest(self, config_key: tuple) -> str:
+        payload = repr((self.version, config_key)).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:24]
+
+    def _shard_path(self, digest: str) -> Path:
+        return self.directory / f"{_SHARD_PREFIX}{digest}.json"
+
+    @staticmethod
+    def gemm_key(m: int, n: int, t: int) -> str:
+        """The within-shard key of one GEMM shape."""
+        return f"{m},{n},{t}"
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def load(self, config_key: tuple) -> dict[str, list]:
+        """All stored decisions of one configuration (``{} `` when none).
+
+        The shard is read from disk once per store instance and memoised;
+        entries written through :meth:`put_many` keep the memo in sync.
+        """
+        digest = self._digest(config_key)
+        with self._lock:
+            shard = self._shards.get(digest)
+            if shard is None:
+                shard = self._read_shard(digest, config_key)
+                self._shards[digest] = shard
+            return shard
+
+    def get(self, config_key: tuple, m: int, n: int, t: int) -> list | None:
+        """One stored decision, or None when absent."""
+        return self.load(config_key).get(self.gemm_key(m, n, t))
+
+    def _read_shard(self, digest: str, config_key: tuple) -> dict[str, list]:
+        path = self._shard_path(digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("config_key") != repr(config_key)
+        ):
+            # Stale format or (vanishingly unlikely) digest collision:
+            # treat as empty; the next write overwrites the file.
+            return {}
+        decisions = payload.get("decisions")
+        return decisions if isinstance(decisions, dict) else {}
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def put_many(self, config_key: tuple, decisions: dict[str, list]) -> None:
+        """Merge decisions into the configuration's shard (atomic on disk)."""
+        if not decisions:
+            return
+        digest = self._digest(config_key)
+        with self._lock:
+            self._ensure_directory()
+            # Merge with concurrent writers' flushes before replacing.
+            current = self._read_shard(digest, config_key)
+            current.update(decisions)
+            self._shards[digest] = current
+            payload = {
+                "version": self.version,
+                "config_key": repr(config_key),
+                "decisions": current,
+            }
+            self._atomic_write(self._shard_path(digest), payload)
+
+    def _atomic_write(self, path: Path, payload: dict) -> None:
+        fd, tmp = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _ensure_directory(self) -> None:
+        """Create the directory and enforce the version marker.
+
+        A marker recording a *different* version means every shard on disk
+        was produced by an incompatible store: purge them all, then claim
+        the directory for this version.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        marker = self.directory / _VERSION_MARKER
+        try:
+            recorded = marker.read_text(encoding="utf-8").strip()
+        except OSError:
+            recorded = None
+        if recorded != self.version:
+            if recorded is not None:
+                self._purge_shards()
+            marker.write_text(self.version + "\n", encoding="utf-8")
+
+    def _purge_shards(self) -> None:
+        self._shards.clear()
+        for shard in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
+            try:
+                shard.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Maintenance / introspection
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Remove every shard (and the memo); the directory itself stays."""
+        with self._lock:
+            if self.directory.is_dir():
+                self._purge_shards()
+            self._shards.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Entry / shard counts of what is currently on disk."""
+        shards = 0
+        entries = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
+                shards += 1
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    decisions = payload.get("decisions", {})
+                    if isinstance(decisions, dict):
+                        entries += len(decisions)
+                except (OSError, json.JSONDecodeError):
+                    continue
+        return {"shards": shards, "entries": entries}

@@ -10,6 +10,9 @@ Commands
 ``info``        Operating points and area figures of one configuration.
 ``decide``      Pipeline-mode decision (Eq. 6/7) for one GEMM.
 ``compare``     Latency / power / EDP of one CNN versus the conventional SA.
+``batch``       Serve a whole (model x array size) grid through the batch
+                front-end, with the disk-persistent decision cache warm by
+                default across invocations.
 ``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
                 fig9, eq7, clock, abl_csa, abl_dirs) and print its table.
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
@@ -20,6 +23,13 @@ vectorised/cached fast path (same numbers), or the cycle-accurate
 measured path (slow; for validation)::
 
     python -m repro --backend batched compare --model resnet34
+
+The global ``--cache-dir`` flag points the batched backend's decision
+cache at a persistent directory (default for ``batch``: the user cache
+directory per ``XDG_CACHE_HOME``; never inside the repository), so
+repeated invocations skip re-deriving decisions::
+
+    python -m repro batch --models resnet34 --sizes 128x128 256x256
 """
 
 from __future__ import annotations
@@ -28,8 +38,9 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.backends import BACKENDS
+from repro.backends import BACKENDS, default_cache_dir
 from repro.core.arrayflex import ArrayFlexAccelerator
+from repro.core.config import ArrayFlexConfig
 from repro.eval.experiments import (
     ClockFrequencyExperiment,
     CsaAblationExperiment,
@@ -96,14 +107,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ArrayFlex (DATE 2023) reproduction command-line interface",
     )
+    # Default None (resolved to "analytical" in main) so commands with a
+    # different natural backend, like `batch`, can tell an explicit
+    # request apart from the fallback and refuse instead of ignoring it.
     parser.add_argument(
         "--backend",
         choices=sorted(BACKENDS),
-        default="analytical",
+        default=None,
         help=(
             "execution backend: 'analytical' closed forms (default), 'batched' "
             "vectorised+cached fast path (identical numbers), 'cycle' "
             "cycle-accurate measurement (slow)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for the disk-persistent decision cache (batched "
+            "backend); default: no persistence, except for 'batch' which "
+            "uses the user cache directory (XDG_CACHE_HOME aware)"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -128,6 +151,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="CNN workload (default: resnet34)",
     )
 
+    batch = subparsers.add_parser(
+        "batch",
+        help="serve a (model x array size) grid through the batch front-end",
+    )
+    batch.add_argument(
+        "--models",
+        nargs="+",
+        choices=sorted(MODEL_BUILDERS),
+        default=sorted(MODEL_BUILDERS),
+        help="CNN workloads (default: all)",
+    )
+    batch.add_argument(
+        "--sizes",
+        nargs="+",
+        default=["128x128"],
+        help="array sizes as RxC (default: 128x128)",
+    )
+    batch.add_argument(
+        "--depths",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="supported collapse depths (default: 1 2 4)",
+    )
+    batch.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="service executor (default: thread)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="service worker count (default: auto from CPU count)",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the disk-persistent decision cache",
+    )
+    _add_backend_argument(batch)
+
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("id", choices=sorted(EXPERIMENT_FACTORIES), help="experiment id")
     _add_backend_argument(experiment)
@@ -143,12 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
 # Command implementations
 # ---------------------------------------------------------------------- #
 def _build_accelerator(args: argparse.Namespace) -> ArrayFlexAccelerator:
+    # cache_dir validation is the facade's job (shared attach_store rules):
+    # --cache-dir with a non-batched backend is an error, never a no-op.
     return ArrayFlexAccelerator(
         rows=args.rows,
         cols=args.cols,
         supported_depths=tuple(args.depths),
         backend=args.backend,
+        cache_dir=args.cache_dir,
     )
+
+
+def _parse_size(text: str) -> tuple[int, int]:
+    try:
+        rows, _, cols = text.lower().partition("x")
+        return int(rows), int(cols)
+    except ValueError:
+        raise ValueError(f"array size must look like 128x128, got {text!r}") from None
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -214,14 +291,80 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Serve a (model x size) grid through the batch front-end.
+
+    Always runs on the batched backend (it owns the decision cache being
+    served); requesting any other backend is an error, not a silent
+    override.  The disk-persistent cache is on by default — point it
+    elsewhere with ``--cache-dir`` or turn it off with ``--no-cache``.
+    """
+    from repro.serve import SchedulingService
+
+    if args.backend_explicit and args.backend != "batched":
+        raise ValueError(
+            f"the 'batch' command always uses the batched backend; "
+            f"--backend {args.backend} is not supported here"
+        )
+    if args.no_cache and args.cache_dir:
+        raise ValueError("--no-cache and --cache-dir are mutually exclusive")
+    sizes = [_parse_size(size) for size in args.sizes]
+    depths = tuple(args.depths)
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    grid = [
+        (MODEL_BUILDERS[name](), ArrayFlexConfig(rows=rows, cols=cols, supported_depths=depths))
+        for name in args.models
+        for rows, cols in sizes
+    ]
+    with SchedulingService(
+        cache_dir=cache_dir, executor=args.executor, max_workers=args.workers
+    ) as service:
+        pairs = service.compare_many(grid)
+        print(f"{'model':14s} {'array':9s} {'conv ms':>9s} {'flex ms':>9s} {'saving':>7s}")
+        for (model, config), (arrayflex, conventional) in zip(grid, pairs):
+            saving = 1.0 - arrayflex.total_time_ns / conventional.total_time_ns
+            print(
+                f"{arrayflex.model_name:14s} {config.rows}x{config.cols:<6d} "
+                f"{conventional.total_time_ms:9.3f} {arrayflex.total_time_ms:9.3f} "
+                f"{format_percent(saving):>7s}"
+            )
+        stats = service.stats()
+    print(
+        f"served {stats['requests']} requests "
+        f"({stats['deduplicated']} deduplicated) on {stats['executor']} x "
+        f"{stats['max_workers']} workers"
+    )
+    if "misses" in stats:  # thread mode; process workers keep their own counters
+        print(
+            f"decision cache: {stats.get('hits', 0)} hits, "
+            f"{stats.get('store_hits', 0)} from disk, "
+            f"{stats.get('misses', 0)} solved"
+        )
+    if cache_dir is not None:
+        print(f"persistent cache: {cache_dir}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _reject_cache_dir(args, "experiment")
     for experiment in EXPERIMENT_FACTORIES[args.id](args.backend):
         print(experiment.render())
         print()
     return 0
 
 
+def _reject_cache_dir(args: argparse.Namespace, command: str) -> None:
+    """--cache-dir must never be a silent no-op: commands that do not
+    route through the batched decision cache refuse it outright."""
+    if args.cache_dir:
+        raise ValueError(
+            f"--cache-dir is not supported by the {command!r} command "
+            f"(use it with info/decide/compare/batch)"
+        )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    _reject_cache_dir(args, "report")
     from repro.eval.paper_report import write_experiments_markdown
 
     content = write_experiments_markdown(args.output)
@@ -233,6 +376,7 @@ _HANDLERS = {
     "info": _cmd_info,
     "decide": _cmd_decide,
     "compare": _cmd_compare,
+    "batch": _cmd_batch,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }
@@ -242,6 +386,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.backend_explicit = args.backend is not None
+    if args.backend is None:
+        args.backend = "analytical"
     return _HANDLERS[args.command](args)
 
 

@@ -102,6 +102,7 @@ class ArrayFlexAccelerator:
         technology: TechnologyModel | None = None,
         config: ArrayFlexConfig | None = None,
         backend: ExecutionBackend | str | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         if config is not None:
             self.config = config
@@ -112,13 +113,15 @@ class ArrayFlexAccelerator:
                 supported_depths=supported_depths,
                 technology=technology or TechnologyModel.default_28nm(),
             )
-        from repro.backends import create_backend
+        from repro.backends import attach_store, create_backend
 
         #: The execution backend scheduling runs on this accelerator.  May
         #: be an :class:`~repro.backends.ExecutionBackend` instance or a
         #: registry name ("analytical", "batched", "cycle"); defaults to
-        #: the reference analytical backend.
-        self.backend = create_backend(backend)
+        #: the reference analytical backend.  ``cache_dir`` attaches the
+        #: disk-persistent decision store (and implies the batched
+        #: backend, which owns the cache being persisted).
+        self.backend = create_backend(attach_store(backend, cache_dir))
         self._scheduler: Scheduler | None = None
         self.optimizer = PipelineOptimizer(self.config)
         self.clock = ClockModel(self.config)

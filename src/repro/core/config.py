@@ -70,15 +70,20 @@ class ArrayFlexConfig:
 
         The dataclass cannot be hashed directly because the technology
         model carries a dict field; this tuple captures everything that
-        influences scheduling decisions.
+        influences scheduling decisions.  Derived once per (frozen)
+        instance — backend caches key every lookup on it.
         """
-        return (
-            self.rows,
-            self.cols,
-            self.sorted_depths(),
-            self.activity,
-            self.technology.cache_key(),
-        )
+        cached = getattr(self, "_cache_key", None)
+        if cached is None:
+            cached = (
+                self.rows,
+                self.cols,
+                self.sorted_depths(),
+                self.activity,
+                self.technology.cache_key(),
+            )
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
 
     def with_size(self, rows: int, cols: int) -> "ArrayFlexConfig":
         """Copy of this configuration with a different array size."""

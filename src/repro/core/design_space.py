@@ -14,14 +14,20 @@ relative to a conventional fixed-pipeline array of the same geometry.
 
 Evaluation runs on a pluggable execution backend (default: the batched /
 cached backend, which memoises mode decisions across design points and is
-numerically identical to the analytical reference).  Multi-point sweeps
-can additionally fan out over a process pool: pass ``max_workers`` to the
-constructor or to :meth:`DesignSpaceExplorer.explore`.
+numerically identical to the analytical reference).  Pass ``cache_dir`` to
+persist those decisions on disk, so a rerun sweep — another CLI
+invocation, a CI job — starts warm and skips the mode search entirely.
+
+Multi-point sweeps fan out through the batch-serving front-end
+(:class:`repro.serve.SchedulingService`) over a process pool: pass
+``max_workers`` explicitly, or let large candidate sets default to one
+worker per CPU.  Workers share warmth through the decision store when a
+``cache_dir`` is configured.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -31,7 +37,14 @@ from repro.timing.area_model import AreaModel
 from repro.timing.technology import TechnologyModel
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
-    from repro.backends import ExecutionBackend
+    from repro.backends import ExecutionBackend, ModelTotals
+
+#: Candidate-set size from which ``explore`` fans out over a process pool
+#: by default (when ``max_workers`` was not pinned anywhere).  Below this
+#: the serial batched path wins outright: it finishes typical sweeps in
+#: milliseconds through the totals fast path, while every pool worker
+#: pays interpreter spawn + package import before its first point.
+AUTO_PARALLEL_MIN_POINTS = 64
 
 
 @dataclass(frozen=True)
@@ -66,34 +79,6 @@ class DesignPointResult:
         return self.point.label
 
 
-#: Per-worker explorer built once by :func:`_init_worker`; reused across
-#: every design point the worker evaluates, so backend memoisation spans
-#: the worker's whole share of the sweep.
-_WORKER_EXPLORER: "DesignSpaceExplorer | None" = None
-
-
-def _init_worker(
-    models: list[CnnModel],
-    technology: TechnologyModel,
-    backend: "ExecutionBackend",
-) -> None:
-    """Process-pool initializer: build one explorer per worker process.
-
-    The backend *instance* is shipped (pickled) once per worker, so custom
-    backend subclasses and non-default configurations (e.g. a tuned cache
-    size) survive the fan-out, and whatever cache state the parent already
-    accumulated seeds every worker.
-    """
-    global _WORKER_EXPLORER
-    _WORKER_EXPLORER = DesignSpaceExplorer(models, technology, backend=backend)
-
-
-def _evaluate_point_task(point: DesignPoint) -> DesignPointResult:
-    """Process-pool task: evaluate one point on the worker-global explorer."""
-    assert _WORKER_EXPLORER is not None, "worker initializer did not run"
-    return _WORKER_EXPLORER.evaluate_point(point)
-
-
 class DesignSpaceExplorer:
     """Evaluates and ranks candidate ArrayFlex design points."""
 
@@ -103,8 +88,9 @@ class DesignSpaceExplorer:
         technology: TechnologyModel | None = None,
         backend: ExecutionBackend | str | None = None,
         max_workers: int | None = None,
+        cache_dir: str | os.PathLike[str] | None = None,
     ) -> None:
-        from repro.backends import create_backend
+        from repro.backends import attach_store, create_backend
 
         if not models:
             raise ValueError("the workload suite must contain at least one model")
@@ -115,36 +101,58 @@ class DesignSpaceExplorer:
         #: Backend evaluating every (design point, model) pair.  Defaults
         #: to the batched/cached backend: bit-identical to the analytical
         #: reference and much faster on sweeps, where workloads repeat.
-        self.backend = create_backend(backend, default="batched")
+        #: ``cache_dir`` attaches the disk-persistent decision store.
+        self.backend = create_backend(attach_store(backend, cache_dir), default="batched")
         self.max_workers = max_workers
 
     # ------------------------------------------------------------------ #
     def evaluate_point(self, point: DesignPoint) -> DesignPointResult:
         """Evaluate one candidate design point over the workload suite."""
-        config = ArrayFlexConfig(
+        config = self._config_for(point)
+        pairs = [
+            (
+                self._model_totals(model, config, conventional=False),
+                self._model_totals(model, config, conventional=True),
+            )
+            for model in self.models
+        ]
+        return self._aggregate(point, config, pairs)
+
+    def _config_for(self, point: DesignPoint) -> ArrayFlexConfig:
+        return ArrayFlexConfig(
             rows=point.rows,
             cols=point.cols,
             supported_depths=point.supported_depths,
             technology=self.technology,
         )
-        area = AreaModel(self.technology)
 
+    def _model_totals(
+        self, model: CnnModel, config: ArrayFlexConfig, conventional: bool
+    ) -> "ModelTotals":
+        from repro.backends import model_totals
+
+        return model_totals(self.backend, model, config, conventional=conventional)
+
+    def _aggregate(
+        self,
+        point: DesignPoint,
+        config: ArrayFlexConfig,
+        pairs: list[tuple["ModelTotals", "ModelTotals"]],
+    ) -> DesignPointResult:
+        """Fold per-model (ArrayFlex, conventional) totals into one score."""
+        area = AreaModel(self.technology)
         total_conv_time = 0.0
         total_af_time = 0.0
         total_conv_energy = 0.0
         total_af_energy = 0.0
         per_model_saving: dict[str, float] = {}
 
-        for model in self.models:
-            arrayflex = self.backend.schedule_model(model, config)
-            conventional = self.backend.schedule_model_conventional(model, config)
-            per_model_saving[model.name] = (
-                1.0 - arrayflex.total_time_ns / conventional.total_time_ns
-            )
-            total_conv_time += conventional.total_time_ns
-            total_af_time += arrayflex.total_time_ns
-            total_conv_energy += conventional.total_energy_nj
-            total_af_energy += arrayflex.total_energy_nj
+        for model, (arrayflex, conventional) in zip(self.models, pairs):
+            per_model_saving[model.name] = 1.0 - arrayflex.time_ns / conventional.time_ns
+            total_conv_time += conventional.time_ns
+            total_af_time += arrayflex.time_ns
+            total_conv_energy += conventional.energy_nj
+            total_af_energy += arrayflex.energy_nj
 
         conv_power = total_conv_energy / total_conv_time
         af_power = total_af_energy / total_af_time
@@ -169,25 +177,91 @@ class DesignSpaceExplorer:
         """Evaluate a list of candidate points (in the given order).
 
         With ``max_workers`` (here or on the constructor) greater than 1,
-        the points are fanned out over a process pool; results come back
-        in input order either way.
+        the points fan out over the batch-serving front-end's process
+        pool; results come back in input order either way.  When no
+        worker count was pinned anywhere, sweeps of at least
+        :data:`AUTO_PARALLEL_MIN_POINTS` points default to one worker per
+        CPU — the production posture for genuinely large sweeps, where
+        the per-worker spawn/import cost amortises.
         """
         if not points:
             raise ValueError("no design points to explore")
         workers = max_workers if max_workers is not None else self.max_workers
+        if (
+            workers is None
+            and len(points) >= AUTO_PARALLEL_MIN_POINTS
+            and self._auto_parallel_safe()
+        ):
+            workers = os.cpu_count() or 1
         if workers is not None and workers > 1 and len(points) > 1:
             return self._explore_parallel(points, workers)
         return [self.evaluate_point(point) for point in points]
 
+    def _auto_parallel_safe(self) -> bool:
+        """Whether the *implicit* process-pool fan-out may kick in.
+
+        Explicit ``max_workers`` is always honoured; the automatic default
+        is conservative, because a process pool imposes requirements a
+        previously-serial call never had: the backend must survive
+        pickling (guaranteed for the stock batched backend, not for
+        arbitrary protocol implementations) and the ``spawn`` start
+        method re-imports ``__main__``, which breaks unguarded scripts —
+        so only the ``fork`` method qualifies.
+        """
+        import multiprocessing
+
+        from repro.backends import BatchedCachedBackend
+
+        import threading
+
+        if not isinstance(self.backend, BatchedCachedBackend):
+            return False
+        # fork() from a multithreaded process can wedge a child on an
+        # orphaned lock; the implicit default never takes that gamble.
+        if threading.active_count() > 1:
+            return False
+        try:
+            # allow_none: reading must not fix the start method as a side
+            # effect — the host application may still want to choose one.
+            method = multiprocessing.get_start_method(allow_none=True)
+            if method is None:
+                method = multiprocessing.get_all_start_methods()[0]
+            return method == "fork"
+        except (ValueError, RuntimeError):  # pragma: no cover - exotic platforms
+            return False
+
     def _explore_parallel(
         self, points: list[DesignPoint], workers: int
     ) -> list[DesignPointResult]:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(points)),
-            initializer=_init_worker,
-            initargs=(self.models, self.technology, self.backend),
-        ) as pool:
-            return list(pool.map(_evaluate_point_task, points))
+        """Fan the sweep out through the batch-serving front-end.
+
+        Every (point, model) pair becomes two totals-only service
+        requests (ArrayFlex and conventional) — workers run the backend's
+        totals fast path and ship two floats back instead of pickling
+        per-layer schedules.  The service deduplicates repeated pairs,
+        the backend instance shipped to each worker carries the parent's
+        cache state, and a configured decision store keeps the workers'
+        warmth shared across the pool and across runs.
+        """
+        from repro.serve import SchedulingService
+
+        configs = [self._config_for(point) for point in points]
+        with SchedulingService(
+            backend=self.backend,
+            executor="process",
+            # Tasks are per (point, model, baseline), so that product — not
+            # the point count — bounds useful parallelism.
+            max_workers=min(workers, 2 * len(points) * len(self.models)),
+        ) as service:
+            pairs = service.compare_many(
+                ((model, config) for config in configs for model in self.models),
+                totals_only=True,
+            )
+        span = len(self.models)
+        return [
+            self._aggregate(point, config, pairs[i * span : (i + 1) * span])
+            for i, (point, config) in enumerate(zip(points, configs))
+        ]
 
     def rank(
         self, points: list[DesignPoint], objective: str = "edp_gain"

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
-from repro.backends import ExecutionBackend, create_backend
+from repro.backends import ExecutionBackend, attach_store, create_backend
 from repro.core.config import ArrayFlexConfig
 from repro.core.clock import ClockModel
 from repro.core.latency import LatencyModel
@@ -83,26 +84,40 @@ def array_size_sweep(
     sizes: list[tuple[int, int]],
     base_config: ArrayFlexConfig | None = None,
     backend: ExecutionBackend | str | None = None,
+    cache_dir: str | os.PathLike[str] | None = None,
+    max_workers: int | None = None,
 ) -> list[SizeSweepPoint]:
     """Run every model at every array size and collect the savings.
 
     ``backend`` selects the execution backend; the default is the
     batched/cached backend, which memoises repeated layer shapes across
     the size grid and is numerically identical to the analytical path.
+    ``cache_dir`` additionally persists the decisions on disk so a rerun
+    sweep starts warm.  The (model, size) grid is routed through the
+    batch-serving front-end, which deduplicates repeated requests;
+    ``max_workers`` sets its thread fan-out (default: one worker — the
+    grid is dominated by cache hits, not compute).
     """
-    resolved = create_backend(backend, default="batched")
-    points = []
-    for rows, cols in sizes:
-        config = (base_config or ArrayFlexConfig()).with_size(rows, cols)
-        for model in models:
-            arrayflex = resolved.schedule_model(model, config)
-            conventional = resolved.schedule_model_conventional(model, config)
+    from repro.serve import SchedulingService
+
+    resolved = create_backend(attach_store(backend, cache_dir), default="batched")
+    grid = [
+        ((base_config or ArrayFlexConfig()).with_size(rows, cols), model)
+        for rows, cols in sizes
+        for model in models
+    ]
+    with SchedulingService(
+        backend=resolved, executor="thread", max_workers=max_workers or 1
+    ) as service:
+        pairs = service.compare_many((model, config) for config, model in grid)
+        points = []
+        for (config, model), (arrayflex, conventional) in zip(grid, pairs):
             conventional_power = conventional.average_power_mw
             arrayflex_power = arrayflex.average_power_mw
             points.append(
                 SizeSweepPoint(
-                    rows=rows,
-                    cols=cols,
+                    rows=config.rows,
+                    cols=config.cols,
                     model_name=model.name,
                     conventional_time_ms=conventional.total_time_ms,
                     arrayflex_time_ms=arrayflex.total_time_ms,

@@ -53,8 +53,17 @@ class CnnModel:
         return self.layers[index - 1]
 
     def gemms(self) -> list[GemmShape]:
-        """The ordered GEMM shapes of every layer."""
-        return model_to_gemms(list(self.layers))
+        """The ordered GEMM shapes of every layer.
+
+        The lowering is pure in the (immutable) layer table, so it runs
+        once per model instance; callers get a fresh list over the shared
+        frozen shapes each time.
+        """
+        cached = getattr(self, "_gemms_cache", None)
+        if cached is None:
+            cached = tuple(model_to_gemms(list(self.layers)))
+            object.__setattr__(self, "_gemms_cache", cached)
+        return list(cached)
 
     def gemm(self, index: int) -> GemmShape:
         """GEMM shape of a layer by 1-based index."""

@@ -1,0 +1,32 @@
+"""Batch-serving front-end: submit scheduling requests, get futures back.
+
+>>> from repro.serve import SchedulingService, ScheduleRequest
+>>> from repro.core.config import ArrayFlexConfig
+>>> from repro.nn.models import resnet34
+>>> with SchedulingService() as service:
+...     futures = service.schedule_many(
+...         [(resnet34(), ArrayFlexConfig.paper_128x128())]
+...     )
+...     schedule = futures[0].result()
+>>> schedule.model_name
+'ResNet-34'
+
+See :mod:`repro.serve.service` for the full story (dedup, batching,
+thread/process executors, disk-persistent decision cache).
+"""
+
+from repro.serve.service import (
+    EXECUTORS,
+    ScheduleRequest,
+    SchedulingService,
+    ServiceStats,
+    default_max_workers,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "ScheduleRequest",
+    "SchedulingService",
+    "ServiceStats",
+    "default_max_workers",
+]

@@ -1,0 +1,357 @@
+"""Batch-serving front-end over the execution backends.
+
+:class:`SchedulingService` is the building block for serving scheduling
+decisions at scale: it accepts a *stream* of ``(model, configuration)``
+requests, deduplicates them, batches them through one shared
+:class:`~repro.backends.batched.BatchedCachedBackend` and returns
+:class:`concurrent.futures.Future` objects, so callers can submit work
+incrementally and collect results as they complete.
+
+Three layers of work elimination stack up:
+
+* **request dedup** — identical requests (same workload, same
+  configuration identity per :meth:`ArrayFlexConfig.cache_key`) are
+  submitted once and share one future, across ``schedule_many`` calls;
+* **decision cache** — distinct requests still share per-layer mode
+  decisions through the backend's LRU (CNN suites repeat GEMM shapes
+  heavily);
+* **disk persistence** — with a ``cache_dir`` the LRU is spilled to a
+  :class:`~repro.backends.store.DecisionStore`, so a new process starts
+  warm.
+
+Execution fans out over a thread pool (default: cheap, shares one warm
+backend; the backend's cache bookkeeping is lock-serialised but the NumPy
+solve and schedule construction run concurrently) or a process pool
+(``executor="process"``: true parallelism for very large sweeps; workers
+share warmth through the disk store).  ``max_workers`` is auto-sized from
+:func:`os.cpu_count`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import RLock
+
+from repro.backends import (
+    BatchedCachedBackend,
+    ExecutionBackend,
+    ExecutionBackendProtocol,
+    ModelTotals,
+    attach_store,
+    create_backend,
+    model_totals,
+)
+from repro.core.config import ArrayFlexConfig
+from repro.core.scheduler import ModelSchedule, resolve_workload
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import CnnModel
+
+#: Executor kinds accepted by :class:`SchedulingService`.
+EXECUTORS = ("thread", "process")
+
+
+def default_max_workers(executor: str = "thread") -> int:
+    """Worker-count default, auto-sized from the machine's CPU count."""
+    cpus = os.cpu_count() or 1
+    if executor == "process":
+        return max(1, cpus)
+    # Threads mostly overlap object construction and (NumPy) solves; the
+    # stdlib's own heuristic works well here.
+    return min(32, cpus + 4)
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One unit of serving work: schedule ``model`` on ``config``.
+
+    ``conventional`` selects the fixed-pipeline baseline schedule instead
+    of the per-layer optimised ArrayFlex one (a comparison front-end
+    submits both and pairs the futures).  ``totals_only`` asks for a
+    :class:`~repro.backends.ModelTotals` instead of a full per-layer
+    :class:`~repro.core.scheduler.ModelSchedule` — same numbers, but
+    sweep-style aggregators skip materialising (and, on the process
+    executor, pickling) hundreds of layer objects they would immediately
+    collapse to two floats.
+    """
+
+    model: CnnModel | tuple[GemmShape, ...] | list[GemmShape]
+    config: ArrayFlexConfig
+    conventional: bool = False
+    totals_only: bool = False
+    model_name: str | None = None
+
+    def resolve(self) -> tuple[list[GemmShape], str]:
+        return resolve_workload(
+            self.model if isinstance(self.model, CnnModel) else list(self.model),
+            self.model_name,
+        )
+
+
+#: Per-worker backend for process-pool execution, installed by the pool
+#: initializer so each worker schedules on its own warm(ing) backend.
+_WORKER_BACKEND: ExecutionBackend | ExecutionBackendProtocol | None = None
+
+
+def _init_worker(backend: ExecutionBackend | ExecutionBackendProtocol) -> None:
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = backend
+
+
+def _compute_totals(
+    backend: ExecutionBackend | ExecutionBackendProtocol,
+    gemms: tuple[GemmShape, ...] | list[GemmShape],
+    name: str,
+    config: ArrayFlexConfig,
+    conventional: bool,
+) -> ModelTotals:
+    return model_totals(
+        backend, list(gemms), config, conventional=conventional, model_name=name
+    )
+
+
+def _worker_schedule(
+    gemms: tuple[GemmShape, ...],
+    name: str,
+    config: ArrayFlexConfig,
+    conventional: bool,
+    totals_only: bool,
+) -> ModelSchedule | ModelTotals:
+    assert _WORKER_BACKEND is not None, "process-pool initializer did not run"
+    if totals_only:
+        return _compute_totals(_WORKER_BACKEND, gemms, name, config, conventional)
+    scheduler = (
+        _WORKER_BACKEND.schedule_model_conventional
+        if conventional
+        else _WORKER_BACKEND.schedule_model
+    )
+    return scheduler(list(gemms), config, model_name=name)
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters (dedup effectiveness and submission volume)."""
+
+    requests: int = 0
+    submitted: int = 0
+    deduplicated: int = 0
+
+
+class SchedulingService:
+    """Deduplicating, batching, future-returning scheduling front-end."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend | ExecutionBackendProtocol | str | None = None,
+        cache_dir: str | os.PathLike[str] | None = None,
+        executor: str = "thread",
+        max_workers: int | None = None,
+        cache_size: int = 65536,
+        dedup_size: int = 4096,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if dedup_size < 1:
+            raise ValueError("dedup_size must be at least 1")
+        if backend is None:
+            backend = BatchedCachedBackend(cache_size=cache_size)
+        self.backend = attach_store(create_backend(backend, default="batched"), cache_dir)
+        self.executor_kind = executor
+        self.max_workers = max_workers or default_max_workers(executor)
+        #: Bound on the dedup map: completed futures (and their results)
+        #: beyond this are dropped oldest-first, so a long-lived service
+        #: over a stream of distinct requests cannot grow without limit.
+        #: Evicted entries only cost a duplicate recomputation on
+        #: re-encounter — the backend's decision cache still absorbs it.
+        self.dedup_size = dedup_size
+        # Re-entrant: a future that completes instantly runs its
+        # done-callback inline on the submitting thread, inside submit()'s
+        # critical section.
+        self._lock = RLock()
+        self._futures: dict[tuple, Future[ModelSchedule | ModelTotals]] = {}
+        self._stats = ServiceStats()
+        if executor == "process":
+            self._pool: ThreadPoolExecutor | ProcessPoolExecutor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(self.backend,),
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-serve",
+            )
+
+    # ------------------------------------------------------------------ #
+    # The serving API
+    # ------------------------------------------------------------------ #
+    def schedule_many(
+        self,
+        requests: Iterable[
+            ScheduleRequest | tuple[CnnModel | list[GemmShape], ArrayFlexConfig]
+        ],
+    ) -> list[Future[ModelSchedule | ModelTotals]]:
+        """Submit a stream of requests; one future per request, in order.
+
+        Duplicate requests (also across earlier ``schedule_many`` calls on
+        this service) share a single underlying computation and therefore
+        the same future object.
+        """
+        return [self.submit(request) for request in requests]
+
+    def submit(self, request: ScheduleRequest) -> Future[ModelSchedule | ModelTotals]:
+        """Submit one request (deduplicated against everything in flight)."""
+        request = self._coerce(request)
+        gemms, name = request.resolve()
+        dims = tuple((g.m, g.n, g.t) for g in gemms)
+        key = (
+            name,
+            dims,
+            request.conventional,
+            request.totals_only,
+            request.config.cache_key(),
+        )
+        with self._lock:
+            self._stats.requests += 1
+            future = self._futures.get(key)
+            if future is not None:
+                self._stats.deduplicated += 1
+                return future
+            self._stats.submitted += 1
+            if self.executor_kind == "process":
+                future = self._pool.submit(
+                    _worker_schedule, tuple(gemms), name, request.config,
+                    request.conventional, request.totals_only,
+                )
+            elif request.totals_only:
+                future = self._pool.submit(
+                    _compute_totals, self.backend, gemms, name, request.config,
+                    request.conventional,
+                )
+            else:
+                scheduler = (
+                    self.backend.schedule_model_conventional
+                    if request.conventional
+                    else self.backend.schedule_model
+                )
+                future = self._pool.submit(
+                    scheduler, gemms, request.config, model_name=name
+                )
+            self._futures[key] = future
+            future.add_done_callback(
+                lambda done, key=key: self._forget_failed(key, done)
+            )
+            if len(self._futures) > self.dedup_size:
+                self._evict_completed_locked()
+            return future
+
+    def _forget_failed(self, key: tuple, future: Future) -> None:
+        """Drop a failed/cancelled future from the dedup map.
+
+        A transient error (disk full during a store flush, a killed pool
+        worker) must not poison its request key for the service's
+        lifetime — the next identical request recomputes instead of
+        re-raising the stale exception.
+        """
+        try:
+            failed = future.cancelled() or future.exception() is not None
+        except BaseException:  # pragma: no cover - defensive
+            failed = True
+        if failed:
+            with self._lock:
+                if self._futures.get(key) is future:
+                    del self._futures[key]
+
+    def _evict_completed_locked(self) -> None:
+        """Drop oldest *completed* futures until the dedup map fits.
+
+        Pending futures are kept regardless: evicting them would submit
+        genuinely duplicate in-flight work, which is the one thing the
+        dedup map exists to prevent.
+        """
+        for key in list(self._futures):
+            if len(self._futures) <= self.dedup_size:
+                break
+            if self._futures[key].done():
+                del self._futures[key]
+
+    def schedule_all(
+        self,
+        requests: Iterable[
+            ScheduleRequest | tuple[CnnModel | list[GemmShape], ArrayFlexConfig]
+        ],
+    ) -> list[ModelSchedule | ModelTotals]:
+        """Submit a stream of requests and block for all results (in order)."""
+        return [future.result() for future in self.schedule_many(requests)]
+
+    def compare_many(
+        self,
+        workloads: Iterable[tuple[CnnModel | list[GemmShape], ArrayFlexConfig]],
+        totals_only: bool = False,
+    ) -> list[tuple[ModelSchedule | ModelTotals, ModelSchedule | ModelTotals]]:
+        """(ArrayFlex, conventional) result pairs, one per workload.
+
+        The comparison front-ends (CLI ``batch``, size sweeps, the
+        design-space explorer) all need both runs of every workload; this
+        encodes the submit/pair bookkeeping once so no caller hand-walks
+        an interleaved future list.
+        """
+        workloads = list(workloads)
+        futures = self.schedule_many(
+            ScheduleRequest(
+                model=model, config=config, conventional=conv, totals_only=totals_only
+            )
+            for model, config in workloads
+            for conv in (False, True)
+        )
+        return [
+            (futures[2 * i].result(), futures[2 * i + 1].result())
+            for i in range(len(workloads))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int | str]:
+        """Serving and (thread-mode) backend cache counters."""
+        with self._lock:
+            counters: dict[str, int | str] = {
+                "executor": self.executor_kind,
+                "max_workers": self.max_workers,
+                "requests": self._stats.requests,
+                "submitted": self._stats.submitted,
+                "deduplicated": self._stats.deduplicated,
+            }
+        cache_info = getattr(self.backend, "cache_info", None)
+        if cache_info is not None and self.executor_kind == "thread":
+            # Process workers hold their own backend copies; the parent's
+            # counters would be misleading there.
+            counters.update(cache_info())
+        return counters
+
+    def close(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SchedulingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(
+        request: ScheduleRequest | tuple[CnnModel | list[GemmShape], ArrayFlexConfig],
+    ) -> ScheduleRequest:
+        if isinstance(request, ScheduleRequest):
+            return request
+        if isinstance(request, tuple) and len(request) == 2:
+            model, config = request
+            return ScheduleRequest(model=model, config=config)
+        raise TypeError(
+            "requests must be ScheduleRequest objects or (model, config) tuples"
+        )

@@ -144,15 +144,21 @@ class TechnologyModel:
 
         The dataclass itself is not hashable because of the ``extras``
         dict; memoisation layers (the execution backends) key their
-        caches on this tuple instead.
+        caches on this tuple instead.  The tuple is derived once per
+        instance (the dataclass is frozen, so it cannot go stale) — it
+        sits on the hot path of every backend cache lookup.
         """
-        values: list[object] = []
-        for f in fields(self):
-            value = getattr(self, f.name)
-            if isinstance(value, dict):
-                value = tuple(sorted(value.items()))
-            values.append(value)
-        return tuple(values)
+        cached = getattr(self, "_cache_key", None)
+        if cached is None:
+            values: list[object] = []
+            for f in fields(self):
+                value = getattr(self, f.name)
+                if isinstance(value, dict):
+                    value = tuple(sorted(value.items()))
+                values.append(value)
+            cached = tuple(values)
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # Derived quantities

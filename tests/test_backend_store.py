@@ -1,0 +1,263 @@
+"""Tests for the disk-persistent decision cache (`repro.backends.store`)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.backends import AnalyticalBackend, BatchedCachedBackend
+from repro.backends.store import CACHE_VERSION, DecisionStore, default_cache_dir
+from repro.core.config import ArrayFlexConfig
+from repro.nn.models import resnet34
+
+
+@pytest.fixture()
+def config():
+    return ArrayFlexConfig.paper_128x128()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DecisionStore(tmp_path)
+
+
+class TestDefaultCacheDir:
+    def test_repro_cache_dir_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "explicit"
+
+    def test_xdg_cache_home_respected(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-arrayflex"
+
+    def test_fallback_is_under_home_not_repo(self, monkeypatch, tmp_path):
+        """CI hermeticity: the default never points inside the repo tree."""
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path / "home"))
+        resolved = default_cache_dir()
+        assert resolved == tmp_path / "home" / ".cache" / "repro-arrayflex"
+        import repro
+
+        repo_root = type(resolved)(repro.__file__).resolve().parent.parent.parent
+        assert not resolved.resolve().is_relative_to(repo_root)
+
+
+class TestRoundTrip:
+    def test_get_missing_is_none(self, store, config):
+        assert store.get(config.cache_key(), 64, 64, 64) is None
+
+    def test_put_then_get(self, store, config):
+        key = config.cache_key()
+        store.put_many(key, {DecisionStore.gemm_key(8, 8, 8): [2, 100, 1.7, 58.8, 3.5, 1.9]})
+        assert store.get(key, 8, 8, 8) == [2, 100, 1.7, 58.8, 3.5, 1.9]
+
+    def test_fresh_instance_reads_what_another_wrote(self, tmp_path, config):
+        key = config.cache_key()
+        DecisionStore(tmp_path).put_many(key, {"1,2,3": [1, 5, 2.0, 2.5, 1.0, 1.0]})
+        assert DecisionStore(tmp_path).get(key, 1, 2, 3) == [1, 5, 2.0, 2.5, 1.0, 1.0]
+
+    def test_different_configs_do_not_collide(self, store):
+        small = ArrayFlexConfig(rows=16, cols=16).cache_key()
+        large = ArrayFlexConfig(rows=128, cols=128).cache_key()
+        store.put_many(small, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        assert store.get(large, 1, 1, 1) is None
+
+    def test_merge_preserves_existing_entries(self, store, config):
+        key = config.cache_key()
+        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        store.put_many(key, {"2,2,2": [2, 2, 2.0, 2.0, 2.0, 2.0]})
+        assert store.get(key, 1, 1, 1) is not None
+        assert store.get(key, 2, 2, 2) is not None
+
+    def test_corrupt_shard_treated_as_empty(self, tmp_path, store, config):
+        key = config.cache_key()
+        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        shard = next(tmp_path.glob("decisions-*.json"))
+        shard.write_text("{not json", encoding="utf-8")
+        assert DecisionStore(tmp_path).get(key, 1, 1, 1) is None
+
+    def test_stats_and_clear(self, tmp_path, store, config):
+        key = config.cache_key()
+        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        assert DecisionStore(tmp_path).stats() == {"shards": 1, "entries": 1}
+        store.clear()
+        assert DecisionStore(tmp_path).stats() == {"shards": 0, "entries": 0}
+
+
+class TestVersioning:
+    def test_version_mismatch_invalidates_lookups(self, tmp_path, config):
+        key = config.cache_key()
+        DecisionStore(tmp_path, version="1.1").put_many(
+            key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]}
+        )
+        assert DecisionStore(tmp_path, version="9.9").get(key, 1, 1, 1) is None
+
+    def test_new_version_purges_stale_shards_on_write(self, tmp_path, config):
+        key = config.cache_key()
+        DecisionStore(tmp_path, version="1.1").put_many(
+            key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]}
+        )
+        assert (tmp_path / "VERSION").read_text().strip() == "1.1"
+        DecisionStore(tmp_path, version="9.9").put_many(
+            key, {"2,2,2": [2, 2, 2.0, 2.0, 2.0, 2.0]}
+        )
+        assert (tmp_path / "VERSION").read_text().strip() == "9.9"
+        payloads = [
+            json.loads(path.read_text())
+            for path in tmp_path.glob("decisions-*.json")
+        ]
+        assert [p["version"] for p in payloads] == ["9.9"]
+
+    def test_shard_records_config_and_version(self, tmp_path, store, config):
+        key = config.cache_key()
+        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        payload = json.loads(next(tmp_path.glob("decisions-*.json")).read_text())
+        assert payload["version"] == CACHE_VERSION
+        assert payload["config_key"] == repr(key)
+
+    def test_pickle_round_trip_drops_transient_state(self, tmp_path, config):
+        store = DecisionStore(tmp_path)
+        key = config.cache_key()
+        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.directory == store.directory
+        assert clone.version == store.version
+        assert clone.get(key, 1, 1, 1) == [1, 1, 1.0, 1.0, 1.0, 1.0]
+
+
+class TestBackendIntegration:
+    def test_cold_then_warm_is_bit_identical(self, tmp_path, config):
+        """A fresh process (fresh backend) reads back the exact schedule."""
+        model = resnet34()
+        reference = AnalyticalBackend().schedule_model(model, config)
+
+        cold = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        assert cold.schedule_model(model, config).layers == reference.layers
+
+        warm = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        schedule = warm.schedule_model(model, config)
+        assert schedule.layers == reference.layers
+        info = warm.cache_info()
+        assert info["misses"] == 0
+        assert info["store_hits"] > 0
+
+    def test_totals_fast_path_matches_schedule_sums(self, tmp_path, config):
+        model = resnet34()
+        backend = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        schedule = backend.schedule_model(model, config)
+        totals = backend.schedule_model_totals(model, config)
+        assert totals.time_ns == schedule.total_time_ns
+        assert totals.energy_nj == schedule.total_energy_nj
+        conventional = backend.schedule_model_conventional(model, config)
+        conv_totals = backend.schedule_model_totals(model, config, conventional=True)
+        assert conv_totals.time_ns == conventional.total_time_ns
+        assert conv_totals.energy_nj == conventional.total_energy_nj
+
+    def test_version_bump_forces_re_derivation(self, tmp_path, config):
+        model = resnet34()
+        BatchedCachedBackend(store=DecisionStore(tmp_path)).schedule_model(model, config)
+        stale = BatchedCachedBackend(store=DecisionStore(tmp_path, version="0.0"))
+        stale.schedule_model(model, config)
+        info = stale.cache_info()
+        assert info["store_hits"] == 0
+        assert info["misses"] > 0
+
+    def test_backend_with_store_pickles(self, tmp_path, config):
+        backend = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        model = resnet34()
+        reference = backend.schedule_model(model, config)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.schedule_model(model, config).layers == reference.layers
+
+
+class TestAttachStore:
+    """One helper validates every cache_dir entry point identically."""
+
+    def test_attach_to_default_backend(self, tmp_path):
+        from repro.backends import attach_store
+
+        backend = attach_store(None, tmp_path)
+        assert isinstance(backend, BatchedCachedBackend)
+        assert backend.store.directory == tmp_path
+
+    def test_none_cache_dir_passes_through(self):
+        from repro.backends import attach_store
+
+        assert attach_store("analytical", None) == "analytical"
+
+    def test_rejects_non_batched_and_double_store(self, tmp_path):
+        from repro.backends import attach_store
+
+        with pytest.raises(ValueError):
+            attach_store("analytical", tmp_path)
+        with pytest.raises(ValueError):
+            attach_store(BatchedCachedBackend(store=DecisionStore(tmp_path)), tmp_path)
+
+    def test_explorer_backend_name_plus_cache_dir_persists(self, tmp_path):
+        """Regression: backend= and cache_dir= together must not silently
+        drop persistence."""
+        from repro.core.design_space import DesignPoint, DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer([resnet34()], backend="batched", cache_dir=tmp_path)
+        assert explorer.backend.store is not None
+        explorer.evaluate_point(DesignPoint(rows=64, cols=64, supported_depths=(1, 2)))
+        assert list(tmp_path.glob("decisions-*.json"))
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer([resnet34()], backend="analytical", cache_dir=tmp_path)
+
+    def test_size_sweep_cache_dir_persists(self, tmp_path):
+        from repro.eval.sweep import array_size_sweep
+
+        array_size_sweep([resnet34()], sizes=[(64, 64)], backend="batched", cache_dir=tmp_path)
+        assert list(tmp_path.glob("decisions-*.json"))
+
+
+class TestAttachStoreIsolation:
+    def test_attach_store_does_not_mutate_caller_backend(self, tmp_path):
+        """Regression: persistence stays confined to the component that
+        asked for it."""
+        from repro.backends import attach_store
+
+        original = BatchedCachedBackend(cache_size=7)
+        attached = attach_store(original, tmp_path)
+        assert original.store is None
+        assert attached is not original
+        assert attached.cache_size == 7
+        assert attached.store.directory == tmp_path
+
+
+class TestCacheCapWithStore:
+    def test_store_hits_respect_cache_size_cap(self, tmp_path, config):
+        """Regression: a warm store must not grow the LRU past its cap."""
+        model = resnet34()
+        BatchedCachedBackend(store=DecisionStore(tmp_path)).schedule_model(model, config)
+        warm = BatchedCachedBackend(cache_size=4, store=DecisionStore(tmp_path))
+        warm.schedule_model(model, config)
+        assert warm.cache_info()["size"] <= 4
+
+    def test_attach_store_preserves_subclass_and_state(self, tmp_path):
+        from repro.backends import attach_store
+        from repro.backends.batched import BatchedCachedBackend as _Base
+
+        class Tuned(_Base):
+            def __init__(self, threshold: float = 0.5) -> None:
+                super().__init__()
+                self.threshold = threshold
+
+        attached = attach_store(Tuned(threshold=0.25), tmp_path)
+        assert isinstance(attached, Tuned)
+        assert attached.threshold == 0.25
+        assert attached.store.directory == tmp_path
+
+    def test_env_cache_dirs_expand_user(self, monkeypatch):
+        from repro.backends.store import default_cache_dir
+        from pathlib import Path
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "~/somewhere")
+        assert default_cache_dir() == Path.home() / "somewhere"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", "~/xdgcache")
+        assert default_cache_dir() == Path.home() / "xdgcache" / "repro-arrayflex"

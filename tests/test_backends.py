@@ -192,6 +192,7 @@ class TestBatchedCache:
         assert backend.cache_info() == {
             "hits": 0,
             "misses": 0,
+            "store_hits": 0,
             "size": 0,
             "max_size": backend.cache_size,
         }

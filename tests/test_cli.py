@@ -80,8 +80,12 @@ class TestCommands:
 
 
 class TestBackendFlag:
-    def test_default_backend_is_analytical(self):
-        assert build_parser().parse_args(["info"]).backend == "analytical"
+    def test_default_backend_is_analytical(self, capsys):
+        # Parser-level default is None (so commands can tell an explicit
+        # request from the fallback); main() resolves it to analytical.
+        assert build_parser().parse_args(["info"]).backend is None
+        assert main(["compare", "--model", "resnet34"]) == 0
+        assert "analytical backend" in capsys.readouterr().out
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
@@ -125,3 +129,75 @@ class TestBackendFlag:
     def test_backend_flag_accepted_after_subcommand(self, capsys):
         assert main(["compare", "--model", "resnet34", "--backend", "batched"]) == 0
         assert "batched backend" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_without_cache(self, capsys):
+        assert main(["batch", "--no-cache", "--models", "resnet34", "--sizes", "64x64"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-34" in out
+        assert "64x64" in out
+        assert "served 2 requests" in out
+        assert "persistent cache" not in out
+
+    def test_batch_defaults_cover_all_models(self, capsys, tmp_path):
+        assert main(["--cache-dir", str(tmp_path), "batch", "--sizes", "64x64"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ResNet-34", "MobileNetV1", "ConvNeXt-T"):
+            assert name in out
+        assert str(tmp_path) in out
+
+    def test_batch_warm_rerun_skips_solving(self, capsys, tmp_path):
+        args = ["--cache-dir", str(tmp_path), "batch", "--models", "resnet34", "--sizes", "64x64"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert ", 0 solved" in capsys.readouterr().out
+
+    def test_batch_default_cache_respects_xdg(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert main(["batch", "--models", "resnet34", "--sizes", "64x64"]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+        assert (tmp_path / "repro-arrayflex").is_dir()
+
+    def test_batch_invalid_size_surfaces_as_error(self):
+        with pytest.raises(ValueError):
+            main(["batch", "--no-cache", "--sizes", "not-a-size"])
+
+    def test_compare_with_cache_dir_uses_store(self, capsys, tmp_path):
+        args = [
+            "--backend", "batched", "--cache-dir", str(tmp_path),
+            "compare", "--model", "resnet34", "--rows", "64", "--cols", "64",
+        ]
+        assert main(args) == 0
+        assert "batched backend" in capsys.readouterr().out
+        assert list(tmp_path.glob("decisions-*.json"))
+
+    def test_experiment_and_report_reject_cache_dir(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["--cache-dir", str(tmp_path), "experiment", "fig6"])
+        with pytest.raises(ValueError):
+            main(["--cache-dir", str(tmp_path), "report", "--output", str(tmp_path / "E.md")])
+
+    def test_compare_without_batched_backend_rejects_cache_dir(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["--cache-dir", str(tmp_path), "compare", "--model", "resnet34"])
+
+    def test_batch_rejects_non_batched_backend(self):
+        with pytest.raises(ValueError):
+            main(["--backend", "cycle", "batch", "--no-cache", "--sizes", "64x64"])
+
+    def test_batch_accepts_explicit_batched_backend(self, capsys):
+        assert main(["--backend", "batched", "batch", "--no-cache", "--sizes", "64x64"]) == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_batch_no_cache_conflicts_with_cache_dir(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["--cache-dir", str(tmp_path), "batch", "--no-cache", "--sizes", "64x64"])
+
+    def test_batch_backend_flag_after_subcommand(self, capsys):
+        assert main(["batch", "--no-cache", "--sizes", "64x64", "--backend", "batched"]) == 0
+        assert "served" in capsys.readouterr().out
+        with pytest.raises(ValueError):
+            main(["batch", "--no-cache", "--sizes", "64x64", "--backend", "cycle"])

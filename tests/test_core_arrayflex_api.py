@@ -109,3 +109,18 @@ class TestFunctionalExecution:
         gemm = GemmShape(m=12, n=16, t=6)
         analytical = small_accel.scheduler.latency.total_cycles(gemm, 2)
         assert functional.total_cycles == analytical
+
+
+class TestCacheDir:
+    def test_cache_dir_implies_batched_backend_with_store(self, tmp_path):
+        from repro.backends import BatchedCachedBackend
+
+        accel = ArrayFlexAccelerator(rows=64, cols=64, cache_dir=str(tmp_path))
+        assert isinstance(accel.backend, BatchedCachedBackend)
+        assert accel.backend.store is not None
+        accel.run_gemm((64, 64, 64))
+        assert list(tmp_path.glob("decisions-*.json"))
+
+    def test_cache_dir_rejects_non_batched_backend(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArrayFlexAccelerator(backend="analytical", cache_dir=str(tmp_path))

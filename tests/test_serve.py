@@ -1,0 +1,239 @@
+"""Tests for the batch-serving front-end (`repro.serve`)."""
+
+import threading
+
+import pytest
+
+from repro.backends import AnalyticalBackend, BatchedCachedBackend, DecisionStore
+from repro.core.config import ArrayFlexConfig
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import mobilenet_v1, resnet34
+from repro.serve import ScheduleRequest, SchedulingService, default_max_workers
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ArrayFlexConfig.paper_128x128()
+
+
+@pytest.fixture(scope="module")
+def reference(config):
+    backend = AnalyticalBackend()
+    return {
+        ("ResNet-34", False): backend.schedule_model(resnet34(), config),
+        ("ResNet-34", True): backend.schedule_model_conventional(resnet34(), config),
+        ("MobileNetV1", False): backend.schedule_model(mobilenet_v1(), config),
+    }
+
+
+class TestConstruction:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingService(executor="rocket")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingService(max_workers=0)
+
+    def test_max_workers_auto_sized_from_cpu_count(self):
+        assert default_max_workers("process") >= 1
+        assert default_max_workers("thread") >= 1
+        with SchedulingService() as service:
+            assert service.max_workers == default_max_workers("thread")
+
+    def test_cache_dir_requires_batched_backend(self, tmp_path):
+        with pytest.raises(ValueError):
+            SchedulingService(backend="analytical", cache_dir=tmp_path)
+
+    def test_cache_dir_attaches_store(self, tmp_path):
+        with SchedulingService(cache_dir=tmp_path) as service:
+            assert isinstance(service.backend, BatchedCachedBackend)
+            assert service.backend.store is not None
+            assert service.backend.store.directory == tmp_path
+
+    def test_bad_request_type_rejected(self, config):
+        with SchedulingService() as service:
+            with pytest.raises(TypeError):
+                service.schedule_many([42])
+
+
+class TestScheduleMany:
+    def test_futures_in_request_order(self, config, reference):
+        with SchedulingService() as service:
+            futures = service.schedule_many(
+                [(resnet34(), config), (mobilenet_v1(), config)]
+            )
+            assert futures[0].result().layers == reference[("ResNet-34", False)].layers
+            assert futures[1].result().layers == reference[("MobileNetV1", False)].layers
+
+    def test_conventional_requests(self, config, reference):
+        with SchedulingService() as service:
+            [schedule] = service.schedule_all(
+                [ScheduleRequest(model=resnet34(), config=config, conventional=True)]
+            )
+        assert schedule.accelerator == "Conventional"
+        assert schedule.layers == reference[("ResNet-34", True)].layers
+
+    def test_gemm_list_requests(self, config):
+        gemms = [GemmShape(m=64, n=64, t=64, name="g")]
+        with SchedulingService() as service:
+            [schedule] = service.schedule_all([(gemms, config)])
+        assert len(schedule.layers) == 1
+
+    def test_duplicates_share_one_future(self, config):
+        with SchedulingService() as service:
+            futures = service.schedule_many(
+                [(resnet34(), config), (resnet34(), config), (resnet34(), config)]
+            )
+            assert futures[0] is futures[1] is futures[2]
+            stats = service.stats()
+        assert stats["requests"] == 3
+        assert stats["submitted"] == 1
+        assert stats["deduplicated"] == 2
+
+    def test_dedup_spans_calls(self, config):
+        with SchedulingService() as service:
+            [first] = service.schedule_many([(resnet34(), config)])
+            [second] = service.schedule_many([(resnet34(), config)])
+            assert first is second
+
+    def test_distinct_configs_not_deduplicated(self, config):
+        other = config.with_size(64, 64)
+        with SchedulingService() as service:
+            futures = service.schedule_many([(resnet34(), config), (resnet34(), other)])
+            assert futures[0] is not futures[1]
+            assert futures[0].result().rows == 128
+            assert futures[1].result().rows == 64
+
+    def test_process_executor_matches_thread_executor(self, config, reference):
+        requests = [
+            ScheduleRequest(model=resnet34(), config=config),
+            ScheduleRequest(model=resnet34(), config=config, conventional=True),
+        ]
+        with SchedulingService(executor="process", max_workers=2) as service:
+            schedules = service.schedule_all(requests)
+        assert schedules[0].layers == reference[("ResNet-34", False)].layers
+        assert schedules[1].layers == reference[("ResNet-34", True)].layers
+
+
+class TestConcurrency:
+    def test_concurrent_schedule_many_is_safe_and_exact(self, config, reference):
+        """Many threads hammering one service agree with the reference."""
+        service = SchedulingService(max_workers=8)
+        errors = []
+        configs = [config, config.with_size(64, 64), config.with_size(256, 256)]
+
+        def hammer():
+            try:
+                for cfg in configs:
+                    futures = service.schedule_many(
+                        [(resnet34(), cfg), (mobilenet_v1(), cfg)]
+                    )
+                    for future in futures:
+                        future.result(timeout=60)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert not errors
+            [schedule] = service.schedule_all([(resnet34(), config)])
+            assert schedule.layers == reference[("ResNet-34", False)].layers
+        finally:
+            service.close()
+
+    def test_concurrent_writers_share_one_store(self, tmp_path, config):
+        """Two services racing on one cache directory corrupt nothing."""
+        reference = AnalyticalBackend().schedule_model(resnet34(), config)
+        configs = [config, config.with_size(64, 64)]
+
+        def run_service():
+            with SchedulingService(cache_dir=tmp_path, max_workers=4) as service:
+                service.schedule_all(
+                    [(model(), cfg) for model in (resnet34, mobilenet_v1) for cfg in configs]
+                )
+
+        threads = [threading.Thread(target=run_service) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        warm = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        assert warm.schedule_model(resnet34(), config).layers == reference.layers
+        assert warm.cache_info()["misses"] == 0
+
+
+class TestStats:
+    def test_thread_stats_include_backend_cache(self, config):
+        with SchedulingService() as service:
+            service.schedule_all([(resnet34(), config)])
+            stats = service.stats()
+        assert stats["executor"] == "thread"
+        assert stats["submitted"] == 1
+        assert "misses" in stats and "store_hits" in stats
+
+    def test_process_stats_omit_backend_cache(self, config):
+        with SchedulingService(executor="process", max_workers=1) as service:
+            service.schedule_all([(resnet34(), config)])
+            stats = service.stats()
+        assert stats["executor"] == "process"
+        assert "misses" not in stats
+
+
+class TestTotalsOnly:
+    def test_totals_match_schedule_sums(self, config):
+        with SchedulingService() as service:
+            totals, schedule = service.schedule_all(
+                [
+                    ScheduleRequest(model=resnet34(), config=config, totals_only=True),
+                    ScheduleRequest(model=resnet34(), config=config),
+                ]
+            )
+        assert totals.time_ns == schedule.total_time_ns
+        assert totals.energy_nj == schedule.total_energy_nj
+
+    def test_totals_and_schedule_requests_not_conflated(self, config):
+        with SchedulingService() as service:
+            futures = service.schedule_many(
+                [
+                    ScheduleRequest(model=resnet34(), config=config, totals_only=True),
+                    ScheduleRequest(model=resnet34(), config=config),
+                ]
+            )
+            assert futures[0] is not futures[1]
+
+    def test_totals_through_process_pool(self, config):
+        request = ScheduleRequest(
+            model=resnet34(), config=config, conventional=True, totals_only=True
+        )
+        with SchedulingService(executor="process", max_workers=1) as service:
+            [totals] = service.schedule_all([request])
+        reference = AnalyticalBackend().schedule_model_conventional(resnet34(), config)
+        assert totals.time_ns == reference.total_time_ns
+        assert totals.energy_nj == reference.total_energy_nj
+
+
+class TestFailureRecovery:
+    def test_failed_future_is_not_cached(self, config):
+        """A transient error must not poison the dedup key forever."""
+        calls = {"n": 0}
+
+        class FlakyBackend(BatchedCachedBackend):
+            def schedule_model(self, model, cfg, model_name=None):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise OSError("transient store failure")
+                return super().schedule_model(model, cfg, model_name=model_name)
+
+        with SchedulingService(backend=FlakyBackend()) as service:
+            [first] = service.schedule_many([(resnet34(), config)])
+            with pytest.raises(OSError):
+                first.result(timeout=60)
+            [second] = service.schedule_many([(resnet34(), config)])
+            assert second is not first
+            assert second.result(timeout=60).model_name == "ResNet-34"
