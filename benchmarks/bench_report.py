@@ -32,7 +32,11 @@ for _path in (_HERE.parent / "src", _HERE):
     if str(_path) not in sys.path:
         sys.path.insert(0, str(_path))
 
-from bench_scenarios import DESIGN_POINTS, best_of as _best_of  # noqa: E402
+from bench_scenarios import (  # noqa: E402
+    DESIGN_POINTS,
+    best_of as _best_of,
+    schedule_transformer_suite,
+)
 
 from repro import __version__  # noqa: E402
 from repro.backends import (  # noqa: E402
@@ -108,6 +112,26 @@ def collect(rounds: int = 3) -> dict:
 
         assert warm_rerun() == cold_analytical(), "warm rerun must be bit-identical"
         timings_ms["design_space_warm_store_rerun"] = 1e3 * _best_of(warm_rerun, rounds)
+
+    # Transformer-suite serving: cold batched vs store-warm rerun (the new
+    # workload class riding the same trajectory as the design-space sweep).
+    timings_ms["transformer_suite_cold_batched"] = 1e3 * _best_of(
+        lambda: schedule_transformer_suite(BatchedCachedBackend()), rounds
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        schedule_transformer_suite(BatchedCachedBackend(store=DecisionStore(cache_dir)))
+
+        def transformer_warm_rerun():
+            return schedule_transformer_suite(
+                BatchedCachedBackend(store=DecisionStore(cache_dir))
+            )
+
+        assert transformer_warm_rerun() == schedule_transformer_suite(
+            AnalyticalBackend()
+        ), "transformer warm rerun must be bit-identical"
+        timings_ms["transformer_suite_warm_store_rerun"] = 1e3 * _best_of(
+            transformer_warm_rerun, rounds
+        )
 
     speedups = {
         "batched_vs_analytical": (

@@ -27,6 +27,42 @@ DESIGN_POINTS = [
     DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4)),
 ]
 
+#: The transformer-suite serving scenario (``test_bench_transformers.py``
+#: and the ``BENCH_<sha>.json`` artifact): the ``transformers`` registry
+#: suite scheduled on the paper's two array geometries, cold and
+#: store-warm.
+TRANSFORMER_SUITE = "transformers"
+TRANSFORMER_SIZES = (128, 256)
+
+
+def transformer_workloads():
+    """Fresh workload objects of the transformer scenario (sorted by key)."""
+    from repro.workloads import get_suite
+
+    return get_suite(TRANSFORMER_SUITE)
+
+
+def schedule_transformer_suite(backend):
+    """Run the transformer scenario once on ``backend``; returns totals.
+
+    Totals (not schedules) are what sweep-style consumers aggregate, and
+    the pairs keep the workload order of :func:`transformer_workloads`.
+    """
+    from repro.backends import model_totals
+    from repro.core.config import ArrayFlexConfig
+
+    totals = []
+    for size in TRANSFORMER_SIZES:
+        config = ArrayFlexConfig(rows=size, cols=size)
+        for workload in transformer_workloads():
+            totals.append(
+                (
+                    model_totals(backend, workload, config, conventional=False),
+                    model_totals(backend, workload, config, conventional=True),
+                )
+            )
+    return totals
+
 
 def best_of(fn, rounds: int = 3) -> float:
     """Best-of-N wall-clock seconds of ``fn()``."""

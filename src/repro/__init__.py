@@ -15,6 +15,10 @@ Architecture with Configurable Transparent Pipelining* (DATE 2023):
   STA, area and power models.
 * :mod:`repro.nn` -- the CNN workload substrate (ResNet-34, MobileNetV1,
   ConvNeXt-T) and the conv-to-GEMM lowering.
+* :mod:`repro.workloads` -- the first-class workload subsystem: the
+  string-keyed registry with suite grouping, the transformer front-end
+  (BERT-Base / ViT-B/16 prefill, GPT-2-style decode) and the
+  batch-scaling adapter for batched inference.
 * :mod:`repro.baselines` -- the conventional fixed-pipeline baseline.
 * :mod:`repro.backends` -- pluggable execution backends: the analytical
   reference, the batched/cached fast path (identical numbers) and the
@@ -50,8 +54,16 @@ from repro.baselines.conventional import ConventionalAccelerator
 from repro.nn.gemm_mapping import GemmShape
 from repro.serve import ScheduleRequest, SchedulingService
 from repro.timing.technology import TechnologyModel
+from repro.workloads import (
+    TransformerConfig,
+    get_suite,
+    get_workload,
+    list_suites,
+    list_workloads,
+    register_workload,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalyticalBackend",
@@ -67,7 +79,13 @@ __all__ = [
     "ScheduleRequest",
     "SchedulingService",
     "TechnologyModel",
+    "TransformerConfig",
     "create_backend",
     "default_cache_dir",
+    "get_suite",
+    "get_workload",
+    "list_suites",
+    "list_workloads",
+    "register_workload",
     "__version__",
 ]

@@ -7,7 +7,9 @@ cycle-accurate tile simulator — implements the same two-method protocol:
 * ``schedule_layer(gemm, config) -> LayerResult`` decides the pipeline
   mode of one GEMM and returns its cycles / time / power;
 * ``schedule_model(model, config) -> ModelSchedule`` does the same for
-  every layer of a CNN and aggregates the run.
+  every layer of a workload (a CNN layer table, a transformer GEMM trace,
+  any ``repro.workloads`` registry name or an explicit GEMM list) and
+  aggregates the run.
 
 Callers (the accelerator facade, the design-space explorer, the sweeps,
 the experiment harness and the CLI) program against this protocol only,
@@ -38,9 +40,13 @@ from repro.core.config import ArrayFlexConfig
 from repro.core.energy import EnergyModel
 from repro.core.latency import LatencyModel
 from repro.core.optimizer import PipelineOptimizer
-from repro.core.scheduler import LayerSchedule, ModelSchedule, resolve_workload
+from repro.core.scheduler import (
+    LayerSchedule,
+    ModelSchedule,
+    WorkloadArgument,
+    resolve_workload,
+)
 from repro.nn.gemm_mapping import GemmShape
-from repro.nn.models import CnnModel
 
 #: The per-layer result type shared by every backend.  A backend's
 #: ``schedule_layer`` returns exactly what the scheduler records for a
@@ -91,14 +97,14 @@ class ExecutionBackendProtocol(Protocol):
 
     def schedule_model(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule: ...
 
     def schedule_model_conventional(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule: ...
@@ -151,7 +157,7 @@ class ExecutionBackend(abc.ABC):
 
     def schedule_model(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule:
@@ -169,7 +175,7 @@ class ExecutionBackend(abc.ABC):
 
     def schedule_model_totals(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
         conventional: bool = False,
@@ -211,7 +217,7 @@ class ExecutionBackend(abc.ABC):
 
     def schedule_model_conventional(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule:

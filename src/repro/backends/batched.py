@@ -40,9 +40,13 @@ import numpy as np
 from repro.backends.base import ExecutionBackend, LayerResult, ModelTotals
 from repro.backends.store import DecisionStore
 from repro.core.config import ArrayFlexConfig
-from repro.core.scheduler import LayerSchedule, ModelSchedule, resolve_workload
+from repro.core.scheduler import (
+    LayerSchedule,
+    ModelSchedule,
+    WorkloadArgument,
+    resolve_workload,
+)
 from repro.nn.gemm_mapping import GemmShape
-from repro.nn.models import CnnModel
 
 #: Tie-break tolerance of the discrete mode search (same constant as
 #: :meth:`PipelineOptimizer.best_depth`).
@@ -146,7 +150,7 @@ class BatchedCachedBackend(ExecutionBackend):
 
     def schedule_model(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule:
@@ -164,7 +168,7 @@ class BatchedCachedBackend(ExecutionBackend):
 
     def schedule_model_conventional(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule:
@@ -213,7 +217,7 @@ class BatchedCachedBackend(ExecutionBackend):
 
     def schedule_model_totals(
         self,
-        model: CnnModel | list[GemmShape],
+        model: WorkloadArgument,
         config: ArrayFlexConfig,
         model_name: str | None = None,
         conventional: bool = False,

@@ -81,11 +81,19 @@ class DecisionStore:
         self,
         directory: str | os.PathLike[str] | None = None,
         version: str = CACHE_VERSION,
+        max_bytes: int | None = None,
     ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for no cap)")
         self.directory = (
             Path(directory).expanduser() if directory is not None else default_cache_dir()
         )
         self.version = version
+        #: Opt-in size cap: every merge prunes oldest-written shards until
+        #: the on-disk footprint fits, so long-lived caches (CI runners,
+        #: shared dev machines) cannot grow unboundedly.  ``None`` (the
+        #: default) keeps the historical unbounded behaviour.
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         #: Shard cache: digest -> decisions dict, loaded lazily per shard.
         self._shards: dict[str, dict[str, list]] = {}
@@ -94,11 +102,16 @@ class DecisionStore:
     # Pickling (process-pool workers reopen the same directory)
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
-        return {"directory": self.directory, "version": self.version}
+        return {
+            "directory": self.directory,
+            "version": self.version,
+            "max_bytes": self.max_bytes,
+        }
 
     def __setstate__(self, state: dict) -> None:
         self.directory = state["directory"]
         self.version = state["version"]
+        self.max_bytes = state.get("max_bytes")
         self._lock = threading.Lock()
         self._shards = {}
 
@@ -179,6 +192,8 @@ class DecisionStore:
                 "decisions": current,
             }
             self._atomic_write(self._shard_path(digest), payload)
+            if self.max_bytes is not None:
+                self._prune_locked(self.max_bytes, protect=digest)
 
     def _atomic_write(self, path: Path, payload: dict) -> None:
         fd, tmp = tempfile.mkstemp(
@@ -224,6 +239,66 @@ class DecisionStore:
     # ------------------------------------------------------------------ #
     # Maintenance / introspection
     # ------------------------------------------------------------------ #
+    def prune(self, max_bytes: int | None = None) -> dict[str, int]:
+        """Evict oldest-written shards until the store fits ``max_bytes``.
+
+        The explicit maintenance entry point behind the opt-in
+        ``max_bytes`` cap (which calls this after every merge).  Eviction
+        is whole-shard, oldest modification time first — a shard is one
+        configuration's decisions, and the configurations written longest
+        ago are the likeliest to be dead design points.  Evicting only
+        costs re-derivation on re-encounter; correctness never depends on
+        the store's contents.
+
+        Returns ``{"removed_shards", "removed_bytes", "total_bytes"}``.
+        """
+        limit = max_bytes if max_bytes is not None else self.max_bytes
+        if limit is None:
+            raise ValueError("prune needs max_bytes (argument or constructor cap)")
+        if limit <= 0:
+            raise ValueError("max_bytes must be positive")
+        with self._lock:
+            return self._prune_locked(limit)
+
+    def _prune_locked(self, max_bytes: int, protect: str | None = None) -> dict[str, int]:
+        """Shared eviction loop; ``protect`` keeps the shard just merged.
+
+        Protecting the active shard means a cap smaller than one shard
+        degrades to "keep only the current configuration" instead of
+        deleting the bytes the caller just paid to write.
+        """
+        shards: list[tuple[float, int, Path]] = []
+        total = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                total += stat.st_size
+                shards.append((stat.st_mtime, stat.st_size, path))
+        removed_shards = 0
+        removed_bytes = 0
+        for _, size, path in sorted(shards):
+            if total <= max_bytes:
+                break
+            digest = path.stem[len(_SHARD_PREFIX):]
+            if digest == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._shards.pop(digest, None)
+            total -= size
+            removed_shards += 1
+            removed_bytes += size
+        return {
+            "removed_shards": removed_shards,
+            "removed_bytes": removed_bytes,
+            "total_bytes": total,
+        }
+
     def clear(self) -> None:
         """Remove every shard (and the memo); the directory itself stays."""
         with self._lock:
@@ -232,13 +307,15 @@ class DecisionStore:
             self._shards.clear()
 
     def stats(self) -> dict[str, int]:
-        """Entry / shard counts of what is currently on disk."""
+        """Entry / shard / byte counts of what is currently on disk."""
         shards = 0
         entries = 0
+        total_bytes = 0
         if self.directory.is_dir():
             for path in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
                 shards += 1
                 try:
+                    total_bytes += path.stat().st_size
                     with open(path, encoding="utf-8") as handle:
                         payload = json.load(handle)
                     decisions = payload.get("decisions", {})
@@ -246,4 +323,4 @@ class DecisionStore:
                         entries += len(decisions)
                 except (OSError, json.JSONDecodeError):
                     continue
-        return {"shards": shards, "entries": entries}
+        return {"shards": shards, "entries": entries, "total_bytes": total_bytes}

@@ -9,13 +9,25 @@ Commands
 --------
 ``info``        Operating points and area figures of one configuration.
 ``decide``      Pipeline-mode decision (Eq. 6/7) for one GEMM.
-``compare``     Latency / power / EDP of one CNN versus the conventional SA.
-``batch``       Serve a whole (model x array size) grid through the batch
-                front-end, with the disk-persistent decision cache warm by
-                default across invocations.
+``compare``     Latency / power / EDP of one workload versus the
+                conventional SA.
+``batch``       Serve a whole (workload x array size) grid through the
+                batch front-end, with the disk-persistent decision cache
+                warm by default across invocations.
+``workloads``   List the workload registry (built-in CNN and transformer
+                workloads, grouped by suite).
 ``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
-                fig9, eq7, clock, abl_csa, abl_dirs) and print its table.
+                fig9, eq7, clock, abl_csa, abl_dirs) or the beyond-paper
+                ``transformers`` suite table and print it.
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
+
+Workloads are resolved by name through the :mod:`repro.workloads`
+registry (``python -m repro workloads`` lists them); ``--suite`` selects
+a whole registry suite and ``--batch-size`` maps the selection to batched
+inference (T scaled by the batch)::
+
+    python -m repro batch --suite transformers
+    python -m repro compare --model bert_base
 
 The global ``--backend {analytical,batched,cycle}`` flag (before the
 command) selects the execution backend: the closed-form reference, the
@@ -51,16 +63,10 @@ from repro.eval.experiments import (
     Fig7Experiment,
     Fig8Experiment,
     Fig9Experiment,
+    TransformerSuiteExperiment,
 )
 from repro.eval.report import format_percent, format_ratio
-from repro.nn.models import convnext_tiny, mobilenet_v1, resnet34
-
-#: CNNs selectable from the command line.
-MODEL_BUILDERS = {
-    "resnet34": resnet34,
-    "mobilenet_v1": mobilenet_v1,
-    "convnext_tiny": convnext_tiny,
-}
+from repro.workloads import get_suite, get_workload, list_suites, workload_entry
 
 #: Experiments selectable from the command line.  Factories take the
 #: backend name; experiments whose schedules are backend-independent
@@ -75,6 +81,7 @@ EXPERIMENT_FACTORIES = {
     "clock": lambda backend=None: [ClockFrequencyExperiment()],
     "abl_csa": lambda backend=None: [CsaAblationExperiment()],
     "abl_dirs": lambda backend=None: [DirectionAblationExperiment()],
+    "transformers": lambda backend=None: [TransformerSuiteExperiment(backend=backend)],
 }
 
 
@@ -141,26 +148,50 @@ def build_parser() -> argparse.ArgumentParser:
     decide.add_argument("--t", type=int, required=True, help="streamed dimension T (rows of A)")
 
     compare = subparsers.add_parser(
-        "compare", help="compare ArrayFlex against the conventional SA on one CNN"
+        "compare", help="compare ArrayFlex against the conventional SA on one workload"
     )
     _add_array_arguments(compare)
     compare.add_argument(
         "--model",
-        choices=sorted(MODEL_BUILDERS),
         default="resnet34",
-        help="CNN workload (default: resnet34)",
+        help=(
+            "registry workload name, e.g. resnet34 or bert_base; append @bsN "
+            "for batched inference (see the 'workloads' command; default: resnet34)"
+        ),
     )
 
     batch = subparsers.add_parser(
         "batch",
-        help="serve a (model x array size) grid through the batch front-end",
+        help="serve a (workload x array size) grid through the batch front-end",
     )
     batch.add_argument(
         "--models",
         nargs="+",
-        choices=sorted(MODEL_BUILDERS),
-        default=sorted(MODEL_BUILDERS),
-        help="CNN workloads (default: all)",
+        default=None,
+        help=(
+            "registry workload names (see the 'workloads' command); combined "
+            "with --suite when both are given (default: the 'cnn' suite)"
+        ),
+    )
+    batch.add_argument(
+        "--suite",
+        default=None,
+        help="add every workload of a registry suite, e.g. cnn or transformers",
+    )
+    batch.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="map the selected workloads to batched inference (T x batch; default: 1)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-request result deadline in seconds; timed-out requests are "
+            "reported instead of hanging the batch (default: wait forever)"
+        ),
     )
     batch.add_argument(
         "--sizes",
@@ -193,6 +224,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the disk-persistent decision cache",
     )
     _add_backend_argument(batch)
+
+    workloads = subparsers.add_parser(
+        "workloads", help="list the workload registry (grouped by suite)"
+    )
+    workloads.add_argument(
+        "--suite",
+        default=None,
+        help="only list one suite, e.g. cnn or transformers (default: all)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("id", choices=sorted(EXPERIMENT_FACTORIES), help="experiment id")
@@ -270,11 +310,11 @@ def _cmd_decide(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     accel = _build_accelerator(args)
-    model = MODEL_BUILDERS[args.model]()
+    model = get_workload(args.model)
     report = accel.compare_with_conventional(model)
     print(
         f"{model.name} on {args.rows}x{args.cols} SAs "
-        f"(single-batch inference, {accel.backend.name} backend)"
+        f"({len(model.gemms())} GEMM layers, {accel.backend.name} backend)"
     )
     print(
         f"  execution time: conventional {report.conventional.total_time_ms:.3f} ms, "
@@ -291,15 +331,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_workloads(args: argparse.Namespace) -> list:
+    """The workload selection of the ``batch`` command, registry-resolved.
+
+    ``--models`` names and ``--suite`` members combine (each workload
+    once, selection order); with neither given, the paper's ``cnn`` suite
+    is served — the historical default grid.
+    """
+    if args.batch_size < 1:
+        raise ValueError("--batch-size must be at least 1")
+    workloads = []
+    seen = set()
+    if args.models:
+        workloads.extend(get_workload(name, batch=args.batch_size) for name in args.models)
+    if args.suite:
+        workloads.extend(get_suite(args.suite, batch=args.batch_size))
+    if not args.models and not args.suite:
+        workloads = get_suite("cnn", batch=args.batch_size)
+    unique = []
+    for workload in workloads:
+        if workload.name not in seen:
+            seen.add(workload.name)
+            unique.append(workload)
+    return unique
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
-    """Serve a (model x size) grid through the batch front-end.
+    """Serve a (workload x size) grid through the batch front-end.
 
     Always runs on the batched backend (it owns the decision cache being
     served); requesting any other backend is an error, not a silent
     override.  The disk-persistent cache is on by default — point it
     elsewhere with ``--cache-dir`` or turn it off with ``--no-cache``.
+    Returns a non-zero exit code when ``--timeout`` expired on any
+    request (the timed-out rows are reported, not hung on).
     """
-    from repro.serve import SchedulingService
+    from repro.serve import SchedulingService, TimedOutRequest
 
     if args.backend_explicit and args.backend != "batched":
         raise ValueError(
@@ -312,23 +379,42 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     depths = tuple(args.depths)
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     grid = [
-        (MODEL_BUILDERS[name](), ArrayFlexConfig(rows=rows, cols=cols, supported_depths=depths))
-        for name in args.models
+        (workload, ArrayFlexConfig(rows=rows, cols=cols, supported_depths=depths))
+        for workload in _batch_workloads(args)
         for rows, cols in sizes
     ]
-    with SchedulingService(
+    name_width = max(18, max(len(w.name) for w, _ in grid))
+    service = SchedulingService(
         cache_dir=cache_dir, executor=args.executor, max_workers=args.workers
-    ) as service:
-        pairs = service.compare_many(grid)
-        print(f"{'model':14s} {'array':9s} {'conv ms':>9s} {'flex ms':>9s} {'saving':>7s}")
-        for (model, config), (arrayflex, conventional) in zip(grid, pairs):
+    )
+    try:
+        pairs = service.compare_many(grid, timeout=args.timeout)
+        print(
+            f"{'workload':{name_width}s} {'array':9s} "
+            f"{'conv ms':>9s} {'flex ms':>9s} {'saving':>7s}"
+        )
+        for (workload, config), (arrayflex, conventional) in zip(grid, pairs):
+            geometry = f"{config.rows}x{config.cols:<6d}"
+            if isinstance(arrayflex, TimedOutRequest) or isinstance(
+                conventional, TimedOutRequest
+            ):
+                print(
+                    f"{workload.name:{name_width}s} {geometry} "
+                    f"{'-':>9s} {'-':>9s} {'timed out':>9s}"
+                )
+                continue
             saving = 1.0 - arrayflex.total_time_ns / conventional.total_time_ns
             print(
-                f"{arrayflex.model_name:14s} {config.rows}x{config.cols:<6d} "
+                f"{arrayflex.model_name:{name_width}s} {geometry} "
                 f"{conventional.total_time_ms:9.3f} {arrayflex.total_time_ms:9.3f} "
                 f"{format_percent(saving):>7s}"
             )
         stats = service.stats()
+    finally:
+        # Waiting would block on the very computations a deadline just
+        # abandoned; after timeouts, walk away and cancel queued work.
+        abandoned = bool(service.stats().get("timed_out", 0))
+        service.close(wait=not abandoned, cancel_futures=abandoned)
     print(
         f"served {stats['requests']} requests "
         f"({stats['deduplicated']} deduplicated) on {stats['executor']} x "
@@ -342,29 +428,63 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     if cache_dir is not None:
         print(f"persistent cache: {cache_dir}")
+    timed_out = int(stats.get("timed_out", 0))
+    if timed_out:
+        print(f"WARNING: {timed_out} requests timed out after {args.timeout}s")
+        return 1
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    """List the workload registry, grouped by suite."""
+    _reject_cache_dir(args)
+    suites = list_suites()
+    if args.suite is not None:
+        if args.suite not in suites:
+            raise ValueError(
+                f"unknown workload suite {args.suite!r} (available: {sorted(suites)})"
+            )
+        suites = {args.suite: suites[args.suite]}
+    for suite, names in suites.items():
+        print(f"suite {suite!r}:")
+        for name in names:
+            workload = get_workload(name)
+            entry = workload_entry(name)
+            gemms = workload.gemms()
+            macs = sum(g.macs for g in gemms)
+            print(
+                f"  {name:16s} {workload.name:16s} {len(gemms):4d} GEMMs "
+                f"{macs / 1e9:8.2f} GMACs  {entry.description}"
+            )
+    print(
+        "\nuse --model/--models/--suite to schedule these; append @bsN to a "
+        "name (or pass --batch-size) for batched inference"
+    )
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    _reject_cache_dir(args, "experiment")
+    _reject_cache_dir(args)
     for experiment in EXPERIMENT_FACTORIES[args.id](args.backend):
         print(experiment.render())
         print()
     return 0
 
 
-def _reject_cache_dir(args: argparse.Namespace, command: str) -> None:
+def _reject_cache_dir(args: argparse.Namespace) -> None:
     """--cache-dir must never be a silent no-op: commands that do not
-    route through the batched decision cache refuse it outright."""
+    route through the batched decision cache refuse it outright.  The
+    message names the subcommand from ``args.command`` itself, so it can
+    never drift from what the user actually typed."""
     if args.cache_dir:
         raise ValueError(
-            f"--cache-dir is not supported by the {command!r} command "
+            f"--cache-dir is not supported by the {args.command!r} command "
             f"(use it with info/decide/compare/batch)"
         )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    _reject_cache_dir(args, "report")
+    _reject_cache_dir(args)
     from repro.eval.paper_report import write_experiments_markdown
 
     content = write_experiments_markdown(args.output)
@@ -377,6 +497,7 @@ _HANDLERS = {
     "decide": _cmd_decide,
     "compare": _cmd_compare,
     "batch": _cmd_batch,
+    "workloads": _cmd_workloads,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

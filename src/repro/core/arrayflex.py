@@ -36,9 +36,13 @@ from repro.core.config import ArrayFlexConfig
 from repro.core.clock import ClockModel
 from repro.core.energy import EnergyModel
 from repro.core.optimizer import ModeDecision, PipelineOptimizer
-from repro.core.scheduler import LayerSchedule, ModelSchedule, Scheduler
+from repro.core.scheduler import (
+    LayerSchedule,
+    ModelSchedule,
+    Scheduler,
+    WorkloadArgument,
+)
 from repro.nn.gemm_mapping import GemmShape
-from repro.nn.models import CnnModel
 from repro.sim.tiling import TiledGemmResult, run_tiled_gemm
 from repro.timing.area_model import AreaModel
 from repro.timing.technology import TechnologyModel
@@ -151,16 +155,21 @@ class ArrayFlexAccelerator:
         """Schedule one GEMM with the optimal pipeline mode."""
         return self.backend.schedule_layer(self._to_gemm(gemm), self.config, index=1)
 
-    def run_model(self, model: CnnModel | list[GemmShape]) -> ModelSchedule:
-        """Schedule every layer of a model with per-layer mode selection."""
+    def run_model(self, model: WorkloadArgument) -> ModelSchedule:
+        """Schedule every layer of a workload with per-layer mode selection.
+
+        Accepts a CNN layer table, any :class:`repro.workloads` workload
+        object (e.g. a transformer trace), a registry name string
+        (``"bert_base"``, ``"resnet34@bs8"``) or an explicit GEMM list.
+        """
         return self.backend.schedule_model(model, self.config)
 
-    def run_model_conventional(self, model: CnnModel | list[GemmShape]) -> ModelSchedule:
+    def run_model_conventional(self, model: WorkloadArgument) -> ModelSchedule:
         """Schedule the same model on the conventional fixed-pipeline baseline."""
         return self.backend.schedule_model_conventional(model, self.config)
 
     def compare_with_conventional(
-        self, model: CnnModel | list[GemmShape]
+        self, model: WorkloadArgument
     ) -> ComparisonReport:
         """Run a model on both accelerators and report the savings."""
         arrayflex = self.run_model(model)

@@ -38,6 +38,7 @@ from repro.timing.technology import TechnologyModel
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.backends import ExecutionBackend, ModelTotals
+    from repro.workloads.base import Workload
 
 #: Candidate-set size from which ``explore`` fans out over a process pool
 #: by default (when ``max_workers`` was not pinned anywhere).  Below this
@@ -84,7 +85,7 @@ class DesignSpaceExplorer:
 
     def __init__(
         self,
-        models: list[CnnModel],
+        models: list[CnnModel | Workload | str],
         technology: TechnologyModel | None = None,
         backend: ExecutionBackend | str | None = None,
         max_workers: int | None = None,
@@ -96,7 +97,11 @@ class DesignSpaceExplorer:
             raise ValueError("the workload suite must contain at least one model")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        self.models = models
+        #: Workloads scoring every candidate point.  Accepts CNN layer
+        #: tables, any :class:`repro.workloads` workload object, or
+        #: registry names (``"bert_base"``, ``"resnet34@bs8"``) — names
+        #: resolve once here, so sweep identity is fixed at construction.
+        self.models = [self._resolve_model(model) for model in models]
         self.technology = technology or TechnologyModel.default_28nm()
         #: Backend evaluating every (design point, model) pair.  Defaults
         #: to the batched/cached backend: bit-identical to the analytical
@@ -104,6 +109,25 @@ class DesignSpaceExplorer:
         #: ``cache_dir`` attaches the disk-persistent decision store.
         self.backend = create_backend(attach_store(backend, cache_dir), default="batched")
         self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_model(model: CnnModel | Workload | str) -> CnnModel | Workload:
+        if isinstance(model, str):
+            from repro.workloads import get_workload
+
+            return get_workload(model)
+        return model
+
+    @classmethod
+    def from_suite(
+        cls, suite: str, batch: int = 1, **kwargs
+    ) -> "DesignSpaceExplorer":
+        """An explorer over a whole registry suite (``"cnn"``,
+        ``"transformers"``, ...), optionally batch-scaled."""
+        from repro.workloads import get_suite
+
+        return cls(list(get_suite(suite, batch=batch)), **kwargs)
 
     # ------------------------------------------------------------------ #
     def evaluate_point(self, point: DesignPoint) -> DesignPointResult:
@@ -127,7 +151,7 @@ class DesignSpaceExplorer:
         )
 
     def _model_totals(
-        self, model: CnnModel, config: ArrayFlexConfig, conventional: bool
+        self, model: "CnnModel | Workload", config: ArrayFlexConfig, conventional: bool
     ) -> "ModelTotals":
         from repro.backends import model_totals
 

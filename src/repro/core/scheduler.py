@@ -12,6 +12,7 @@ per-layer execution times and modes, run totals, average power and EDP.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence, Union
 
 from repro.core.clock import ClockModel
 from repro.core.config import ArrayFlexConfig
@@ -21,18 +22,42 @@ from repro.core.optimizer import ModeDecision, PipelineOptimizer
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import CnnModel
 
+if TYPE_CHECKING:  # runtime dispatch is duck-typed; see resolve_workload
+    from repro.workloads.base import Workload
+
+#: Anything every scheduling entry point accepts as a workload: a CNN
+#: layer table, any object satisfying the :class:`~repro.workloads.base.
+#: Workload` protocol (transformer traces, pre-lowered GEMM workloads),
+#: an explicit GEMM list, or a :mod:`repro.workloads` registry name.
+WorkloadArgument = Union[
+    CnnModel, "Workload", Sequence[GemmShape], str
+]
+
 
 def resolve_workload(
-    model: CnnModel | list[GemmShape], model_name: str | None = None
+    model: WorkloadArgument, model_name: str | None = None
 ) -> tuple[list[GemmShape], str]:
     """Normalise a workload argument into ``(gemms, name)``.
 
-    Accepts either a :class:`CnnModel` (lowered layer by layer) or an
-    explicit list of GEMM shapes.  Shared by the scheduler and every
-    execution backend so all entry points agree on what a "model" is.
+    Accepts a :class:`CnnModel`, any object with a ``gemms()`` lowering
+    and a ``name`` (the :class:`~repro.workloads.base.Workload`
+    protocol), a registry name string (resolved through
+    :func:`repro.workloads.get_workload`, including ``@bs<N>`` batch
+    suffixes), or an explicit list of GEMM shapes.  Shared by the
+    scheduler and every execution backend so all entry points agree on
+    what a "model" is.
     """
-    if isinstance(model, CnnModel):
-        return model.gemms(), model_name or model.name
+    if isinstance(model, str):
+        from repro.workloads import get_workload  # deferred: heavier import
+
+        model = get_workload(model)
+    gemms = getattr(model, "gemms", None)
+    if callable(gemms):
+        name = model_name or getattr(model, "name", "custom")
+        resolved = list(gemms())
+        if not resolved:
+            raise ValueError(f"workload {name!r} lowered to an empty list of GEMMs")
+        return resolved, name
     if not model:
         raise ValueError("cannot schedule an empty list of GEMMs")
     return list(model), model_name or "custom"
@@ -150,7 +175,7 @@ class Scheduler:
         )
 
     def schedule_model_arrayflex(
-        self, model: CnnModel | list[GemmShape], model_name: str | None = None
+        self, model: WorkloadArgument, model_name: str | None = None
     ) -> ModelSchedule:
         """Schedule a whole model on ArrayFlex (one decision per layer)."""
         gemms, name = self._resolve(model, model_name)
@@ -185,7 +210,7 @@ class Scheduler:
         )
 
     def schedule_model_conventional(
-        self, model: CnnModel | list[GemmShape], model_name: str | None = None
+        self, model: WorkloadArgument, model_name: str | None = None
     ) -> ModelSchedule:
         """Schedule a whole model on the conventional baseline."""
         gemms, name = self._resolve(model, model_name)
@@ -214,6 +239,6 @@ class Scheduler:
 
     @staticmethod
     def _resolve(
-        model: CnnModel | list[GemmShape], model_name: str | None
+        model: WorkloadArgument, model_name: str | None
     ) -> tuple[list[GemmShape], str]:
         return resolve_workload(model, model_name)

@@ -544,6 +544,139 @@ class Fig9Experiment:
 
 
 # ---------------------------------------------------------------------- #
+# Beyond the paper: the transformer workload suite
+# ---------------------------------------------------------------------- #
+@dataclass
+class TransformerSuiteEntry:
+    rows: int
+    cols: int
+    workload_name: str
+    phase: str
+    num_gemms: int
+    conventional_time_ms: float
+    arrayflex_time_ms: float
+    latency_saving: float
+    edp_gain: float
+    depth_histogram: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class TransformerSuiteResult:
+    entries: list[TransformerSuiteEntry]
+
+    def by_size(self, rows: int) -> list[TransformerSuiteEntry]:
+        return [entry for entry in self.entries if entry.rows == rows]
+
+    def savings_range(self) -> tuple[float, float]:
+        savings = [entry.latency_saving for entry in self.entries]
+        return min(savings), max(savings)
+
+
+class TransformerSuiteExperiment:
+    """Transformer counterpart of the Fig. 8/9 paper-suite tables.
+
+    Not a paper figure: the paper evaluates CNNs only, but its per-layer
+    mode decision is defined on raw GEMM shapes, so the same machinery
+    schedules transformer traces unchanged.  This experiment runs the
+    ``transformers`` registry suite — BERT-Base and ViT-B/16 prefill,
+    GPT-2-style decode — against the conventional fixed-pipeline baseline
+    on the paper's two array sizes.  Decode (T = batch) lives deep in the
+    small-T regime where collapsed modes pay off most; prefill
+    (T = batch x seq) behaves like a mid-size CNN layer.
+    """
+
+    experiment_id = "transformers"
+    paper_reference = {
+        "claim": (
+            "beyond the paper: Eq. (6) decisions on raw GEMM shapes extend to "
+            "transformer attention/MLP traces"
+        )
+    }
+
+    def __init__(
+        self,
+        sizes: tuple[int, ...] = (128, 256),
+        workloads: list | None = None,
+        batch: int = 1,
+        technology: TechnologyModel | None = None,
+        backend: ExecutionBackend | str | None = None,
+    ):
+        from repro.workloads import get_suite
+
+        self.sizes = sizes
+        self.workloads = (
+            workloads if workloads is not None else get_suite("transformers", batch=batch)
+        )
+        self.technology = technology or TechnologyModel.default_28nm()
+        self.backend = create_backend(backend, default="batched")
+
+    def run(self) -> TransformerSuiteResult:
+        entries = []
+        for size in self.sizes:
+            config = ArrayFlexConfig(rows=size, cols=size, technology=self.technology)
+            for workload in self.workloads:
+                arrayflex = self.backend.schedule_model(workload, config)
+                conventional = self.backend.schedule_model_conventional(workload, config)
+                entries.append(
+                    TransformerSuiteEntry(
+                        rows=size,
+                        cols=size,
+                        workload_name=workload.name,
+                        phase=getattr(workload, "phase", "-"),
+                        num_gemms=len(arrayflex.layers),
+                        conventional_time_ms=conventional.total_time_ms,
+                        arrayflex_time_ms=arrayflex.total_time_ms,
+                        latency_saving=(
+                            1.0 - arrayflex.total_time_ns / conventional.total_time_ns
+                        ),
+                        edp_gain=(
+                            conventional.energy_delay_product
+                            / arrayflex.energy_delay_product
+                        ),
+                        depth_histogram=arrayflex.depth_histogram(),
+                    )
+                )
+        return TransformerSuiteResult(entries=entries)
+
+    def render(self, result: TransformerSuiteResult | None = None) -> str:
+        result = result or self.run()
+        blocks = []
+        for size in self.sizes:
+            rows = [
+                (
+                    entry.workload_name,
+                    entry.phase,
+                    entry.num_gemms,
+                    entry.conventional_time_ms,
+                    entry.arrayflex_time_ms,
+                    format_percent(entry.latency_saving),
+                    format_ratio(entry.edp_gain),
+                    str(dict(sorted(entry.depth_histogram.items()))),
+                )
+                for entry in result.by_size(size)
+            ]
+            blocks.append(
+                format_table(
+                    [
+                        "workload",
+                        "phase",
+                        "GEMMs",
+                        "conventional (ms)",
+                        "ArrayFlex (ms)",
+                        "saving",
+                        "EDP gain",
+                        "layers per k",
+                    ],
+                    rows,
+                    title=(
+                        f"Transformer suite -- total execution time, {size}x{size} SAs"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------- #
 # Eq. (7) -- analytical vs discrete optimum
 # ---------------------------------------------------------------------- #
 @dataclass
@@ -920,6 +1053,7 @@ def all_experiments() -> list[object]:
         Fig7Experiment(),
         Fig8Experiment(),
         Fig9Experiment(),
+        TransformerSuiteExperiment(),
         Eq7ValidationExperiment(),
         ClockFrequencyExperiment(),
         CsaAblationExperiment(),

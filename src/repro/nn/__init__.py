@@ -15,6 +15,10 @@ provides that workload substrate:
   (256, 2304, 196) and layer 28 = (512, 2304, 49)).
 * :mod:`repro.nn.workloads` -- workload suites and synthetic GEMM
   generators used by the benchmarks and the property-based tests.
+
+The first-class workload layer on top of this substrate — the string-keyed
+registry, the transformer front-end and the batch-scaling adapter — lives
+in :mod:`repro.workloads`.
 """
 
 from repro.nn.layers import Conv2dLayer, LinearLayer, LayerKind

@@ -8,24 +8,39 @@ The benchmark harness runs two kinds of workloads:
   benches, the Eq. (7) validation experiment and the property-based tests,
   where controlling (M, N, T) directly is more informative than a real
   network.
+
+This module is re-exported by :mod:`repro.workloads.synthetic`; the
+first-class workload registry, the transformer front-end and the
+batch-scaling adapter live in :mod:`repro.workloads`.  Because this
+module is imported while ``repro.nn`` is initialising, it must not import
+``repro.workloads`` — the dependency points the other way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.nn.gemm_mapping import GemmShape
-from repro.nn.models import CnnModel, model_zoo
+from repro.nn.models import model_zoo
+
+if TYPE_CHECKING:  # import would be circular at runtime (see module docstring)
+    from repro.workloads.base import Workload
 
 
 @dataclass(frozen=True)
 class WorkloadSuite:
-    """A named collection of models to run through the scheduler."""
+    """A named collection of workloads to run through the scheduler.
+
+    Any :class:`~repro.workloads.base.Workload` qualifies (CNN layer
+    tables, transformer traces, pre-lowered GEMM workloads); ``models``
+    keeps its historical name from when suites were CNN-only.
+    """
 
     name: str
-    models: tuple[CnnModel, ...] = field(default_factory=tuple)
+    models: tuple[Workload, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if not self.models:
@@ -40,7 +55,9 @@ class WorkloadSuite:
 
     @property
     def total_layers(self) -> int:
-        return sum(model.num_layers for model in self.models)
+        # Counted via gemms(), the only lowering the Workload protocol
+        # guarantees (num_layers is an optional convenience attribute).
+        return sum(len(model.gemms()) for model in self.models)
 
 
 def paper_suite(input_resolution: int = 224) -> WorkloadSuite:

@@ -20,6 +20,7 @@ from repro.serve.service import (
     ScheduleRequest,
     SchedulingService,
     ServiceStats,
+    TimedOutRequest,
     default_max_workers,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "ScheduleRequest",
     "SchedulingService",
     "ServiceStats",
+    "TimedOutRequest",
     "default_max_workers",
 ]

@@ -31,7 +31,13 @@ from __future__ import annotations
 
 import os
 from collections.abc import Iterable
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from threading import RLock
 
@@ -45,9 +51,8 @@ from repro.backends import (
     model_totals,
 )
 from repro.core.config import ArrayFlexConfig
-from repro.core.scheduler import ModelSchedule, resolve_workload
+from repro.core.scheduler import ModelSchedule, WorkloadArgument, resolve_workload
 from repro.nn.gemm_mapping import GemmShape
-from repro.nn.models import CnnModel
 
 #: Executor kinds accepted by :class:`SchedulingService`.
 EXECUTORS = ("thread", "process")
@@ -67,6 +72,12 @@ def default_max_workers(executor: str = "thread") -> int:
 class ScheduleRequest:
     """One unit of serving work: schedule ``model`` on ``config``.
 
+    ``model`` accepts everything :func:`~repro.core.scheduler.
+    resolve_workload` does: a CNN layer table, any
+    :class:`~repro.workloads.base.Workload` object (transformer traces,
+    batch-scaled workloads), a :mod:`repro.workloads` registry name
+    (``"bert_base"``, ``"resnet34@bs8"``) or an explicit GEMM list.
+
     ``conventional`` selects the fixed-pipeline baseline schedule instead
     of the per-layer optimised ArrayFlex one (a comparison front-end
     submits both and pairs the futures).  ``totals_only`` asks for a
@@ -75,19 +86,47 @@ class ScheduleRequest:
     sweep-style aggregators skip materialising (and, on the process
     executor, pickling) hundreds of layer objects they would immediately
     collapse to two floats.
+
+    ``timeout`` bounds, in seconds, how long the blocking collection
+    helpers (:meth:`SchedulingService.schedule_all`,
+    :meth:`SchedulingService.compare_many`) wait for this request's
+    result; expiry yields a :class:`TimedOutRequest` marker instead of
+    hanging the caller.  It is *not* part of the request's dedup
+    identity — the same workload with a different deadline is still the
+    same computation.
     """
 
-    model: CnnModel | tuple[GemmShape, ...] | list[GemmShape]
+    model: WorkloadArgument | tuple[GemmShape, ...]
     config: ArrayFlexConfig
     conventional: bool = False
     totals_only: bool = False
     model_name: str | None = None
+    timeout: float | None = None
 
     def resolve(self) -> tuple[list[GemmShape], str]:
-        return resolve_workload(
-            self.model if isinstance(self.model, CnnModel) else list(self.model),
-            self.model_name,
-        )
+        model = self.model
+        if isinstance(model, tuple):
+            model = list(model)
+        return resolve_workload(model, self.model_name)
+
+
+@dataclass(frozen=True)
+class TimedOutRequest:
+    """Result marker for a request whose future missed its deadline.
+
+    Returned (in place of a schedule / totals object) by the blocking
+    collection helpers so one stuck request degrades into a reportable
+    row instead of hanging the whole batch.  ``cancelled`` records
+    whether the underlying computation was still queued and could be
+    cancelled outright; when False it kept running in the background and
+    only this *wait* was abandoned.
+    """
+
+    model_name: str
+    conventional: bool
+    totals_only: bool
+    timeout_s: float
+    cancelled: bool
 
 
 #: Per-worker backend for process-pool execution, installed by the pool
@@ -137,6 +176,7 @@ class ServiceStats:
     requests: int = 0
     submitted: int = 0
     deduplicated: int = 0
+    timed_out: int = 0
 
 
 class SchedulingService:
@@ -173,6 +213,10 @@ class SchedulingService:
         # critical section.
         self._lock = RLock()
         self._futures: dict[tuple, Future[ModelSchedule | ModelTotals]] = {}
+        #: Issued-handle counts per live future (by id), so a timed-out
+        #: waiter never cancels a computation other callers still await.
+        #: Entries are dropped by the future's done-callback.
+        self._waiters: dict[int, int] = {}
         self._stats = ServiceStats()
         if executor == "process":
             self._pool: ThreadPoolExecutor | ProcessPoolExecutor = ProcessPoolExecutor(
@@ -192,7 +236,7 @@ class SchedulingService:
     def schedule_many(
         self,
         requests: Iterable[
-            ScheduleRequest | tuple[CnnModel | list[GemmShape], ArrayFlexConfig]
+            ScheduleRequest | tuple[WorkloadArgument, ArrayFlexConfig]
         ],
     ) -> list[Future[ModelSchedule | ModelTotals]]:
         """Submit a stream of requests; one future per request, in order.
@@ -205,6 +249,12 @@ class SchedulingService:
 
     def submit(self, request: ScheduleRequest) -> Future[ModelSchedule | ModelTotals]:
         """Submit one request (deduplicated against everything in flight)."""
+        return self._submit_keyed(request)[1]
+
+    def _submit_keyed(
+        self, request: ScheduleRequest
+    ) -> tuple[tuple, Future[ModelSchedule | ModelTotals]]:
+        """Submit and also return the dedup key (for deadline bookkeeping)."""
         request = self._coerce(request)
         gemms, name = request.resolve()
         dims = tuple((g.m, g.n, g.t) for g in gemms)
@@ -220,7 +270,12 @@ class SchedulingService:
             future = self._futures.get(key)
             if future is not None:
                 self._stats.deduplicated += 1
-                return future
+                if not future.done():
+                    # Completed futures need no waiter bookkeeping (their
+                    # done-callback already dropped it, and cancel() is a
+                    # no-op) — re-inserting would leak an orphan entry.
+                    self._waiters[id(future)] = self._waiters.get(id(future), 1) + 1
+                return key, future
             self._stats.submitted += 1
             if self.executor_kind == "process":
                 future = self._pool.submit(
@@ -242,12 +297,16 @@ class SchedulingService:
                     scheduler, gemms, request.config, model_name=name
                 )
             self._futures[key] = future
+            # Registered before the done-callback: an already-completed
+            # future runs the callback inline right here, and it must find
+            # (and drop) this entry rather than leave an orphan behind.
+            self._waiters[id(future)] = 1
             future.add_done_callback(
                 lambda done, key=key: self._forget_failed(key, done)
             )
             if len(self._futures) > self.dedup_size:
                 self._evict_completed_locked()
-            return future
+            return key, future
 
     def _forget_failed(self, key: tuple, future: Future) -> None:
         """Drop a failed/cancelled future from the dedup map.
@@ -261,10 +320,12 @@ class SchedulingService:
             failed = future.cancelled() or future.exception() is not None
         except BaseException:  # pragma: no cover - defensive
             failed = True
-        if failed:
-            with self._lock:
-                if self._futures.get(key) is future:
-                    del self._futures[key]
+        with self._lock:
+            # The future is done: cancel() is a no-op from here on, so its
+            # waiter count is dead weight (and id() values may be reused).
+            self._waiters.pop(id(future), None)
+            if failed and self._futures.get(key) is future:
+                del self._futures[key]
 
     def _evict_completed_locked(self) -> None:
         """Drop oldest *completed* futures until the dedup map fits.
@@ -281,36 +342,127 @@ class SchedulingService:
 
     def schedule_all(
         self,
-        requests: Iterable[
-            ScheduleRequest | tuple[CnnModel | list[GemmShape], ArrayFlexConfig]
-        ],
-    ) -> list[ModelSchedule | ModelTotals]:
-        """Submit a stream of requests and block for all results (in order)."""
-        return [future.result() for future in self.schedule_many(requests)]
+        requests: Iterable[ScheduleRequest | tuple[WorkloadArgument, ArrayFlexConfig]],
+        timeout: float | None = None,
+    ) -> list[ModelSchedule | ModelTotals | TimedOutRequest]:
+        """Submit a stream of requests and block for all results (in order).
+
+        ``timeout`` (seconds) bounds the wait per request; a request's own
+        ``timeout`` field takes precedence over this call-level default.
+        Requests that miss their deadline come back as
+        :class:`TimedOutRequest` markers — the batch never hangs on one
+        stuck computation — and their dedup entry is dropped so a retry
+        resubmits instead of re-awaiting the stale future.
+        """
+        requests = [self._coerce(request) for request in requests]
+        keyed = [self._submit_keyed(request) for request in requests]
+        return [
+            self._collect(request, key, future, timeout)
+            for request, (key, future) in zip(requests, keyed)
+        ]
+
+    def _collect(
+        self,
+        request: ScheduleRequest,
+        key: tuple,
+        future: Future[ModelSchedule | ModelTotals],
+        default_timeout: float | None,
+    ) -> ModelSchedule | ModelTotals | TimedOutRequest:
+        """One result, bounded by the request's deadline when it has one."""
+        timeout = request.timeout if request.timeout is not None else default_timeout
+        try:
+            if timeout is None:
+                return future.result()
+            return future.result(timeout=timeout)
+        except (FutureTimeoutError, CancelledError) as exc:
+            # Queued-but-not-started work is cancelled outright — but only
+            # when this waiter holds the future's sole issued handle, so a
+            # deadline never destroys a computation a deduplicated caller
+            # still awaits; running or shared work is merely abandoned by
+            # this waiter.  Either way the key is forgotten so the next
+            # identical request recomputes.
+            with self._lock:
+                if isinstance(exc, CancelledError):
+                    cancelled = True
+                else:
+                    handle = id(future)
+                    sole_waiter = self._waiters.get(handle, 1) <= 1
+                    cancelled = future.cancel() if sole_waiter else False
+                    if not cancelled and self._waiters.get(handle, 0) > 1:
+                        # This waiter walks away; a later sole survivor's
+                        # deadline may still cancel the queued work.
+                        self._waiters[handle] -= 1
+                self._stats.timed_out += 1
+                if self._futures.get(key) is future:
+                    del self._futures[key]
+            return TimedOutRequest(
+                # The resolved name is the dedup key's first component; a
+                # failure path must not re-lower the whole workload.
+                model_name=key[0],
+                conventional=request.conventional,
+                totals_only=request.totals_only,
+                timeout_s=timeout if timeout is not None else 0.0,
+                cancelled=cancelled,
+            )
+
+    def schedule_suite(
+        self,
+        suite: str,
+        config: ArrayFlexConfig,
+        batch: int = 1,
+        conventional: bool = False,
+        totals_only: bool = False,
+    ) -> list[Future[ModelSchedule | ModelTotals]]:
+        """Submit every workload of a registry suite on one configuration.
+
+        Suite-level serving sugar over :func:`repro.workloads.get_suite`:
+        one future per workload, in the suite's (sorted-key) order.
+        """
+        from repro.workloads import get_suite
+
+        return self.schedule_many(
+            ScheduleRequest(
+                model=workload,
+                config=config,
+                conventional=conventional,
+                totals_only=totals_only,
+            )
+            for workload in get_suite(suite, batch=batch)
+        )
 
     def compare_many(
         self,
-        workloads: Iterable[tuple[CnnModel | list[GemmShape], ArrayFlexConfig]],
+        workloads: Iterable[tuple[WorkloadArgument, ArrayFlexConfig]],
         totals_only: bool = False,
-    ) -> list[tuple[ModelSchedule | ModelTotals, ModelSchedule | ModelTotals]]:
+        timeout: float | None = None,
+    ) -> list[
+        tuple[
+            ModelSchedule | ModelTotals | TimedOutRequest,
+            ModelSchedule | ModelTotals | TimedOutRequest,
+        ]
+    ]:
         """(ArrayFlex, conventional) result pairs, one per workload.
 
         The comparison front-ends (CLI ``batch``, size sweeps, the
         design-space explorer) all need both runs of every workload; this
         encodes the submit/pair bookkeeping once so no caller hand-walks
-        an interleaved future list.
+        an interleaved future list.  ``timeout`` bounds the wait per
+        request (see :meth:`schedule_all`); a timed-out side of a pair is
+        a :class:`TimedOutRequest` marker.
         """
         workloads = list(workloads)
-        futures = self.schedule_many(
-            ScheduleRequest(
-                model=model, config=config, conventional=conv, totals_only=totals_only
-            )
-            for model, config in workloads
-            for conv in (False, True)
+        results = self.schedule_all(
+            (
+                ScheduleRequest(
+                    model=model, config=config, conventional=conv, totals_only=totals_only
+                )
+                for model, config in workloads
+                for conv in (False, True)
+            ),
+            timeout=timeout,
         )
         return [
-            (futures[2 * i].result(), futures[2 * i + 1].result())
-            for i in range(len(workloads))
+            (results[2 * i], results[2 * i + 1]) for i in range(len(workloads))
         ]
 
     # ------------------------------------------------------------------ #
@@ -325,6 +477,7 @@ class SchedulingService:
                 "requests": self._stats.requests,
                 "submitted": self._stats.submitted,
                 "deduplicated": self._stats.deduplicated,
+                "timed_out": self._stats.timed_out,
             }
         cache_info = getattr(self.backend, "cache_info", None)
         if cache_info is not None and self.executor_kind == "thread":
@@ -333,8 +486,18 @@ class SchedulingService:
             counters.update(cache_info())
         return counters
 
-    def close(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+    def close(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Shut the executor down.
+
+        After timeouts, pass ``wait=False, cancel_futures=True``:
+        ``wait=True`` (the context-manager default) would block on the
+        very computations a deadline just abandoned.  Note that a
+        *running* thread-pool task cannot be interrupted — Python still
+        joins non-daemon workers at interpreter exit — so a truly
+        unbounded computation delays process exit either way; queued
+        work, however, is cancelled outright.
+        """
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
 
     def __enter__(self) -> "SchedulingService":
         return self
@@ -345,7 +508,7 @@ class SchedulingService:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _coerce(
-        request: ScheduleRequest | tuple[CnnModel | list[GemmShape], ArrayFlexConfig],
+        request: ScheduleRequest | tuple[WorkloadArgument, ArrayFlexConfig],
     ) -> ScheduleRequest:
         if isinstance(request, ScheduleRequest):
             return request

@@ -1,0 +1,64 @@
+"""The workload contract: anything that lowers to an ordered GEMM list.
+
+The whole scheduling stack — the accelerator facade, every execution
+backend, the serving front-end, the design-space explorer — consumes
+workloads through exactly one interface: a ``name`` and an ordered list
+of :class:`~repro.nn.gemm_mapping.GemmShape` objects.  GEMM lists are the
+common currency; per-layer mode decisions are defined on raw (M, N, T)
+shapes, so a workload class is "supported" the moment it can lower
+itself.  CNNs (:class:`~repro.nn.models.CnnModel`) lower by im2col,
+transformers (:class:`~repro.workloads.transformer.TransformerModel`) by
+phase-aware attention/MLP tracing, and pre-lowered traces are carried by
+:class:`GemmWorkload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.nn.gemm_mapping import GemmShape
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Structural type of a schedulable workload.
+
+    Implementations only need a display ``name`` and a ``gemms()``
+    lowering; :class:`~repro.nn.models.CnnModel` satisfies this protocol
+    unchanged, which is what lets registry workloads and legacy model
+    objects flow through the same entry points.
+    """
+
+    name: str
+
+    def gemms(self) -> list[GemmShape]: ...
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """A workload that *is* its GEMM trace (already lowered).
+
+    The carrier for pre-lowered traces: batch-scaled workloads, imported
+    traces, ad-hoc shape lists that should participate in registry /
+    serving identity by name.  ``gemms()`` returns a fresh list over the
+    shared frozen shapes, mirroring :meth:`CnnModel.gemms`.
+    """
+
+    name: str
+    shapes: tuple[GemmShape, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError(f"workload {self.name!r} has no GEMMs")
+
+    def gemms(self) -> list[GemmShape]:
+        return list(self.shapes)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.shapes)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(shape.macs for shape in self.shapes)

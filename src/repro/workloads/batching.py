@@ -1,0 +1,45 @@
+"""Batched inference as a workload-to-workload adapter.
+
+Batch-1 inference streams T rows through the array per GEMM; a batch of B
+independent inputs streams B times as many rows through the *same* weight
+tile — so batched inference is exactly the original trace with every T
+scaled by B, as the ROADMAP prescribes.  The adapter is generic over the
+:class:`~repro.workloads.base.Workload` protocol: CNNs get B images'
+output pixels per layer, transformer prefill gets ``B * seq_len`` token
+rows, decode gets T = B.
+
+Scaling T changes the Eq. (6)/(7) trade-off (fill/drain amortises over
+more streamed rows, pushing the optimum toward shallower modes), which is
+what makes batch a first-class axis of the design space rather than a
+post-hoc multiplier on batch-1 results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.workloads.base import GemmWorkload, Workload
+
+
+def batched_name(name: str, batch: int) -> str:
+    """Display/registry identity of a batch-scaled workload."""
+    return f"{name}@bs{batch}"
+
+
+def batched_workload(workload: Workload, batch: int) -> Workload:
+    """Map a workload to batched inference by scaling every GEMM's T.
+
+    ``batch == 1`` returns the workload unchanged (bit-identical
+    scheduling identity for everything that exists today); otherwise the
+    result is a pre-lowered :class:`GemmWorkload` named
+    ``"<name>@bs<batch>"``, so serving dedup keys and decision-store
+    entries distinguish batch sizes.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be at least 1, got {batch}")
+    if batch == 1:
+        return workload
+    return GemmWorkload(
+        name=batched_name(workload.name, batch),
+        shapes=tuple(replace(gemm, t=gemm.t * batch) for gemm in workload.gemms()),
+    )

@@ -82,9 +82,100 @@ class TestRoundTrip:
     def test_stats_and_clear(self, tmp_path, store, config):
         key = config.cache_key()
         store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
-        assert DecisionStore(tmp_path).stats() == {"shards": 1, "entries": 1}
+        stats = DecisionStore(tmp_path).stats()
+        assert (stats["shards"], stats["entries"]) == (1, 1)
+        assert stats["total_bytes"] > 0
         store.clear()
-        assert DecisionStore(tmp_path).stats() == {"shards": 0, "entries": 0}
+        assert DecisionStore(tmp_path).stats() == {
+            "shards": 0, "entries": 0, "total_bytes": 0,
+        }
+
+
+class TestPruning:
+    @staticmethod
+    def _fill(store, config, configs=4, entries=50):
+        """Write several configuration shards with distinct mtimes."""
+        import os
+        import time as time_module
+
+        keys = []
+        for i in range(configs):
+            key = config.with_size(8 * (i + 1), 8 * (i + 1)).cache_key()
+            keys.append(key)
+            store.put_many(
+                key,
+                {
+                    DecisionStore.gemm_key(m, m, m): [2, 100, 1.7, 58.8, 3.5, 1.9]
+                    for m in range(1, entries + 1)
+                },
+            )
+            # Distinct mtimes make the oldest-first order deterministic on
+            # filesystems with coarse timestamps.
+            digest = store._digest(key)
+            stamp = time_module.time() - (configs - i) * 10
+            os.utime(store._shard_path(digest), (stamp, stamp))
+        return keys
+
+    def test_prune_removes_oldest_shards_first(self, tmp_path, config):
+        store = DecisionStore(tmp_path)
+        keys = self._fill(store, config)
+        total = store.stats()["total_bytes"]
+        report = store.prune(max_bytes=total // 2)
+        assert report["removed_shards"] >= 1
+        assert report["total_bytes"] <= total // 2
+        # The newest shard survives, the oldest is gone.
+        fresh = DecisionStore(tmp_path)
+        assert fresh.get(keys[-1], 1, 1, 1) is not None
+        assert fresh.get(keys[0], 1, 1, 1) is None
+
+    def test_prune_under_limit_is_a_no_op(self, tmp_path, config):
+        store = DecisionStore(tmp_path)
+        self._fill(store, config)
+        before = store.stats()
+        report = store.prune(max_bytes=before["total_bytes"] + 1)
+        assert report == {
+            "removed_shards": 0,
+            "removed_bytes": 0,
+            "total_bytes": before["total_bytes"],
+        }
+
+    def test_prune_requires_a_limit(self, tmp_path):
+        with pytest.raises(ValueError):
+            DecisionStore(tmp_path).prune()
+        with pytest.raises(ValueError):
+            DecisionStore(tmp_path).prune(max_bytes=0)
+
+    def test_constructor_cap_enforced_on_merge(self, tmp_path, config):
+        store = DecisionStore(tmp_path, max_bytes=4096)
+        self._fill(store, config, configs=6, entries=40)
+        assert store.stats()["total_bytes"] <= 4096
+
+    def test_cap_protects_the_shard_just_written(self, tmp_path, config):
+        """A cap smaller than one shard keeps the active configuration."""
+        store = DecisionStore(tmp_path, max_bytes=1)
+        key = config.cache_key()
+        store.put_many(
+            key, {DecisionStore.gemm_key(8, 8, 8): [2, 100, 1.7, 58.8, 3.5, 1.9]}
+        )
+        assert store.get(key, 8, 8, 8) is not None
+        assert store.stats()["shards"] == 1
+
+    def test_invalid_constructor_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DecisionStore(tmp_path, max_bytes=0)
+
+    def test_cap_survives_pickling(self, tmp_path):
+        clone = pickle.loads(pickle.dumps(DecisionStore(tmp_path, max_bytes=123)))
+        assert clone.max_bytes == 123
+
+    def test_capped_store_stays_correct_through_backend(self, tmp_path, config):
+        """Eviction costs re-derivation only, never wrong numbers."""
+        reference = AnalyticalBackend().schedule_model(resnet34(), config)
+        tiny = DecisionStore(tmp_path, max_bytes=512)
+        backend = BatchedCachedBackend(store=tiny)
+        assert backend.schedule_model(resnet34(), config).layers == reference.layers
+        warm = BatchedCachedBackend(store=DecisionStore(tmp_path, max_bytes=512))
+        assert warm.schedule_model(resnet34(), config).layers == reference.layers
 
 
 class TestVersioning:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import EXPERIMENT_FACTORIES, MODEL_BUILDERS, build_parser, main
+from repro.cli import EXPERIMENT_FACTORIES, build_parser, main
+from repro.workloads import list_workloads
 
 
 class TestParser:
@@ -24,8 +25,13 @@ class TestParser:
             EXPERIMENT_FACTORIES
         )
 
-    def test_model_choices(self):
-        assert set(MODEL_BUILDERS) == {"resnet34", "mobilenet_v1", "convnext_tiny"}
+    def test_experiment_choices_include_transformer_suite(self):
+        assert "transformers" in EXPERIMENT_FACTORIES
+
+    def test_model_choices_come_from_the_registry(self):
+        assert {"resnet34", "mobilenet_v1", "convnext_tiny", "bert_base"} <= set(
+            list_workloads()
+        )
 
 
 class TestCommands:
@@ -131,6 +137,46 @@ class TestBackendFlag:
         assert "batched backend" in capsys.readouterr().out
 
 
+class TestWorkloadsCommand:
+    def test_lists_all_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for suite in ("cnn", "cnn_extended", "transformers"):
+            assert f"suite {suite!r}:" in out
+        for name in ("resnet34", "bert_base", "vit_b16", "gpt2_decode"):
+            assert name in out
+
+    def test_suite_filter(self, capsys):
+        assert main(["workloads", "--suite", "transformers"]) == 0
+        out = capsys.readouterr().out
+        assert "bert_base" in out
+        assert "resnet34" not in out
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="rnns"):
+            main(["workloads", "--suite", "rnns"])
+
+    def test_rejects_cache_dir_naming_the_subcommand(self, tmp_path):
+        with pytest.raises(ValueError, match="'workloads' command"):
+            main(["--cache-dir", str(tmp_path), "workloads"])
+
+
+class TestCompareTransformers:
+    def test_compare_accepts_registry_workload(self, capsys):
+        assert main(["compare", "--model", "bert_base"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-Base" in out
+        assert "saving" in out
+
+    def test_compare_accepts_batch_suffix(self, capsys):
+        assert main(["compare", "--model", "gpt2_decode@bs4"]) == 0
+        assert "GPT-2-decode@bs4" in capsys.readouterr().out
+
+    def test_compare_unknown_model_lists_available(self):
+        with pytest.raises(ValueError, match="resnet34"):
+            main(["compare", "--model", "alexnet"])
+
+
 class TestBatchCommand:
     def test_batch_without_cache(self, capsys):
         assert main(["batch", "--no-cache", "--models", "resnet34", "--sizes", "64x64"]) == 0
@@ -139,6 +185,83 @@ class TestBatchCommand:
         assert "64x64" in out
         assert "served 2 requests" in out
         assert "persistent cache" not in out
+
+    def test_batch_suite_transformers(self, capsys):
+        assert main(["batch", "--no-cache", "--suite", "transformers", "--sizes", "64x64"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BERT-Base", "GPT-2-decode", "ViT-B/16"):
+            assert name in out
+        assert "served 6 requests" in out
+
+    def test_batch_models_and_suite_combine_without_duplicates(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--no-cache", "--models", "bert_base",
+                    "--suite", "transformers", "--sizes", "64x64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("BERT-Base") == 1
+
+    def test_batch_size_scales_workloads(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--no-cache", "--models", "gpt2_decode",
+                    "--batch-size", "8", "--sizes", "64x64",
+                ]
+            )
+            == 0
+        )
+        assert "GPT-2-decode@bs8" in capsys.readouterr().out
+
+    def test_batch_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            main(["batch", "--no-cache", "--batch-size", "0", "--sizes", "64x64"])
+
+    def test_batch_reports_timed_out_rows_and_exits_nonzero(self, capsys, monkeypatch):
+        """The timed-out branch of the batch report, forced deterministically."""
+        from repro.serve import SchedulingService, TimedOutRequest
+
+        def fake_compare_many(self, workloads, totals_only=False, timeout=None):
+            workloads = list(workloads)
+            with self._lock:
+                self._stats.timed_out += 2 * len(workloads)
+            return [
+                (
+                    TimedOutRequest("ResNet-34", False, False, timeout or 0.0, True),
+                    TimedOutRequest("ResNet-34", True, False, timeout or 0.0, True),
+                )
+                for _ in workloads
+            ]
+
+        monkeypatch.setattr(SchedulingService, "compare_many", fake_compare_many)
+        code = main(
+            [
+                "batch", "--no-cache", "--models", "resnet34",
+                "--sizes", "64x64", "--timeout", "0.001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "timed out" in out
+        assert "WARNING: 2 requests timed out" in out
+
+    def test_batch_generous_timeout_reports_nothing(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--no-cache", "--models", "resnet34",
+                    "--sizes", "64x64", "--timeout", "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "timed out" not in out
 
     def test_batch_defaults_cover_all_models(self, capsys, tmp_path):
         assert main(["--cache-dir", str(tmp_path), "batch", "--sizes", "64x64"]) == 0

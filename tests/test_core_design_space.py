@@ -91,3 +91,31 @@ class TestRanking:
             DesignPoint(rows=256, cols=256, supported_depths=(1, 2, 4))
         )
         assert large.power_saving > small.power_saving
+
+
+class TestRegistryWorkloads:
+    def test_models_accept_registry_names(self):
+        by_name = DesignSpaceExplorer(["resnet34", "mobilenet_v1"])
+        by_object = DesignSpaceExplorer([resnet34(), mobilenet_v1()])
+        point = DesignPoint(rows=64, cols=64, supported_depths=(1, 2, 4))
+        assert by_name.evaluate_point(point) == by_object.evaluate_point(point)
+
+    def test_from_suite_transformers(self):
+        explorer = DesignSpaceExplorer.from_suite("transformers")
+        assert [model.name for model in explorer.models] == [
+            "BERT-Base", "GPT-2-decode", "ViT-B/16",
+        ]
+        point = DesignPoint(rows=128, cols=128, supported_depths=(1, 2, 4))
+        result = explorer.evaluate_point(point)
+        assert 0.0 < result.latency_saving < 1.0
+        assert set(result.per_model_latency_saving) == {
+            "BERT-Base", "GPT-2-decode", "ViT-B/16",
+        }
+
+    def test_from_suite_batch_scaling(self):
+        explorer = DesignSpaceExplorer.from_suite("transformers", batch=4)
+        assert all(model.name.endswith("@bs4") for model in explorer.models)
+
+    def test_unknown_name_surfaces(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(["alexnet"])

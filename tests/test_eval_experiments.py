@@ -12,6 +12,7 @@ from repro.eval.experiments import (
     Fig7Experiment,
     Fig8Experiment,
     Fig9Experiment,
+    TransformerSuiteExperiment,
     all_experiments,
 )
 
@@ -126,3 +127,34 @@ class TestOtherExperiments:
             assert isinstance(experiment.paper_reference, dict)
             text = experiment.render()
             assert isinstance(text, str) and text
+
+
+class TestTransformerSuite:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return TransformerSuiteExperiment(sizes=(128,)).run()
+
+    def test_covers_all_three_workloads_with_phases(self, result):
+        assert {(e.workload_name, e.phase) for e in result.entries} == {
+            ("BERT-Base", "prefill"),
+            ("ViT-B/16", "prefill"),
+            ("GPT-2-decode", "decode"),
+        }
+
+    def test_every_workload_saves_latency(self, result):
+        low, high = result.savings_range()
+        assert 0.0 < low <= high < 1.0
+
+    def test_decode_saves_most(self, result):
+        """T = batch decode is the small-T regime collapsing pays off in."""
+        savings = {e.workload_name: e.latency_saving for e in result.entries}
+        assert savings["GPT-2-decode"] == max(savings.values())
+
+    def test_render_mentions_workloads(self, result):
+        text = TransformerSuiteExperiment(sizes=(128,)).render(result)
+        assert "BERT-Base" in text and "decode" in text
+
+    def test_batched_backend_matches_analytical(self):
+        fast = TransformerSuiteExperiment(sizes=(128,), backend="batched").run()
+        reference = TransformerSuiteExperiment(sizes=(128,), backend="analytical").run()
+        assert fast == reference

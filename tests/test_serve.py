@@ -1,6 +1,7 @@
 """Tests for the batch-serving front-end (`repro.serve`)."""
 
 import threading
+import time
 
 import pytest
 
@@ -8,7 +9,13 @@ from repro.backends import AnalyticalBackend, BatchedCachedBackend, DecisionStor
 from repro.core.config import ArrayFlexConfig
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import mobilenet_v1, resnet34
-from repro.serve import ScheduleRequest, SchedulingService, default_max_workers
+from repro.serve import (
+    ScheduleRequest,
+    SchedulingService,
+    TimedOutRequest,
+    default_max_workers,
+)
+from repro.workloads import get_workload
 
 
 @pytest.fixture(scope="module")
@@ -216,6 +223,184 @@ class TestTotalsOnly:
         reference = AnalyticalBackend().schedule_model_conventional(resnet34(), config)
         assert totals.time_ns == reference.total_time_ns
         assert totals.energy_nj == reference.total_energy_nj
+
+
+class TestRegistryWorkloads:
+    def test_string_request_resolves_through_registry(self, config, reference):
+        with SchedulingService() as service:
+            [schedule] = service.schedule_all([("resnet34", config)])
+        assert schedule.model_name == "ResNet-34"
+        assert schedule.layers == reference[("ResNet-34", False)].layers
+
+    def test_string_and_object_requests_share_one_future(self, config):
+        with SchedulingService() as service:
+            futures = service.schedule_many(
+                [("resnet34", config), (resnet34(), config)]
+            )
+            assert futures[0] is futures[1]
+
+    def test_batch_suffix_is_a_distinct_identity(self, config):
+        with SchedulingService() as service:
+            futures = service.schedule_many(
+                [("gpt2_decode", config), ("gpt2_decode@bs8", config)]
+            )
+            assert futures[0] is not futures[1]
+            assert futures[1].result().model_name == "GPT-2-decode@bs8"
+
+    def test_transformer_request_matches_direct_backend(self, config):
+        workload = get_workload("bert_base")
+        reference = AnalyticalBackend().schedule_model(workload, config)
+        with SchedulingService() as service:
+            [schedule] = service.schedule_all([(workload, config)])
+        assert schedule.layers == reference.layers
+
+    def test_schedule_suite_futures_in_suite_order(self, config):
+        with SchedulingService() as service:
+            futures = service.schedule_suite("transformers", config)
+            names = [future.result().model_name for future in futures]
+        assert names == ["BERT-Base", "GPT-2-decode", "ViT-B/16"]
+
+
+class _StallingBackend(BatchedCachedBackend):
+    """Backend whose model scheduling blocks until an event is set."""
+
+    def __init__(self, gate: threading.Event):
+        super().__init__()
+        self.gate = gate
+
+    def schedule_model(self, model, cfg, model_name=None):
+        assert self.gate.wait(timeout=60), "test gate was never opened"
+        return super().schedule_model(model, cfg, model_name=model_name)
+
+
+class TestTimeouts:
+    def test_timed_out_request_surfaces_as_marker(self, config):
+        gate = threading.Event()
+        with SchedulingService(backend=_StallingBackend(gate)) as service:
+            try:
+                [result] = service.schedule_all(
+                    [(resnet34(), config)], timeout=0.05
+                )
+            finally:
+                gate.set()
+            assert isinstance(result, TimedOutRequest)
+            assert result.model_name == "ResNet-34"
+            assert result.timeout_s == 0.05
+            assert service.stats()["timed_out"] == 1
+
+    def test_per_request_timeout_overrides_call_default(self, config):
+        gate = threading.Event()
+        with SchedulingService(backend=_StallingBackend(gate)) as service:
+            try:
+                request = ScheduleRequest(
+                    model=resnet34(), config=config, timeout=0.05
+                )
+                [result] = service.schedule_all([request])  # no call-level default
+            finally:
+                gate.set()
+            assert isinstance(result, TimedOutRequest)
+
+    def test_timeout_does_not_poison_the_dedup_key(self, config, reference):
+        """A retry after a timeout recomputes instead of re-awaiting."""
+        gate = threading.Event()
+        with SchedulingService(backend=_StallingBackend(gate)) as service:
+            [first] = service.schedule_all([(resnet34(), config)], timeout=0.05)
+            assert isinstance(first, TimedOutRequest)
+            gate.set()
+            [second] = service.schedule_all([(resnet34(), config)], timeout=60)
+            assert second.layers == reference[("ResNet-34", False)].layers
+
+    def test_compare_many_timeout_yields_marker_pairs(self, config):
+        gate = threading.Event()
+        with SchedulingService(backend=_StallingBackend(gate)) as service:
+            try:
+                [(arrayflex, conventional)] = service.compare_many(
+                    [(resnet34(), config)], timeout=0.05
+                )
+            finally:
+                gate.set()
+            # Only the ArrayFlex side routes through the stalled
+            # schedule_model; the marker carries which side timed out.
+            assert isinstance(arrayflex, TimedOutRequest)
+            assert arrayflex.conventional is False
+
+    def test_timeout_never_cancels_a_shared_future(self, config, reference):
+        """One caller's deadline must not destroy another's computation."""
+        gate = threading.Event()
+        backend = _StallingBackend(gate)
+        with SchedulingService(backend=backend, max_workers=1) as service:
+            # Occupy the only worker so the next submission stays queued
+            # (a queued future is the one cancel() could actually kill).
+            [blocker] = service.schedule_many([(mobilenet_v1(), config)])
+            # First caller: no deadline, plans to wait for the result.
+            [patient] = service.schedule_many([(resnet34(), config)])
+            # Second caller: deduplicated onto the same queued future,
+            # times out while everything is still gated.
+            [result] = service.schedule_all([(resnet34(), config)], timeout=0.05)
+            assert isinstance(result, TimedOutRequest)
+            assert result.cancelled is False  # shared handle: not cancelled
+            gate.set()
+            assert patient.result(timeout=60).layers == (
+                reference[("ResNet-34", False)].layers
+            )
+            blocker.result(timeout=60)
+
+    def test_timeout_cancels_a_queued_sole_future(self, config):
+        """The sole waiter's deadline does cancel queued work outright."""
+        gate = threading.Event()
+        with SchedulingService(
+            backend=_StallingBackend(gate), max_workers=1
+        ) as service:
+            [blocker] = service.schedule_many([(mobilenet_v1(), config)])
+            try:
+                [result] = service.schedule_all(
+                    [(resnet34(), config)], timeout=0.05
+                )
+            finally:
+                gate.set()
+            assert isinstance(result, TimedOutRequest)
+            assert result.cancelled is True
+            blocker.result(timeout=60)
+
+    def test_generous_timeout_returns_results(self, config, reference):
+        with SchedulingService() as service:
+            [schedule] = service.schedule_all([(resnet34(), config)], timeout=60)
+        assert schedule.layers == reference[("ResNet-34", False)].layers
+
+    def test_close_after_timeout_does_not_block_on_abandoned_work(self, config):
+        """What the CLI does after a timeout: walk away, cancel the queue."""
+        gate = threading.Event()
+        service = SchedulingService(backend=_StallingBackend(gate), max_workers=1)
+        try:
+            [running] = service.schedule_many([(mobilenet_v1(), config)])
+            [queued] = service.schedule_many([(resnet34(), config)])
+            start = time.monotonic()
+            service.close(wait=False, cancel_futures=True)
+            assert time.monotonic() - start < 5.0  # did not join the gated task
+            assert queued.cancelled()
+        finally:
+            gate.set()
+        running.result(timeout=60)  # the running task still completes
+
+    def test_waiter_bookkeeping_does_not_leak(self, config):
+        """Dedup hits on completed futures must not recreate waiter entries."""
+        with SchedulingService() as service:
+            [future] = service.schedule_many([(resnet34(), config)])
+            future.result(timeout=60)
+            for _ in range(3):  # dedup hits on the (memoised) done future
+                service.schedule_all([(resnet34(), config)])
+            assert service._waiters == {}
+
+    def test_timeout_field_not_part_of_dedup_identity(self, config):
+        with SchedulingService() as service:
+            futures = service.schedule_many(
+                [
+                    ScheduleRequest(model=resnet34(), config=config, timeout=1.0),
+                    ScheduleRequest(model=resnet34(), config=config, timeout=2.0),
+                ]
+            )
+            assert futures[0] is futures[1]
+            time.sleep(0)  # keep the futures referenced until both resolve
 
 
 class TestFailureRecovery:
