@@ -35,6 +35,7 @@ for _path in (_HERE.parent / "src", _HERE):
 from bench_scenarios import (  # noqa: E402
     DESIGN_POINTS,
     best_of as _best_of,
+    design_space_sweep,
     schedule_transformer_suite,
 )
 
@@ -133,7 +134,23 @@ def collect(rounds: int = 3) -> dict:
             transformer_warm_rerun, rounds
         )
 
+    # Activity-aware sweep: the vectorised tiling-utilization power pass
+    # must track the constant-activity batched sweep (<= 10% overhead —
+    # asserted in test_bench_activity.py; recorded here per commit).
+    from repro.core.activity import ConstantActivity, UtilizationActivity
+
+    timings_ms["design_space_constant_activity"] = 1e3 * _best_of(
+        lambda: design_space_sweep(activity_model=ConstantActivity()), rounds
+    )
+    timings_ms["design_space_utilization_activity"] = 1e3 * _best_of(
+        lambda: design_space_sweep(activity_model=UtilizationActivity()), rounds
+    )
+
     speedups = {
+        "utilization_activity_overhead": (
+            timings_ms["design_space_utilization_activity"]
+            / timings_ms["design_space_constant_activity"]
+        ),
         "batched_vs_analytical": (
             timings_ms["design_space_analytical"] / timings_ms["design_space_batched"]
         ),

@@ -64,6 +64,26 @@ def schedule_transformer_suite(backend):
     return totals
 
 
+def design_space_sweep(activity_model=None, backend=None):
+    """Run the design-space scenario once under one activity model.
+
+    The activity-aware counterpart of the scenario every backend
+    benchmark pins down: same points, same workloads, with the per-layer
+    power pass priced by ``activity_model`` (``None``/"constant" is the
+    bit-identical historical path; "utilization" exercises the vectorised
+    tiling-utilization computation).  Returns the point results.
+    """
+    from repro.core.design_space import DesignSpaceExplorer
+    from repro.nn.models import model_zoo
+
+    explorer = DesignSpaceExplorer(
+        list(model_zoo().values()),
+        backend=backend or "batched",
+        activity_model=activity_model,
+    )
+    return explorer.explore(DESIGN_POINTS)
+
+
 def best_of(fn, rounds: int = 3) -> float:
     """Best-of-N wall-clock seconds of ``fn()``."""
     best = float("inf")
@@ -77,3 +97,15 @@ def best_of(fn, rounds: int = 3) -> float:
 def speedup_floor(strict: float) -> float:
     """An asserted speedup threshold, relaxed on noisy (CI) machines."""
     return strict * float(os.environ.get("REPRO_BENCH_SPEEDUP_SCALE", "1.0"))
+
+
+def overhead_ceiling(strict: float) -> float:
+    """An asserted slowdown-ratio cap (> 1.0), relaxed on noisy machines.
+
+    The counterpart of :func:`speedup_floor` for overhead assertions:
+    ``strict = 1.10`` means "at most 10% slower"; CI's
+    ``REPRO_BENCH_SPEEDUP_SCALE < 1`` widens the margin the same way it
+    lowers speedup floors.
+    """
+    scale = float(os.environ.get("REPRO_BENCH_SPEEDUP_SCALE", "1.0"))
+    return 1.0 + (strict - 1.0) / scale

@@ -5,7 +5,10 @@ Architecture with Configurable Transparent Pipelining* (DATE 2023):
 
 * :mod:`repro.core` -- the ArrayFlex contribution: latency/clock models
   (Eqs. 1-6), the per-layer pipeline-depth optimizer (Eq. 7), the CNN
-  scheduler, the energy model and the public accelerator facade.
+  scheduler, the structured :class:`~repro.core.metrics.LayerMetrics`
+  result model, the pluggable per-layer activity models
+  (:mod:`repro.core.activity`), the energy model and the public
+  accelerator facade.
 * :mod:`repro.arch`, :mod:`repro.sim` -- the systolic-array substrate: a
   structural PE/array model and a cycle-accurate weight-stationary
   simulator supporting normal and collapsed (shallow) pipelines.
@@ -48,8 +51,15 @@ from repro.backends import (
     create_backend,
     default_cache_dir,
 )
+from repro.core.activity import (
+    ActivityModel,
+    ConstantActivity,
+    UtilizationActivity,
+    create_activity_model,
+)
 from repro.core.arrayflex import ArrayFlexAccelerator, ComparisonReport
 from repro.core.config import ArrayFlexConfig
+from repro.core.metrics import LayerMetrics
 from repro.baselines.conventional import ConventionalAccelerator
 from repro.nn.gemm_mapping import GemmShape
 from repro.serve import ScheduleRequest, SchedulingService
@@ -63,19 +73,24 @@ from repro.workloads import (
     register_workload,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "ActivityModel",
     "AnalyticalBackend",
     "ArrayFlexAccelerator",
     "ArrayFlexConfig",
     "BatchedCachedBackend",
     "ComparisonReport",
+    "ConstantActivity",
     "ConventionalAccelerator",
     "CycleAccurateBackend",
     "DecisionStore",
     "ExecutionBackend",
     "GemmShape",
+    "LayerMetrics",
+    "UtilizationActivity",
+    "create_activity_model",
     "ScheduleRequest",
     "SchedulingService",
     "TechnologyModel",

@@ -2,17 +2,18 @@
 
 Wraps the closed-form model stack of :mod:`repro.core` — the latency
 equations (Eqs. 1–4), the discrete Eq. (6) mode search, the Eq. (5) clock
-model and the power model — exactly as the original per-layer scheduler
-used them.  This is the fidelity reference every other backend is tested
-against, and the default backend of :class:`repro.ArrayFlexAccelerator`.
+model and the activity-aware power model — exactly as the original
+per-layer scheduler used them.  This is the fidelity reference every
+other backend is tested against, and the default backend of
+:class:`repro.ArrayFlexAccelerator`.
 """
 
 from __future__ import annotations
 
 from repro.backends.base import ExecutionBackend, LayerResult
 from repro.core.config import ArrayFlexConfig
+from repro.core.metrics import LayerMetrics
 from repro.core.optimizer import ModeDecision
-from repro.core.scheduler import LayerSchedule
 from repro.nn.gemm_mapping import GemmShape
 
 
@@ -26,16 +27,18 @@ class AnalyticalBackend(ExecutionBackend):
     ) -> LayerResult:
         parts = self.components(config)
         decision: ModeDecision = parts.optimizer.best_depth(gemm)
-        power = parts.energy.arrayflex_power_mw(
-            decision.collapse_depth, decision.clock_frequency_ghz
+        power, activity, utilization = parts.energy.arrayflex_layer_power(
+            gemm, decision.collapse_depth, decision.clock_frequency_ghz
         )
-        return LayerSchedule(
+        return LayerMetrics(
             index=index,
             gemm=gemm,
             collapse_depth=decision.collapse_depth,
             cycles=decision.cycles,
             clock_frequency_ghz=decision.clock_frequency_ghz,
             execution_time_ns=decision.execution_time_ns,
-            power_mw=power,
+            activity=activity,
+            array_utilization=utilization,
+            power=power,
             analytical_depth=decision.analytical_depth,
         )

@@ -39,20 +39,22 @@ from repro.core.clock import ClockModel
 from repro.core.config import ArrayFlexConfig
 from repro.core.energy import EnergyModel
 from repro.core.latency import LatencyModel
-from repro.core.optimizer import PipelineOptimizer
-from repro.core.scheduler import (
-    LayerSchedule,
+from repro.core.metrics import (
+    LayerMetrics,
     ModelSchedule,
     WorkloadArgument,
     resolve_workload,
 )
+from repro.core.optimizer import PipelineOptimizer
 from repro.nn.gemm_mapping import GemmShape
 
 #: The per-layer result type shared by every backend.  A backend's
 #: ``schedule_layer`` returns exactly what the scheduler records for a
-#: layer, so schedules built from any backend compose with the whole
-#: reporting stack (energy reports, histograms, EXPERIMENTS.md, ...).
-LayerResult = LayerSchedule
+#: layer — the structured :class:`~repro.core.metrics.LayerMetrics`
+#: record — so schedules built from any backend compose with the whole
+#: reporting stack (energy reports, breakdowns, histograms,
+#: EXPERIMENTS.md, ...).
+LayerResult = LayerMetrics
 
 
 @dataclass(frozen=True)
@@ -204,14 +206,19 @@ class ExecutionBackend(abc.ABC):
         parts = self.components(config)
         cycles = parts.latency.conventional_total_cycles(gemm)
         frequency = parts.clock.conventional_frequency_ghz()
-        return LayerSchedule(
+        power, activity, utilization = parts.energy.conventional_layer_power(
+            gemm, frequency
+        )
+        return LayerMetrics(
             index=index,
             gemm=gemm,
             collapse_depth=1,
             cycles=cycles,
             clock_frequency_ghz=frequency,
             execution_time_ns=parts.clock.conventional_execution_time_ns(cycles),
-            power_mw=parts.energy.conventional_power_mw(frequency),
+            activity=activity,
+            array_utilization=utilization,
+            power=power,
             analytical_depth=1.0,
         )
 

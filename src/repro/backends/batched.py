@@ -9,16 +9,20 @@ reference path without changing a single number:
 * CNNs repeat GEMM shapes heavily (every ResNet/ConvNeXt stage repeats
   its block, and design-space sweeps revisit the same workloads point
   after point), so decisions memoised by
-  ``(GEMM dims, array geometry, mode set, technology)`` are near-free on
-  re-encounter.
+  ``(GEMM dims, array geometry, mode set, activity model, technology)``
+  are near-free on re-encounter.
 
 :class:`BatchedCachedBackend` combines both behind the standard
 :class:`~repro.backends.base.ExecutionBackend` protocol.  Its results are
 bit-identical to :class:`~repro.backends.analytical.AnalyticalBackend`:
 the vectorised argmin replicates the sequential shallow-first tie-break
 of :meth:`repro.core.optimizer.PipelineOptimizer.best_depth` (including
-its 1e-12 tolerance), and times/powers are computed from the same
-operating points.  ``tests/test_backends.py`` pins the parity down.
+its 1e-12 tolerance), and the vectorised activity/power pass replicates,
+operation for operation, the scalar
+:meth:`~repro.timing.power_model.PowerModel` component arithmetic — per
+layer, at the layer's effective activity, for every component of the
+:class:`~repro.timing.power_model.ArrayPowerBreakdown`.
+``tests/test_backends.py`` pins the parity down.
 
 With a :class:`~repro.backends.store.DecisionStore` attached, the LRU is
 additionally spilled to disk: every freshly solved decision is flushed to
@@ -39,14 +43,17 @@ import numpy as np
 
 from repro.backends.base import ExecutionBackend, LayerResult, ModelTotals
 from repro.backends.store import DecisionStore
+from repro.core.activity import tiling_utilization_vector
 from repro.core.config import ArrayFlexConfig
-from repro.core.scheduler import (
-    LayerSchedule,
+from repro.core.metrics import (
+    LayerMetrics,
     ModelSchedule,
     WorkloadArgument,
     resolve_workload,
 )
 from repro.nn.gemm_mapping import GemmShape
+from repro.timing.area_model import AreaModel
+from repro.timing.power_model import ArrayPowerBreakdown, PowerModel
 
 #: Tie-break tolerance of the discrete mode search (same constant as
 #: :meth:`PipelineOptimizer.best_depth`).
@@ -61,23 +68,42 @@ class _Decision:
     cycles: int
     clock_frequency_ghz: float
     execution_time_ns: float
-    power_mw: float
     analytical_depth: float
+    activity: float
+    array_utilization: float
+    power: ArrayPowerBreakdown
+
+    @property
+    def power_mw(self) -> float:
+        return self.power.total_mw
 
 
 def _decision_to_row(decision: _Decision) -> list:
     """The JSON-serialisable store row of one decision.
 
     Floats round-trip bit-exactly through JSON (repr-based encoding), so a
-    decision read back from disk equals the freshly solved one.
+    decision read back from disk equals the freshly solved one.  The row
+    layout is versioned through :data:`repro.backends.store.
+    DECISION_MODEL_VERSION` — widening it (as the activity-aware refactor
+    did) bumps that version and purges every stale shard.
     """
+    power = decision.power
     return [
         decision.collapse_depth,
         decision.cycles,
         decision.clock_frequency_ghz,
         decision.execution_time_ns,
-        decision.power_mw,
         decision.analytical_depth,
+        decision.activity,
+        decision.array_utilization,
+        power.multiplier,
+        power.carry_propagate_adder,
+        power.carry_save_adder,
+        power.bypass_muxes,
+        power.register_data,
+        power.register_clock,
+        power.leakage,
+        power.total_mw,
     ]
 
 
@@ -87,8 +113,19 @@ def _decision_from_row(row: list) -> _Decision:
         cycles=int(row[1]),
         clock_frequency_ghz=float(row[2]),
         execution_time_ns=float(row[3]),
-        power_mw=float(row[4]),
-        analytical_depth=float(row[5]),
+        analytical_depth=float(row[4]),
+        activity=float(row[5]),
+        array_utilization=float(row[6]),
+        power=ArrayPowerBreakdown(
+            multiplier=float(row[7]),
+            carry_propagate_adder=float(row[8]),
+            carry_save_adder=float(row[9]),
+            bypass_muxes=float(row[10]),
+            register_data=float(row[11]),
+            register_clock=float(row[12]),
+            leakage=float(row[13]),
+            total_mw=float(row[14]),
+        ),
     )
 
 
@@ -107,6 +144,140 @@ def _conventional_cycles_vector(
     this backend, and the parity tests pin the two against each other.
     """
     return (2 * rows + cols + t - 2) * (_ceil_div(n, rows) * _ceil_div(m, cols))
+
+
+def _effective_activity_vector(
+    config: ArrayFlexConfig, m: np.ndarray, n: np.ndarray, t: np.ndarray
+) -> np.ndarray:
+    """Per-layer effective activities, mirroring ``EnergyModel.layer_activity``.
+
+    Same composition (``config.activity * model factor``), same IEEE
+    operations per element as the scalar path — including the scalar
+    path's ``PowerModel._check_activity`` range validation, so a custom
+    activity model that emits an out-of-range (or NaN) factor fails here
+    exactly like it would on the analytical backend, instead of caching
+    and persisting garbage power numbers.
+    """
+    activity = config.activity * config.activity_model.activity_vector(
+        m, n, t, config.rows, config.cols
+    )
+    if not bool(((activity >= 0.0) & (activity <= 1.0)).all()):
+        raise ValueError(
+            f"activity must be within [0, 1] for every layer; "
+            f"{type(config.activity_model).__name__} produced values outside"
+        )
+    return activity
+
+
+def _arrayflex_power_vectors(
+    config: ArrayFlexConfig,
+    activity: np.ndarray,
+    depth: np.ndarray,
+    frequency: np.ndarray,
+    leakage_mw: float,
+) -> dict[str, np.ndarray]:
+    """Vectorised restatement of ``PowerModel.arrayflex_array_power_breakdown``.
+
+    Every line mirrors the scalar :meth:`PowerModel.arrayflex_pe_energy` /
+    :meth:`PowerModel._array_breakdown` arithmetic operation for
+    operation (same association, same order), so each per-layer component
+    — and the total — is bit-identical to the analytical reference at
+    that layer's activity.  The parity property-tests enforce this.
+    """
+    tech = config.technology
+    num_pes = config.rows * config.cols
+    k = depth
+
+    multiplier = tech.e_mul_pj * activity
+    carry_save = tech.e_csa_pj * activity
+    muxes = PowerModel.MUXES_PER_PE * tech.e_mux_pj * activity
+    carry_propagate = tech.e_add_pj * activity / k
+    register_data = (
+        tech.e_reg_bit_pj
+        * (tech.input_width + tech.accum_width)
+        * activity
+        / k
+    )
+    clocked_bits = (
+        tech.input_width
+        + (tech.input_width + tech.accum_width) / k
+        + AreaModel.CONFIG_BITS
+    )
+    register_clock = tech.e_clk_bit_pj * clocked_bits
+
+    pe_total = (
+        multiplier
+        + carry_propagate
+        + carry_save
+        + muxes
+        + register_data
+        + register_clock
+    )
+    dynamic = pe_total * frequency
+    return {
+        "multiplier": num_pes * (multiplier * frequency),
+        "carry_propagate_adder": num_pes * (carry_propagate * frequency),
+        "carry_save_adder": num_pes * (carry_save * frequency),
+        "bypass_muxes": num_pes * (muxes * frequency),
+        "register_data": num_pes * (register_data * frequency),
+        "register_clock": num_pes * (register_clock * frequency),
+        "leakage": np.full(len(activity), num_pes * leakage_mw),
+        "total_mw": num_pes * (dynamic + leakage_mw),
+    }
+
+
+def _conventional_power_vectors(
+    config: ArrayFlexConfig,
+    activity: np.ndarray,
+    frequency: float,
+    leakage_mw: float,
+) -> dict[str, np.ndarray]:
+    """Vectorised ``PowerModel.conventional_array_power_breakdown``.
+
+    Mirrors :meth:`PowerModel.conventional_pe_energy` operation for
+    operation, per layer at that layer's activity.
+    """
+    tech = config.technology
+    num_pes = config.rows * config.cols
+    data_bits = tech.input_width + tech.accum_width
+    clocked_bits = 2 * tech.input_width + tech.accum_width
+
+    multiplier = tech.e_mul_pj * activity
+    carry_propagate = tech.e_add_pj * activity
+    zero = np.zeros(len(activity))
+    register_data = tech.e_reg_bit_pj * data_bits * activity
+    register_clock = tech.e_clk_bit_pj * clocked_bits  # scalar: activity-free
+
+    pe_total = (
+        multiplier + carry_propagate + 0.0 + 0.0 + register_data + register_clock
+    )
+    dynamic = pe_total * frequency
+    return {
+        "multiplier": num_pes * (multiplier * frequency),
+        "carry_propagate_adder": num_pes * (carry_propagate * frequency),
+        "carry_save_adder": zero,
+        "bypass_muxes": zero,
+        "register_data": num_pes * (register_data * frequency),
+        "register_clock": np.full(
+            len(activity), num_pes * (register_clock * frequency)
+        ),
+        "leakage": np.full(len(activity), num_pes * leakage_mw),
+        "total_mw": num_pes * (dynamic + leakage_mw),
+    }
+
+
+def _breakdown_at(power: dict[str, np.ndarray], i: int) -> ArrayPowerBreakdown:
+    """The i-th layer's :class:`ArrayPowerBreakdown` from component vectors."""
+    return ArrayPowerBreakdown(
+        multiplier=float(power["multiplier"][i]),
+        carry_propagate_adder=float(power["carry_propagate_adder"][i]),
+        carry_save_adder=float(power["carry_save_adder"][i]),
+        bypass_muxes=float(power["bypass_muxes"][i]),
+        register_data=float(power["register_data"][i]),
+        register_clock=float(power["register_clock"][i]),
+        leakage=float(power["leakage"][i]),
+        total_mw=float(power["total_mw"][i]),
+    )
 
 
 class BatchedCachedBackend(ExecutionBackend):
@@ -172,27 +343,35 @@ class BatchedCachedBackend(ExecutionBackend):
         config: ArrayFlexConfig,
         model_name: str | None = None,
     ) -> ModelSchedule:
-        """Baseline schedule with the per-mode constants hoisted out.
+        """Baseline schedule with the mode-independent constants hoisted out.
 
         The single fixed mode needs no mode search: Eq. (1)/(2) are
         evaluated for all layers in one NumPy pass (bit-identical to the
         per-layer closed form — int64 cycles are exact and the int * float
-        time product is the same IEEE double either way), and the
-        clock/power lookups (identical for every layer) are computed once
-        instead of per layer.
+        time product is the same IEEE double either way), the clock lookup
+        is computed once, and the per-layer activity/power breakdown comes
+        from the vectorised power pass (bit-identical to the scalar
+        component arithmetic per layer).
         """
         gemms, name = resolve_workload(model, model_name)
         parts = self.components(config)
         rows, cols = config.rows, config.cols
         period_ns = parts.clock.conventional_period_ns()
         frequency = parts.clock.conventional_frequency_ghz()
-        power = parts.energy.conventional_power_mw(frequency)
 
         m = np.array([g.m for g in gemms], dtype=np.int64)
         n = np.array([g.n for g in gemms], dtype=np.int64)
         t = np.array([g.t for g in gemms], dtype=np.int64)
         cycles = _conventional_cycles_vector(rows, cols, m, n, t)
         times_ns = cycles * period_ns
+        activity = _effective_activity_vector(config, m, n, t)
+        utilization = tiling_utilization_vector(m, n, rows, cols)
+        power = _conventional_power_vectors(
+            config,
+            activity,
+            frequency,
+            parts.energy.power_model.conventional_pe_leakage_mw(),
+        )
 
         schedule = ModelSchedule(
             model_name=name,
@@ -200,16 +379,19 @@ class BatchedCachedBackend(ExecutionBackend):
             rows=config.rows,
             cols=config.cols,
         )
-        for index, gemm in enumerate(gemms, start=1):
+        for index in range(1, len(gemms) + 1):
+            i = index - 1
             schedule.layers.append(
-                LayerSchedule(
+                LayerMetrics(
                     index=index,
-                    gemm=gemm,
+                    gemm=gemms[i],
                     collapse_depth=1,
-                    cycles=int(cycles[index - 1]),
+                    cycles=int(cycles[i]),
                     clock_frequency_ghz=frequency,
-                    execution_time_ns=float(times_ns[index - 1]),
-                    power_mw=power,
+                    execution_time_ns=float(times_ns[i]),
+                    activity=float(activity[i]),
+                    array_utilization=float(utilization[i]),
+                    power=_breakdown_at(power, i),
                     analytical_depth=1.0,
                 )
             )
@@ -225,10 +407,13 @@ class BatchedCachedBackend(ExecutionBackend):
         """Totals without materialising per-layer schedule objects.
 
         Sweeps aggregate nothing but total time and energy, so this skips
-        the :class:`~repro.core.scheduler.LayerSchedule` construction
+        the :class:`~repro.core.metrics.LayerMetrics` construction
         entirely and accumulates the same per-layer terms in the same
         left-to-right order as the ``ModelSchedule`` property sums — the
-        numbers are bit-identical, only cheaper to produce.
+        numbers are bit-identical, only cheaper to produce.  The
+        conventional branch prices every layer through the vectorised
+        activity/power pass, so it too matches the per-layer path under
+        any activity model.
         """
         gemms, _ = resolve_workload(model, model_name)
         time_ns = 0.0
@@ -238,12 +423,18 @@ class BatchedCachedBackend(ExecutionBackend):
             rows, cols = config.rows, config.cols
             period_ns = parts.clock.conventional_period_ns()
             frequency = parts.clock.conventional_frequency_ghz()
-            power = parts.energy.conventional_power_mw(frequency)
             t = np.array([g.t for g in gemms], dtype=np.int64)
             n = np.array([g.n for g in gemms], dtype=np.int64)
             m = np.array([g.m for g in gemms], dtype=np.int64)
             cycles = _conventional_cycles_vector(rows, cols, m, n, t)
-            for layer_time in (cycles * period_ns).tolist():
+            activity = _effective_activity_vector(config, m, n, t)
+            powers = _conventional_power_vectors(
+                config,
+                activity,
+                frequency,
+                parts.energy.power_model.conventional_pe_leakage_mw(),
+            )["total_mw"]
+            for power, layer_time in zip(powers.tolist(), (cycles * period_ns).tolist()):
                 time_ns += layer_time
                 energy_nj += power * layer_time / 1000.0
         else:
@@ -359,7 +550,11 @@ class BatchedCachedBackend(ExecutionBackend):
 
         Shapes: ``times`` is (layers, depths); the column scan below is
         the exact vector analogue of the sequential shallow-first
-        tie-break in ``PipelineOptimizer.best_depth``.
+        tie-break in ``PipelineOptimizer.best_depth``.  Once the modes are
+        chosen, one vectorised activity/power pass prices every layer at
+        its own effective activity (utilization-aware when the configured
+        activity model is) — the batched counterpart of
+        ``EnergyModel.arrayflex_layer_power``.
         """
         parts = self.components(config)
         rows, cols = config.rows, config.cols
@@ -383,12 +578,6 @@ class BatchedCachedBackend(ExecutionBackend):
         # Eq. (6): absolute time under each mode's discrete operating point.
         periods_ns = np.array([parts.clock.period_ns(d) for d in depths])
         frequencies = np.array([parts.clock.frequency_ghz(d) for d in depths])
-        powers = np.array(
-            [
-                parts.energy.arrayflex_power_mw(d, parts.clock.frequency_ghz(d))
-                for d in depths
-            ]
-        )
         times = cycles * periods_ns[None, :]
 
         # Shallow-first argmin with the optimizer's strict-improvement rule.
@@ -401,29 +590,46 @@ class BatchedCachedBackend(ExecutionBackend):
 
         layer_index = np.arange(len(gemms))
         best_cycles = cycles[layer_index, best_col]
+        best_depths = np.array(depths, dtype=np.int64)[best_col]
+        best_frequencies = frequencies[best_col]
+
+        # The vectorised activity-aware power pass, at the chosen modes.
+        activity = _effective_activity_vector(config, m, n, t)
+        utilization = tiling_utilization_vector(m, n, rows, cols)
+        power = _arrayflex_power_vectors(
+            config,
+            activity,
+            best_depths,
+            best_frequencies,
+            parts.energy.power_model.arrayflex_pe_leakage_mw(),
+        )
         return [
             _Decision(
                 collapse_depth=depths[best_col[i]],
                 cycles=int(best_cycles[i]),
-                clock_frequency_ghz=float(frequencies[best_col[i]]),
+                clock_frequency_ghz=float(best_frequencies[i]),
                 execution_time_ns=float(best_time[i]),
-                power_mw=float(powers[best_col[i]]),
                 # Eq. (7) lives in one place: the optimizer's closed form.
                 analytical_depth=parts.optimizer.analytical_optimal_depth(gemms[i]),
+                activity=float(activity[i]),
+                array_utilization=float(utilization[i]),
+                power=_breakdown_at(power, i),
             )
             for i in range(len(gemms))
         ]
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _to_layer(index: int, gemm: GemmShape, decision: _Decision) -> LayerSchedule:
-        return LayerSchedule(
+    def _to_layer(index: int, gemm: GemmShape, decision: _Decision) -> LayerMetrics:
+        return LayerMetrics(
             index=index,
             gemm=gemm,
             collapse_depth=decision.collapse_depth,
             cycles=decision.cycles,
             clock_frequency_ghz=decision.clock_frequency_ghz,
             execution_time_ns=decision.execution_time_ns,
-            power_mw=decision.power_mw,
+            activity=decision.activity,
+            array_utilization=decision.array_utilization,
+            power=decision.power,
             analytical_depth=decision.analytical_depth,
         )

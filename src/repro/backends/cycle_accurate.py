@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.backends.base import ExecutionBackend, LayerResult
 from repro.core.config import ArrayFlexConfig
-from repro.core.scheduler import LayerSchedule
+from repro.core.metrics import LayerMetrics
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.workloads import random_int_matrices
 from repro.sim.systolic_sim import CycleAccurateSystolicArray
@@ -75,14 +75,19 @@ class CycleAccurateBackend(ExecutionBackend):
         cycles = per_tile * parts.latency.tile_count(gemm)
         time_ns = parts.clock.execution_time_ns(cycles, depth)
         frequency = parts.clock.frequency_ghz(depth)
-        return LayerSchedule(
+        power, activity, utilization = parts.energy.arrayflex_layer_power(
+            gemm, depth, frequency
+        )
+        return LayerMetrics(
             index=index,
             gemm=gemm,
             collapse_depth=depth,
             cycles=cycles,
             clock_frequency_ghz=frequency,
             execution_time_ns=time_ns,
-            power_mw=parts.energy.arrayflex_power_mw(depth, frequency),
+            activity=activity,
+            array_utilization=utilization,
+            power=power,
             analytical_depth=decision.analytical_depth,
         )
 

@@ -5,8 +5,8 @@ an on-disk store so repeated CLI / CI invocations skip re-deriving mode
 decisions entirely.  One *shard* file holds every cached decision of one
 accelerator configuration; shards are named by a digest of
 ``(store version, ArrayFlexConfig.cache_key())``, so decisions computed
-under a different array geometry, mode set, activity factor or technology
-model can never be confused — the technology model's full parameter set is
+under a different array geometry, mode set, activity factor, activity
+model or technology model can never be confused — the technology model's full parameter set is
 part of :meth:`~repro.core.config.ArrayFlexConfig.cache_key`.
 
 Versioning and invalidation are explicit:
@@ -39,8 +39,11 @@ from pathlib import Path
 #: Bump when the on-disk shard layout changes.
 STORE_FORMAT_VERSION = 1
 #: Bump when the scheduling closed forms (latency / clock / energy models)
-#: change in a way that alters cached decisions.
-DECISION_MODEL_VERSION = 1
+#: change in a way that alters cached decisions — or when the decision
+#: row widens.  v2: the activity-aware LayerMetrics refactor (rows now
+#: carry per-layer activity, array utilization and the full per-component
+#: power breakdown instead of one collapsed power scalar).
+DECISION_MODEL_VERSION = 2
 #: The combined version every shard is keyed and stamped with.
 CACHE_VERSION = f"{STORE_FORMAT_VERSION}.{DECISION_MODEL_VERSION}"
 
@@ -69,10 +72,11 @@ def default_cache_dir() -> Path:
 class DecisionStore:
     """On-disk, versioned store of ``(GEMM, configuration) -> decision``.
 
-    Decisions are the six numbers cached by
-    :class:`~repro.backends.batched.BatchedCachedBackend`; they are stored
-    as JSON (floats round-trip bit-exactly through ``repr``), one shard
-    file per configuration.  The store is safe for concurrent use from
+    Decisions are the per-layer metrics rows cached by
+    :class:`~repro.backends.batched.BatchedCachedBackend` (mode, cycles,
+    operating point, activity, utilization and the per-component power
+    breakdown); they are stored as JSON (floats round-trip bit-exactly
+    through ``repr``), one shard file per configuration.  The store is safe for concurrent use from
     threads (a lock serialises shard mutation) and from processes (atomic
     replace + merge-on-write).
     """

@@ -18,7 +18,8 @@ Commands
                 workloads, grouped by suite).
 ``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
                 fig9, eq7, clock, abl_csa, abl_dirs) or the beyond-paper
-                ``transformers`` suite table and print it.
+                ``transformers`` suite / ``activity`` sensitivity tables
+                and print it.
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
 
 Workloads are resolved by name through the :mod:`repro.workloads`
@@ -42,6 +43,15 @@ directory per ``XDG_CACHE_HOME``; never inside the repository), so
 repeated invocations skip re-deriving decisions::
 
     python -m repro batch --models resnet34 --sizes 128x128 256x256
+
+``--activity-model {constant,utilization}`` (on ``info``, ``decide``,
+``compare`` and ``batch``) selects the per-layer power activity model:
+``constant`` is the paper's every-PE-busy behaviour, ``utilization``
+derates datapath energy by each layer's occupied-PE tiling fraction.
+``compare`` and ``batch`` report the resulting per-component energy
+breakdown::
+
+    python -m repro compare --model mobilenet_v1 --activity-model utilization
 """
 
 from __future__ import annotations
@@ -51,9 +61,13 @@ import sys
 from collections.abc import Sequence
 
 from repro.backends import BACKENDS, default_cache_dir
+from repro.core.activity import ACTIVITY_MODELS
 from repro.core.arrayflex import ArrayFlexAccelerator
 from repro.core.config import ArrayFlexConfig
+from repro.core.metrics import ModelSchedule
+from repro.timing.power_model import ArrayPowerBreakdown
 from repro.eval.experiments import (
+    ActivitySensitivityExperiment,
     ClockFrequencyExperiment,
     CsaAblationExperiment,
     DirectionAblationExperiment,
@@ -82,6 +96,7 @@ EXPERIMENT_FACTORIES = {
     "abl_csa": lambda backend=None: [CsaAblationExperiment()],
     "abl_dirs": lambda backend=None: [DirectionAblationExperiment()],
     "transformers": lambda backend=None: [TransformerSuiteExperiment(backend=backend)],
+    "activity": lambda backend=None: [ActivitySensitivityExperiment(backend=backend)],
 }
 
 
@@ -96,6 +111,20 @@ def _add_array_arguments(parser: argparse.ArgumentParser) -> None:
         help="supported collapse depths (default: 1 2 4)",
     )
     _add_backend_argument(parser)
+    _add_activity_model_argument(parser)
+
+
+def _add_activity_model_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--activity-model",
+        choices=sorted(ACTIVITY_MODELS),
+        default="constant",
+        help=(
+            "per-layer power activity model: 'constant' (paper behaviour, "
+            "every PE busy) or 'utilization' (edge tiles underfill the "
+            "array, datapath energy scales with the occupied-PE fraction)"
+        ),
+    )
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
@@ -224,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the disk-persistent decision cache",
     )
     _add_backend_argument(batch)
+    _add_activity_model_argument(batch)
 
     workloads = subparsers.add_parser(
         "workloads", help="list the workload registry (grouped by suite)"
@@ -257,6 +287,23 @@ def _build_accelerator(args: argparse.Namespace) -> ArrayFlexAccelerator:
         supported_depths=tuple(args.depths),
         backend=args.backend,
         cache_dir=args.cache_dir,
+        activity_model=args.activity_model,
+    )
+
+
+def _breakdown_shares(schedule: ModelSchedule) -> str:
+    """Energy composition of one run as 'datapath/clock/leakage' percents."""
+    composition = schedule.energy_breakdown_nj()
+    total = composition["total"] or 1.0
+    datapath = sum(
+        composition[component]
+        for component in ArrayPowerBreakdown.DATAPATH_COMPONENTS
+    )
+    clock = composition["register_clock"]
+    leakage = composition["leakage"]
+    return (
+        f"{100 * datapath / total:2.0f}/{100 * clock / total:2.0f}"
+        f"/{100 * leakage / total:2.0f}"
     )
 
 
@@ -302,6 +349,10 @@ def _cmd_decide(args: argparse.Namespace) -> int:
         f"at {decision.clock_frequency_ghz:.1f} GHz"
     )
     print(f"analytical optimum (Eq. 7): k_hat = {decision.analytical_depth:.2f}")
+    print(
+        f"array utilization (occupied-PE fraction of the tiling): "
+        f"{format_percent(decision.array_utilization)}"
+    )
     for depth, time_ns in sorted(decision.per_depth_time_ns.items()):
         marker = "  <-- selected" if depth == decision.collapse_depth else ""
         print(f"  k={depth}: {time_ns / 1000.0:10.2f} us{marker}")
@@ -328,6 +379,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(f"  energy-delay product gain: {format_ratio(report.edp_gain)}")
     print(f"  layers per pipeline mode: {report.arrayflex.depth_histogram()}")
+    arrayflex = report.arrayflex
+    print(
+        f"  activity model '{args.activity_model}': "
+        f"avg utilization {format_percent(arrayflex.average_utilization())}, "
+        f"avg activity {format_percent(arrayflex.average_activity())}"
+    )
+    print("  ArrayFlex energy breakdown (nJ):")
+    composition = arrayflex.energy_breakdown_nj()
+    total = composition["total"] or 1.0
+    for component, energy in composition.items():
+        if component == "total":
+            continue
+        print(
+            f"    {component:22s} {energy:14.1f}  ({format_percent(energy / total)})"
+        )
+    print(f"    {'total':22s} {composition['total']:14.1f}")
     return 0
 
 
@@ -379,7 +446,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     depths = tuple(args.depths)
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
     grid = [
-        (workload, ArrayFlexConfig(rows=rows, cols=cols, supported_depths=depths))
+        (
+            workload,
+            ArrayFlexConfig(
+                rows=rows,
+                cols=cols,
+                supported_depths=depths,
+                activity_model=args.activity_model,
+            ),
+        )
         for workload in _batch_workloads(args)
         for rows, cols in sizes
     ]
@@ -391,7 +466,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         pairs = service.compare_many(grid, timeout=args.timeout)
         print(
             f"{'workload':{name_width}s} {'array':9s} "
-            f"{'conv ms':>9s} {'flex ms':>9s} {'saving':>7s}"
+            f"{'conv ms':>9s} {'flex ms':>9s} {'saving':>7s} "
+            f"{'flex uJ':>10s} {'dp/clk/lk %':>11s}"
         )
         for (workload, config), (arrayflex, conventional) in zip(grid, pairs):
             geometry = f"{config.rows}x{config.cols:<6d}"
@@ -407,7 +483,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(
                 f"{arrayflex.model_name:{name_width}s} {geometry} "
                 f"{conventional.total_time_ms:9.3f} {arrayflex.total_time_ms:9.3f} "
-                f"{format_percent(saving):>7s}"
+                f"{format_percent(saving):>7s} "
+                f"{arrayflex.total_energy_nj / 1000.0:10.1f} "
+                f"{_breakdown_shares(arrayflex):>11s}"
             )
         stats = service.stats()
     finally:

@@ -1,0 +1,187 @@
+"""Pluggable per-layer activity models.
+
+The paper's power argument (Section IV-B, Fig. 9) rests on *switched*
+energy per mode, but a switched-capacitance model is only as good as the
+activity factor it is fed.  Historically every call site passed the
+constant ``activity=1.0`` into :class:`repro.timing.power_model.PowerModel`
+— every PE busy every cycle — which cannot express partially idle arrays.
+
+An :class:`ActivityModel` closes that gap: it maps one GEMM layer (plus
+the array geometry it is tiled onto) to the average datapath activity of
+the run.  Two models ship:
+
+* :class:`ConstantActivity` — the historical behaviour.  With the default
+  value of 1.0 it keeps every paper number bit-identical, which is why it
+  is the default of :class:`~repro.core.config.ArrayFlexConfig`.
+* :class:`UtilizationActivity` — derives activity analytically from the
+  GEMM-to-array tiling.  A weight matrix that does not tile the R x C
+  array exactly leaves its edge tiles partially empty: the PEs outside
+  the occupied N' x M' corner of an edge tile stream zeros and switch no
+  datapath logic.  Averaged over the run (every tile of a layer takes the
+  same number of cycles), the busy-PE fraction is exactly
+  ``(N * M) / (ceil(N/R) * R * ceil(M/C) * C)`` — the occupied fraction
+  of the tiled footprint — so datapath energy scales by that factor while
+  clock-tree energy (ungated in-flight) does not.
+
+The effective activity handed to the power model is always
+``config.activity * model_activity``, so the configuration-level scalar
+keeps acting as a global derating factor on top of the per-layer model.
+
+Every model exposes a NumPy ``activity_vector`` alongside the scalar
+``activity`` so the batched backend can evaluate whole models in one
+vectorised pass; the two paths are required (and property-tested) to be
+bit-identical.  ``cache_key()`` is the model's hashable identity — it is
+folded into :meth:`ArrayFlexConfig.cache_key`, which makes decision
+caches, disk-store shards and serving dedup keys activity-model aware
+for free.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid importing the nn package for a type name only
+    from repro.nn.gemm_mapping import GemmShape
+
+
+def tiling_utilization(m: int, n: int, rows: int, cols: int) -> float:
+    """Occupied-PE fraction of one GEMM tiled onto an R x C array.
+
+    Each of the ``N * M`` weights occupies exactly one PE in exactly one
+    tile, and every tile of a layer runs for the same number of cycles,
+    so the time-averaged busy fraction is the occupied share of the
+    ``tiles * R * C`` footprint.  Exactly 1.0 iff R | N and C | M.
+
+    Integer ceil-division keeps the arithmetic exact (and identical to
+    the batched backend's ``_ceil_div``); the single final division is
+    the only floating-point operation, so the scalar and vector paths
+    agree bit for bit.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    if m <= 0 or n <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    tiles = (-(-n // rows)) * (-(-m // cols))
+    return (n * m) / (tiles * rows * cols)
+
+
+def tiling_utilization_vector(
+    m: np.ndarray, n: np.ndarray, rows: int, cols: int
+) -> np.ndarray:
+    """Vectorised :func:`tiling_utilization` over layer dimension arrays."""
+    tiles = (-(-n // rows)) * (-(-m // cols))
+    return (n * m) / (tiles * (rows * cols))
+
+
+class ActivityModel(abc.ABC):
+    """Maps one GEMM layer to an average datapath activity in (0, 1]."""
+
+    #: Registry key and CLI spelling of the model.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def activity(self, gemm: "GemmShape", rows: int, cols: int) -> float:
+        """Activity factor of one layer on an R x C array (in (0, 1])."""
+
+    @abc.abstractmethod
+    def activity_vector(
+        self,
+        m: np.ndarray,
+        n: np.ndarray,
+        t: np.ndarray,
+        rows: int,
+        cols: int,
+    ) -> np.ndarray:
+        """Per-layer activities for vectors of GEMM dimensions.
+
+        Must equal the scalar :meth:`activity` bit for bit per element —
+        the batched backend's parity with the analytical reference
+        depends on it.
+        """
+
+    @abc.abstractmethod
+    def cache_key(self) -> tuple:
+        """Hashable identity (folded into ``ArrayFlexConfig.cache_key``)."""
+
+
+@dataclass(frozen=True)
+class ConstantActivity(ActivityModel):
+    """The historical fixed activity factor (default 1.0: fully busy)."""
+
+    value: float = 1.0
+
+    name = "constant"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.value <= 1.0:
+            raise ValueError(f"activity must be in (0, 1], got {self.value}")
+
+    def activity(self, gemm: "GemmShape", rows: int, cols: int) -> float:
+        return self.value
+
+    def activity_vector(
+        self,
+        m: np.ndarray,
+        n: np.ndarray,
+        t: np.ndarray,
+        rows: int,
+        cols: int,
+    ) -> np.ndarray:
+        return np.full(len(m), self.value, dtype=np.float64)
+
+    def cache_key(self) -> tuple:
+        return (self.name, self.value)
+
+
+@dataclass(frozen=True)
+class UtilizationActivity(ActivityModel):
+    """Activity from GEMM-to-array tiling (edge tiles underfill the array)."""
+
+    name = "utilization"
+
+    def activity(self, gemm: "GemmShape", rows: int, cols: int) -> float:
+        return tiling_utilization(gemm.m, gemm.n, rows, cols)
+
+    def activity_vector(
+        self,
+        m: np.ndarray,
+        n: np.ndarray,
+        t: np.ndarray,
+        rows: int,
+        cols: int,
+    ) -> np.ndarray:
+        return tiling_utilization_vector(m, n, rows, cols)
+
+    def cache_key(self) -> tuple:
+        return (self.name,)
+
+
+#: Registry of activity-model constructors, keyed by their CLI names.
+ACTIVITY_MODELS: dict[str, type[ActivityModel]] = {
+    ConstantActivity.name: ConstantActivity,
+    UtilizationActivity.name: UtilizationActivity,
+}
+
+
+def create_activity_model(
+    model: ActivityModel | str | None,
+) -> ActivityModel:
+    """Resolve an activity-model argument (instance, registry name or None).
+
+    ``None`` resolves to ``ConstantActivity(1.0)``, the bit-identical
+    historical behaviour.
+    """
+    if model is None:
+        return ConstantActivity()
+    if isinstance(model, ActivityModel):
+        return model
+    try:
+        return ACTIVITY_MODELS[model]()
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown activity model {model!r} (available: {sorted(ACTIVITY_MODELS)})"
+        ) from None

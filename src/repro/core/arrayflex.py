@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.activity import ActivityModel, create_activity_model
 from repro.core.config import ArrayFlexConfig
 from repro.core.clock import ClockModel
 from repro.core.energy import EnergyModel
@@ -107,8 +108,13 @@ class ArrayFlexAccelerator:
         config: ArrayFlexConfig | None = None,
         backend: ExecutionBackend | str | None = None,
         cache_dir: str | None = None,
+        activity_model: "ActivityModel | str | None" = None,
     ) -> None:
         if config is not None:
+            if activity_model is not None:
+                raise ValueError(
+                    "pass activity_model inside config=... or as the keyword, not both"
+                )
             self.config = config
         else:
             self.config = ArrayFlexConfig(
@@ -116,6 +122,10 @@ class ArrayFlexAccelerator:
                 cols=cols,
                 supported_depths=supported_depths,
                 technology=technology or TechnologyModel.default_28nm(),
+                #: ``None`` keeps the bit-identical ConstantActivity(1.0)
+                #: default; "utilization" derives per-layer activity from
+                #: the GEMM-to-array tiling (see repro.core.activity).
+                activity_model=create_activity_model(activity_model),
             )
         from repro.backends import attach_store, create_backend
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.arch.control import ConfigurationPlane
+from repro.core.activity import ActivityModel, ConstantActivity, create_activity_model
 from repro.timing.technology import TechnologyModel
 
 
@@ -28,10 +29,31 @@ class ArrayFlexConfig:
     cols: int = 128
     supported_depths: tuple[int, ...] = (1, 2, 4)
     technology: TechnologyModel = field(default_factory=TechnologyModel.default_28nm)
-    #: Average datapath activity factor used by the power model.
+    #: Global datapath activity derating factor used by the power model
+    #: (multiplied with the per-layer :attr:`activity_model` factor).
     activity: float = 1.0
+    #: Per-layer activity model (see :mod:`repro.core.activity`).  Accepts
+    #: an :class:`~repro.core.activity.ActivityModel` instance or a
+    #: registry name (``"constant"``, ``"utilization"``); the default
+    #: ``ConstantActivity(1.0)`` keeps every paper number bit-identical.
+    activity_model: ActivityModel | str = field(default_factory=ConstantActivity)
 
     def __post_init__(self) -> None:
+        # Coerce registry names up front so every consumer sees a model
+        # object (the frozen dataclass needs the setattr back door).
+        if isinstance(self.activity_model, str) or self.activity_model is None:
+            object.__setattr__(
+                self, "activity_model", create_activity_model(self.activity_model)
+            )
+        model = self.activity_model
+        if any(
+            not callable(getattr(model, method, None))
+            for method in ("activity", "activity_vector", "cache_key")
+        ):
+            raise ValueError(
+                "activity_model must provide activity()/activity_vector()/"
+                "cache_key() (see repro.core.activity.ActivityModel)"
+            )
         if self.rows <= 0 or self.cols <= 0:
             raise ValueError("array dimensions must be positive")
         if not self.supported_depths:
@@ -80,6 +102,7 @@ class ArrayFlexConfig:
                 self.cols,
                 self.sorted_depths(),
                 self.activity,
+                self.activity_model.cache_key(),
                 self.technology.cache_key(),
             )
             object.__setattr__(self, "_cache_key", cached)
@@ -92,6 +115,12 @@ class ArrayFlexConfig:
     def with_depths(self, depths: tuple[int, ...]) -> "ArrayFlexConfig":
         """Copy of this configuration with a different supported-depth set."""
         return replace(self, supported_depths=depths)
+
+    def with_activity_model(
+        self, activity_model: ActivityModel | str | None
+    ) -> "ArrayFlexConfig":
+        """Copy of this configuration with a different activity model."""
+        return replace(self, activity_model=create_activity_model(activity_model))
 
     # ------------------------------------------------------------------ #
     # The instances used throughout the paper

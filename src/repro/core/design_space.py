@@ -38,6 +38,7 @@ from repro.timing.technology import TechnologyModel
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.backends import ExecutionBackend, ModelTotals
+    from repro.core.activity import ActivityModel
     from repro.workloads.base import Workload
 
 #: Candidate-set size from which ``explore`` fans out over a process pool
@@ -90,8 +91,10 @@ class DesignSpaceExplorer:
         backend: ExecutionBackend | str | None = None,
         max_workers: int | None = None,
         cache_dir: str | os.PathLike[str] | None = None,
+        activity_model: "ActivityModel | str | None" = None,
     ) -> None:
         from repro.backends import attach_store, create_backend
+        from repro.core.activity import create_activity_model
 
         if not models:
             raise ValueError("the workload suite must contain at least one model")
@@ -109,6 +112,12 @@ class DesignSpaceExplorer:
         #: ``cache_dir`` attaches the disk-persistent decision store.
         self.backend = create_backend(attach_store(backend, cache_dir), default="batched")
         self.max_workers = max_workers
+        #: Activity model every candidate configuration is evaluated
+        #: under (``None``/"constant" keeps the bit-identical default;
+        #: "utilization" prices edge-tile underfill per layer).  Part of
+        #: every candidate's ``cache_key``, so cached decisions, store
+        #: shards and serving dedup keys never mix activity models.
+        self.activity_model = create_activity_model(activity_model)
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -148,6 +157,7 @@ class DesignSpaceExplorer:
             cols=point.cols,
             supported_depths=point.supported_depths,
             technology=self.technology,
+            activity_model=self.activity_model,
         )
 
     def _model_totals(

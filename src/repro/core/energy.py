@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.activity import tiling_utilization
 from repro.core.config import ArrayFlexConfig
 from repro.nn.gemm_mapping import GemmShape
-from repro.timing.power_model import PowerModel
+from repro.timing.power_model import ArrayPowerBreakdown, PowerModel
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,52 @@ class EnergyModel:
             frequency_ghz=frequency_ghz,
             activity=self.config.activity,
         )
+
+    # ------------------------------------------------------------------ #
+    # Activity-aware per-layer power (the LayerMetrics producers)
+    # ------------------------------------------------------------------ #
+    def layer_utilization(self, gemm: GemmShape) -> float:
+        """Occupied-PE fraction of one GEMM on this configuration's array."""
+        return tiling_utilization(gemm.m, gemm.n, self.config.rows, self.config.cols)
+
+    def layer_activity(self, gemm: GemmShape) -> float:
+        """Effective datapath activity of one layer.
+
+        The configured per-layer activity model's factor, derated by the
+        configuration-level ``activity`` scalar.  With the default
+        ``ConstantActivity(1.0)`` this is exactly ``config.activity`` —
+        the historical constant — bit for bit.
+        """
+        return self.config.activity * self.config.activity_model.activity(
+            gemm, self.config.rows, self.config.cols
+        )
+
+    def arrayflex_layer_power(
+        self, gemm: GemmShape, collapse_depth: int, frequency_ghz: float
+    ) -> tuple[ArrayPowerBreakdown, float, float]:
+        """(power breakdown, effective activity, utilization) of one layer."""
+        activity = self.layer_activity(gemm)
+        breakdown = self.power_model.arrayflex_array_power_breakdown(
+            rows=self.config.rows,
+            cols=self.config.cols,
+            collapse_depth=collapse_depth,
+            frequency_ghz=frequency_ghz,
+            activity=activity,
+        )
+        return breakdown, activity, self.layer_utilization(gemm)
+
+    def conventional_layer_power(
+        self, gemm: GemmShape, frequency_ghz: float
+    ) -> tuple[ArrayPowerBreakdown, float, float]:
+        """Conventional-baseline counterpart of :meth:`arrayflex_layer_power`."""
+        activity = self.layer_activity(gemm)
+        breakdown = self.power_model.conventional_array_power_breakdown(
+            rows=self.config.rows,
+            cols=self.config.cols,
+            frequency_ghz=frequency_ghz,
+            activity=activity,
+        )
+        return breakdown, activity, self.layer_utilization(gemm)
 
     # ------------------------------------------------------------------ #
     # Per-layer and run reports

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.activity import tiling_utilization
 from repro.core.clock import ClockModel
 from repro.core.config import ArrayFlexConfig
 from repro.core.latency import LatencyModel
@@ -39,6 +40,9 @@ class ModeDecision:
     execution_time_ns: float
     analytical_depth: float
     per_depth_time_ns: dict[int, float]
+    #: Occupied-PE fraction of the GEMM-to-array tiling (mode-independent;
+    #: feeds the activity-aware power paths and the CLI decision report).
+    array_utilization: float = 1.0
 
     @property
     def is_shallow(self) -> bool:
@@ -99,6 +103,7 @@ class PipelineOptimizer:
             execution_time_ns=best_time,
             analytical_depth=self.analytical_optimal_depth(gemm),
             per_depth_time_ns=per_depth,
+            array_utilization=self._utilization(gemm),
         )
 
     def exhaustive_best_depth(
@@ -133,7 +138,11 @@ class PipelineOptimizer:
             execution_time_ns=best_time,
             analytical_depth=self.analytical_optimal_depth(gemm),
             per_depth_time_ns=per_depth,
+            array_utilization=self._utilization(gemm),
         )
+
+    def _utilization(self, gemm: GemmShape) -> float:
+        return tiling_utilization(gemm.m, gemm.n, self.config.rows, self.config.cols)
 
     # ------------------------------------------------------------------ #
     def decide_model(self, gemms: list[GemmShape]) -> list[ModeDecision]:

@@ -1,151 +1,71 @@
 """Mapping whole CNNs onto the accelerators, layer by layer.
 
-The scheduler glues the substrates together: every layer of a model is
-lowered to a GEMM, the optimizer picks the pipeline mode (ArrayFlex) or the
-single fixed mode (conventional baseline), the latency and clock models
-give the execution time, and the energy model gives power and energy.
+Historically this module owned both the per-layer result model *and* a
+private re-implementation of the per-layer scheduling loops.  Both have
+moved: the data model (:class:`~repro.core.metrics.LayerMetrics`,
+:class:`~repro.core.metrics.ModelSchedule`, :func:`~repro.core.metrics.
+resolve_workload`) lives in :mod:`repro.core.metrics`, and the scheduling
+logic lives — exactly once — in the execution backends
+(:mod:`repro.backends.base` / :mod:`repro.backends.analytical`).
+
+:class:`Scheduler` remains as a thin facade over
+:class:`~repro.backends.analytical.AnalyticalBackend` bound to one
+configuration, because a large body of call sites (the baselines, the
+experiment harness, tests, downstream users) still speaks its API.  It
+keeps exposing the per-configuration model stack (``latency``, ``clock``,
+``optimizer``, ``energy``) it always had.
 
 The resulting :class:`ModelSchedule` is the data behind Figs. 7, 8 and 9:
-per-layer execution times and modes, run totals, average power and EDP.
+per-layer execution times and modes, run totals, average power and EDP —
+now with per-component energy breakdowns and activity/utilization per
+layer (see :mod:`repro.core.metrics`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence, Union
+from typing import TYPE_CHECKING
 
 from repro.core.clock import ClockModel
 from repro.core.config import ArrayFlexConfig
-from repro.core.energy import EnergyModel, LayerEnergyReport, RunEnergyReport
+from repro.core.energy import EnergyModel, LayerEnergyReport
 from repro.core.latency import LatencyModel
-from repro.core.optimizer import ModeDecision, PipelineOptimizer
+
+# Re-exported for the many call sites that import the data model from
+# here; the canonical home is repro.core.metrics.
+from repro.core.metrics import (  # noqa: F401  (public re-exports)
+    InvalidWorkloadError,
+    LayerMetrics,
+    LayerSchedule,
+    ModelSchedule,
+    WorkloadArgument,
+    resolve_workload,
+)
+from repro.core.optimizer import PipelineOptimizer
 from repro.nn.gemm_mapping import GemmShape
-from repro.nn.models import CnnModel
 
-if TYPE_CHECKING:  # runtime dispatch is duck-typed; see resolve_workload
-    from repro.workloads.base import Workload
+if TYPE_CHECKING:  # deferred at runtime: backends import this module
+    from repro.backends.analytical import AnalyticalBackend
 
-#: Anything every scheduling entry point accepts as a workload: a CNN
-#: layer table, any object satisfying the :class:`~repro.workloads.base.
-#: Workload` protocol (transformer traces, pre-lowered GEMM workloads),
-#: an explicit GEMM list, or a :mod:`repro.workloads` registry name.
-WorkloadArgument = Union[
-    CnnModel, "Workload", Sequence[GemmShape], str
+__all__ = [
+    "InvalidWorkloadError",
+    "LayerMetrics",
+    "LayerSchedule",
+    "ModelSchedule",
+    "Scheduler",
+    "WorkloadArgument",
+    "resolve_workload",
 ]
 
 
-def resolve_workload(
-    model: WorkloadArgument, model_name: str | None = None
-) -> tuple[list[GemmShape], str]:
-    """Normalise a workload argument into ``(gemms, name)``.
-
-    Accepts a :class:`CnnModel`, any object with a ``gemms()`` lowering
-    and a ``name`` (the :class:`~repro.workloads.base.Workload`
-    protocol), a registry name string (resolved through
-    :func:`repro.workloads.get_workload`, including ``@bs<N>`` batch
-    suffixes), or an explicit list of GEMM shapes.  Shared by the
-    scheduler and every execution backend so all entry points agree on
-    what a "model" is.
-    """
-    if isinstance(model, str):
-        from repro.workloads import get_workload  # deferred: heavier import
-
-        model = get_workload(model)
-    gemms = getattr(model, "gemms", None)
-    if callable(gemms):
-        name = model_name or getattr(model, "name", "custom")
-        resolved = list(gemms())
-        if not resolved:
-            raise ValueError(f"workload {name!r} lowered to an empty list of GEMMs")
-        return resolved, name
-    if not model:
-        raise ValueError("cannot schedule an empty list of GEMMs")
-    return list(model), model_name or "custom"
-
-
-@dataclass(frozen=True)
-class LayerSchedule:
-    """Everything decided and measured for one layer."""
-
-    index: int
-    gemm: GemmShape
-    collapse_depth: int
-    cycles: int
-    clock_frequency_ghz: float
-    execution_time_ns: float
-    power_mw: float
-    analytical_depth: float = 0.0
-
-    @property
-    def energy_nj(self) -> float:
-        return self.power_mw * self.execution_time_ns / 1000.0
-
-
-@dataclass
-class ModelSchedule:
-    """The complete schedule of one model on one accelerator."""
-
-    model_name: str
-    accelerator: str
-    rows: int
-    cols: int
-    layers: list[LayerSchedule] = field(default_factory=list)
-
-    # ------------------------------------------------------------------ #
-    @property
-    def total_cycles(self) -> int:
-        return sum(layer.cycles for layer in self.layers)
-
-    @property
-    def total_time_ns(self) -> float:
-        return sum(layer.execution_time_ns for layer in self.layers)
-
-    @property
-    def total_time_ms(self) -> float:
-        return self.total_time_ns / 1e6
-
-    @property
-    def total_energy_nj(self) -> float:
-        return sum(layer.energy_nj for layer in self.layers)
-
-    @property
-    def average_power_mw(self) -> float:
-        if self.total_time_ns == 0:
-            return 0.0
-        return self.total_energy_nj * 1000.0 / self.total_time_ns
-
-    @property
-    def energy_delay_product(self) -> float:
-        return self.total_energy_nj * self.total_time_ns
-
-    # ------------------------------------------------------------------ #
-    def depth_histogram(self) -> dict[int, int]:
-        """Number of layers executed at each collapse depth."""
-        histogram: dict[int, int] = {}
-        for layer in self.layers:
-            histogram[layer.collapse_depth] = histogram.get(layer.collapse_depth, 0) + 1
-        return histogram
-
-    def time_share_by_depth(self) -> dict[int, float]:
-        """Fraction of the run's time spent in each collapse depth."""
-        total = self.total_time_ns
-        shares: dict[int, float] = {}
-        if total == 0:
-            return shares
-        for layer in self.layers:
-            shares[layer.collapse_depth] = (
-                shares.get(layer.collapse_depth, 0.0) + layer.execution_time_ns / total
-            )
-        return shares
-
-    def to_energy_report(self) -> RunEnergyReport:
-        return RunEnergyReport(
-            total_time_ns=self.total_time_ns, total_energy_nj=self.total_energy_nj
-        )
-
-
 class Scheduler:
-    """Schedules models on ArrayFlex (per-layer mode selection) or the baseline."""
+    """Configuration-bound facade over the reference analytical backend.
+
+    Schedules models on ArrayFlex (per-layer mode selection) or the
+    conventional baseline.  The actual loops live in
+    :class:`~repro.backends.base.ExecutionBackend`; this class only binds
+    them to one :class:`ArrayFlexConfig` and preserves the historical
+    call signatures.
+    """
 
     def __init__(self, config: ArrayFlexConfig) -> None:
         self.config = config
@@ -153,76 +73,40 @@ class Scheduler:
         self.clock = ClockModel(config)
         self.optimizer = PipelineOptimizer(config)
         self.energy = EnergyModel(config)
+        # Deferred import: repro.backends imports this module for the
+        # shared data model, so the dependency must stay one-way at
+        # import time.
+        from repro.backends.analytical import AnalyticalBackend
+
+        self._backend: AnalyticalBackend = AnalyticalBackend()
 
     # ------------------------------------------------------------------ #
     # ArrayFlex
     # ------------------------------------------------------------------ #
-    def schedule_gemm_arrayflex(self, index: int, gemm: GemmShape) -> LayerSchedule:
+    def schedule_gemm_arrayflex(self, index: int, gemm: GemmShape) -> LayerMetrics:
         """Schedule one GEMM on ArrayFlex with the optimal pipeline mode."""
-        decision: ModeDecision = self.optimizer.best_depth(gemm)
-        power = self.energy.arrayflex_power_mw(
-            decision.collapse_depth, decision.clock_frequency_ghz
-        )
-        return LayerSchedule(
-            index=index,
-            gemm=gemm,
-            collapse_depth=decision.collapse_depth,
-            cycles=decision.cycles,
-            clock_frequency_ghz=decision.clock_frequency_ghz,
-            execution_time_ns=decision.execution_time_ns,
-            power_mw=power,
-            analytical_depth=decision.analytical_depth,
-        )
+        return self._backend.schedule_layer(gemm, self.config, index=index)
 
     def schedule_model_arrayflex(
         self, model: WorkloadArgument, model_name: str | None = None
     ) -> ModelSchedule:
         """Schedule a whole model on ArrayFlex (one decision per layer)."""
-        gemms, name = self._resolve(model, model_name)
-        schedule = ModelSchedule(
-            model_name=name,
-            accelerator="ArrayFlex",
-            rows=self.config.rows,
-            cols=self.config.cols,
-        )
-        for index, gemm in enumerate(gemms, start=1):
-            schedule.layers.append(self.schedule_gemm_arrayflex(index, gemm))
-        return schedule
+        return self._backend.schedule_model(model, self.config, model_name=model_name)
 
     # ------------------------------------------------------------------ #
     # Conventional baseline
     # ------------------------------------------------------------------ #
-    def schedule_gemm_conventional(self, index: int, gemm: GemmShape) -> LayerSchedule:
+    def schedule_gemm_conventional(self, index: int, gemm: GemmShape) -> LayerMetrics:
         """Schedule one GEMM on the fixed-pipeline baseline (always k = 1)."""
-        cycles = self.latency.conventional_total_cycles(gemm)
-        frequency = self.clock.conventional_frequency_ghz()
-        time_ns = self.clock.conventional_execution_time_ns(cycles)
-        power = self.energy.conventional_power_mw(frequency)
-        return LayerSchedule(
-            index=index,
-            gemm=gemm,
-            collapse_depth=1,
-            cycles=cycles,
-            clock_frequency_ghz=frequency,
-            execution_time_ns=time_ns,
-            power_mw=power,
-            analytical_depth=1.0,
-        )
+        return self._backend.schedule_layer_conventional(gemm, self.config, index=index)
 
     def schedule_model_conventional(
         self, model: WorkloadArgument, model_name: str | None = None
     ) -> ModelSchedule:
         """Schedule a whole model on the conventional baseline."""
-        gemms, name = self._resolve(model, model_name)
-        schedule = ModelSchedule(
-            model_name=name,
-            accelerator="Conventional",
-            rows=self.config.rows,
-            cols=self.config.cols,
+        return self._backend.schedule_model_conventional(
+            model, self.config, model_name=model_name
         )
-        for index, gemm in enumerate(gemms, start=1):
-            schedule.layers.append(self.schedule_gemm_conventional(index, gemm))
-        return schedule
 
     # ------------------------------------------------------------------ #
     def layer_energy_reports(self, schedule: ModelSchedule) -> list[LayerEnergyReport]:
@@ -236,9 +120,3 @@ class Scheduler:
             )
             for layer in schedule.layers
         ]
-
-    @staticmethod
-    def _resolve(
-        model: WorkloadArgument, model_name: str | None
-    ) -> tuple[list[GemmShape], str]:
-        return resolve_workload(model, model_name)

@@ -179,6 +179,46 @@ def _transformer_section() -> list[str]:
     return lines
 
 
+def _activity_section() -> list[str]:
+    from repro.eval.experiments import ActivitySensitivityExperiment
+
+    experiment = ActivitySensitivityExperiment(sizes=(128, 256))
+    result = experiment.run()
+    lines = [
+        "## Beyond the paper — activity-model sensitivity",
+        "",
+        "* The paper prices every PE as busy every cycle (`activity = 1.0`); "
+        "that stays the default here and all tables above use it.  The "
+        "`utilization` activity model (`--activity-model utilization`) instead "
+        "derates each layer's datapath energy by its occupied-PE tiling "
+        "fraction — edge tiles underfill the R x C array — leaving timing "
+        "untouched.  The table quantifies how much energy headroom the "
+        "constant-activity assumption leaves per workload.",
+        "",
+        "| array | workload | avg utilization | E constant (uJ) | E utilization (uJ) | energy cut | EDP gain (const → util) |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for entry in result.entries:
+        lines.append(
+            f"| {entry.rows}x{entry.cols} | {entry.workload_name} | "
+            f"{format_percent(entry.average_utilization)} | "
+            f"{entry.constant_energy_nj / 1000.0:.1f} | "
+            f"{entry.utilization_energy_nj / 1000.0:.1f} | "
+            f"{format_percent(entry.energy_reduction)} | "
+            f"{format_ratio(entry.constant_edp_gain)} → "
+            f"{format_ratio(entry.utilization_edp_gain)} |"
+        )
+    lines += [
+        "",
+        "Workloads whose GEMMs tile the array exactly (utilization 100%) are "
+        "bit-identical under both models; everything else gets strictly cheaper "
+        "datapath energy, most visibly on the 256x256 array where edge tiles "
+        "dominate small layers.",
+        "",
+    ]
+    return lines
+
+
 def _eq7_section() -> list[str]:
     result = Eq7ValidationExperiment().run()
     return [
@@ -276,6 +316,7 @@ def generate_experiments_markdown() -> str:
         + _fig8_section()
         + _fig9_section()
         + _transformer_section()
+        + _activity_section()
         + _eq7_section()
         + _ablation_section()
     )

@@ -10,8 +10,11 @@ incrementally and collect results as they complete.
 Three layers of work elimination stack up:
 
 * **request dedup** — identical requests (same workload, same
-  configuration identity per :meth:`ArrayFlexConfig.cache_key`) are
-  submitted once and share one future, across ``schedule_many`` calls;
+  configuration identity per :meth:`ArrayFlexConfig.cache_key`, which
+  folds in the configured :mod:`repro.core.activity` model — the same
+  workload priced under ``constant`` and ``utilization`` activity is two
+  distinct computations, never one shared future) are submitted once and
+  share one future, across ``schedule_many`` calls;
 * **decision cache** — distinct requests still share per-layer mode
   decisions through the backend's LRU (CNN suites repeat GEMM shapes
   heavily);
@@ -93,7 +96,9 @@ class ScheduleRequest:
     result; expiry yields a :class:`TimedOutRequest` marker instead of
     hanging the caller.  It is *not* part of the request's dedup
     identity — the same workload with a different deadline is still the
-    same computation.
+    same computation.  The configured activity model, by contrast, *is*
+    part of the identity (via ``config.cache_key()``): schedules priced
+    under different activity models are different numbers.
     """
 
     model: WorkloadArgument | tuple[GemmShape, ...]

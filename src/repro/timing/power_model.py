@@ -29,6 +29,62 @@ from repro.timing.technology import TechnologyModel
 
 
 @dataclass(frozen=True)
+class ArrayPowerBreakdown:
+    """Array-level power (mW) of one operating point, split by component.
+
+    ``total_mw`` is an explicit field, not a sum of the components: it is
+    computed with exactly the historical operation order
+    (``R*C * (per-PE energy total * f + leakage)``), so schedules built
+    from breakdowns stay bit-identical to the scalar power path.  The
+    per-component figures are the same physics resolved per component
+    (each ``R*C * component_pJ * f``); summing them reproduces
+    ``total_mw`` only up to float rounding.
+    """
+
+    multiplier: float
+    carry_propagate_adder: float
+    carry_save_adder: float
+    bypass_muxes: float
+    register_data: float
+    register_clock: float
+    leakage: float
+    total_mw: float
+
+    #: Components whose energy scales with datapath activity (everything
+    #: except the ungated clock tree and leakage).
+    DATAPATH_COMPONENTS = (
+        "multiplier",
+        "carry_propagate_adder",
+        "carry_save_adder",
+        "bypass_muxes",
+        "register_data",
+    )
+
+    @property
+    def datapath_mw(self) -> float:
+        """Power of the activity-scaled datapath components."""
+        return (
+            self.multiplier
+            + self.carry_propagate_adder
+            + self.carry_save_adder
+            + self.bypass_muxes
+            + self.register_data
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "multiplier": self.multiplier,
+            "carry_propagate_adder": self.carry_propagate_adder,
+            "carry_save_adder": self.carry_save_adder,
+            "bypass_muxes": self.bypass_muxes,
+            "register_data": self.register_data,
+            "register_clock": self.register_clock,
+            "leakage": self.leakage,
+            "total": self.total_mw,
+        }
+
+
+@dataclass(frozen=True)
 class PEEnergyBreakdown:
     """Average per-PE energy per clock cycle (pJ), split by component."""
 
@@ -170,10 +226,9 @@ class PowerModel:
         activity: float = 1.0,
     ) -> float:
         """Total power of a conventional R × C array at ``frequency_ghz``."""
-        self._check_array(rows, cols, frequency_ghz)
-        energy = self.conventional_pe_energy(activity).total
-        dynamic = energy * frequency_ghz  # pJ * GHz = mW
-        return rows * cols * (dynamic + self.conventional_pe_leakage_mw())
+        return self.conventional_array_power_breakdown(
+            rows, cols, frequency_ghz, activity
+        ).total_mw
 
     def arrayflex_array_power_mw(
         self,
@@ -184,10 +239,61 @@ class PowerModel:
         activity: float = 1.0,
     ) -> float:
         """Total power of an ArrayFlex R × C array in one pipeline mode."""
+        return self.arrayflex_array_power_breakdown(
+            rows, cols, collapse_depth, frequency_ghz, activity
+        ).total_mw
+
+    def conventional_array_power_breakdown(
+        self,
+        rows: int,
+        cols: int,
+        frequency_ghz: float,
+        activity: float = 1.0,
+    ) -> ArrayPowerBreakdown:
+        """Per-component power of a conventional R × C array (mW)."""
         self._check_array(rows, cols, frequency_ghz)
-        energy = self.arrayflex_pe_energy(collapse_depth, activity).total
-        dynamic = energy * frequency_ghz
-        return rows * cols * (dynamic + self.arrayflex_pe_leakage_mw())
+        pe = self.conventional_pe_energy(activity)
+        return self._array_breakdown(
+            rows, cols, frequency_ghz, pe, self.conventional_pe_leakage_mw()
+        )
+
+    def arrayflex_array_power_breakdown(
+        self,
+        rows: int,
+        cols: int,
+        collapse_depth: int,
+        frequency_ghz: float,
+        activity: float = 1.0,
+    ) -> ArrayPowerBreakdown:
+        """Per-component power of an ArrayFlex array in one pipeline mode (mW)."""
+        self._check_array(rows, cols, frequency_ghz)
+        pe = self.arrayflex_pe_energy(collapse_depth, activity)
+        return self._array_breakdown(
+            rows, cols, frequency_ghz, pe, self.arrayflex_pe_leakage_mw()
+        )
+
+    @staticmethod
+    def _array_breakdown(
+        rows: int,
+        cols: int,
+        frequency_ghz: float,
+        pe: PEEnergyBreakdown,
+        leakage_mw: float,
+    ) -> ArrayPowerBreakdown:
+        num_pes = rows * cols
+        # total_mw keeps the historical ops order (sum the pJ, then scale)
+        # so the breakdown path is bit-identical to the legacy scalar one.
+        dynamic = pe.total * frequency_ghz  # pJ * GHz = mW
+        return ArrayPowerBreakdown(
+            multiplier=num_pes * (pe.multiplier * frequency_ghz),
+            carry_propagate_adder=num_pes * (pe.carry_propagate_adder * frequency_ghz),
+            carry_save_adder=num_pes * (pe.carry_save_adder * frequency_ghz),
+            bypass_muxes=num_pes * (pe.bypass_muxes * frequency_ghz),
+            register_data=num_pes * (pe.register_data * frequency_ghz),
+            register_clock=num_pes * (pe.register_clock * frequency_ghz),
+            leakage=num_pes * leakage_mw,
+            total_mw=num_pes * (dynamic + leakage_mw),
+        )
 
     # ------------------------------------------------------------------ #
     # Helpers

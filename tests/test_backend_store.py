@@ -179,6 +179,50 @@ class TestPruning:
 
 
 class TestVersioning:
+    def test_activity_refactor_bumped_the_decision_model_version(self):
+        """The LayerMetrics refactor widened the decision row (activity,
+        utilization, per-component power), so the combined cache version
+        must have moved past the v1 era — a frozen constant here keeps a
+        future row change from silently reusing stale shards."""
+        from repro.backends.store import DECISION_MODEL_VERSION, STORE_FORMAT_VERSION
+
+        assert DECISION_MODEL_VERSION >= 2
+        assert CACHE_VERSION == f"{STORE_FORMAT_VERSION}.{DECISION_MODEL_VERSION}"
+        assert CACHE_VERSION != "1.1"  # the six-number flat-row era
+
+    def test_version_bump_purges_pre_refactor_shards(self, tmp_path, config):
+        """Shards written by the pre-refactor store (version 1.1, six-number
+        rows) are purged wholesale the first time the current store writes."""
+        key = config.cache_key()
+        legacy = DecisionStore(tmp_path, version="1.1")
+        legacy.put_many(key, {"8,8,8": [2, 100, 1.7, 58.8, 3.5, 1.9]})
+        assert (tmp_path / "VERSION").read_text().strip() == "1.1"
+
+        current = DecisionStore(tmp_path)  # defaults to CACHE_VERSION
+        assert current.get(key, 8, 8, 8) is None  # stale shard is invisible
+        current.put_many(key, {"1,1,1": [1] * 15})
+        assert (tmp_path / "VERSION").read_text().strip() == CACHE_VERSION
+        payloads = [
+            json.loads(path.read_text()) for path in tmp_path.glob("decisions-*.json")
+        ]
+        assert [p["version"] for p in payloads] == [CACHE_VERSION]
+        assert DecisionStore(tmp_path).get(key, 8, 8, 8) is None
+
+    def test_warm_rerun_after_bump_re_derives_and_stays_correct(self, tmp_path, config):
+        """End to end: a store carrying pre-refactor rows never feeds the
+        backend; the rerun re-derives and produces the reference schedule."""
+        model = resnet34()
+        reference = AnalyticalBackend().schedule_model(model, config)
+        stale = DecisionStore(tmp_path, version="1.1")
+        backend_v1 = BatchedCachedBackend(store=stale)
+        backend_v1.schedule_model(model, config)
+
+        fresh = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        assert fresh.schedule_model(model, config).layers == reference.layers
+        info = fresh.cache_info()
+        assert info["store_hits"] == 0
+        assert info["misses"] > 0
+
     def test_version_mismatch_invalidates_lookups(self, tmp_path, config):
         key = config.cache_key()
         DecisionStore(tmp_path, version="1.1").put_many(

@@ -1,0 +1,153 @@
+"""Tests for the pluggable activity-model layer (`repro.core.activity`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.activity import (
+    ACTIVITY_MODELS,
+    ActivityModel,
+    ConstantActivity,
+    UtilizationActivity,
+    create_activity_model,
+    tiling_utilization,
+    tiling_utilization_vector,
+)
+from repro.core.config import ArrayFlexConfig
+from repro.nn.gemm_mapping import GemmShape
+
+
+class TestTilingUtilization:
+    def test_exact_tiling_is_full(self):
+        assert tiling_utilization(m=256, n=256, rows=128, cols=128) == 1.0
+        assert tiling_utilization(m=128, n=384, rows=128, cols=128) == 1.0
+
+    def test_hand_computed_goldens_non_divisible(self):
+        """Hand-computed edge-tile math for non-divisible M / N.
+
+        A (N=150, M=100) weight matrix on a 128x128 array tiles into
+        ceil(150/128) * ceil(100/128) = 2 * 1 tiles = 2 * 128 * 128 PEs
+        of footprint, of which 150 * 100 are occupied.
+        """
+        assert tiling_utilization(m=100, n=150, rows=128, cols=128) == (
+            150 * 100
+        ) / (2 * 1 * 128 * 128)
+        # ResNet-34 layer 28: (M=512, N=2304) on 128x128 -> 18x4 tiles,
+        # both dimensions divide exactly -> fully occupied.
+        assert tiling_utilization(m=512, n=2304, rows=128, cols=128) == 1.0
+        # Same layer on 256x256: N=2304 = 9*256 exact, M=512 = 2*256 exact.
+        assert tiling_utilization(m=512, n=2304, rows=256, cols=256) == 1.0
+        # MobileNet-style depthwise layer (N = 9) on 128x128: one row-tile,
+        # only 9 of 128 rows occupied.
+        assert tiling_utilization(m=128, n=9, rows=128, cols=128) == 9 / 128
+        # Non-divisible in both dimensions: (N=200, M=300) on 128x128 ->
+        # 2x3 tiles, 200*300 occupied of 6*128*128.
+        assert tiling_utilization(m=300, n=200, rows=128, cols=128) == (
+            200 * 300
+        ) / (6 * 128 * 128)
+
+    def test_bounds(self):
+        assert 0.0 < tiling_utilization(m=1, n=1, rows=256, cols=256) <= 1.0
+        with pytest.raises(ValueError):
+            tiling_utilization(m=0, n=1, rows=8, cols=8)
+        with pytest.raises(ValueError):
+            tiling_utilization(m=1, n=1, rows=0, cols=8)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        m=st.integers(1, 5000),
+        n=st.integers(1, 5000),
+        rows=st.sampled_from([8, 64, 128, 132, 256]),
+        cols=st.sampled_from([8, 64, 128, 132, 256]),
+    )
+    def test_vector_matches_scalar_bit_for_bit(self, m, n, rows, cols):
+        scalar = tiling_utilization(m, n, rows, cols)
+        vector = tiling_utilization_vector(
+            np.array([m], dtype=np.int64), np.array([n], dtype=np.int64), rows, cols
+        )
+        assert float(vector[0]) == scalar
+        assert 0.0 < scalar <= 1.0
+
+
+class TestActivityModels:
+    def test_registry_covers_both_models(self):
+        assert set(ACTIVITY_MODELS) == {"constant", "utilization"}
+
+    @pytest.mark.parametrize("name", ["constant", "utilization"])
+    def test_create_by_name(self, name):
+        model = create_activity_model(name)
+        assert isinstance(model, ActivityModel)
+        assert model.name == name
+
+    def test_none_resolves_to_constant_one(self):
+        model = create_activity_model(None)
+        assert model == ConstantActivity(1.0)
+
+    def test_instance_passes_through(self):
+        model = UtilizationActivity()
+        assert create_activity_model(model) is model
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown activity model"):
+            create_activity_model("oracle")
+
+    def test_constant_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ConstantActivity(0.0)
+        with pytest.raises(ValueError):
+            ConstantActivity(1.5)
+
+    def test_cache_keys_distinct(self):
+        keys = {
+            ConstantActivity().cache_key(),
+            ConstantActivity(0.5).cache_key(),
+            UtilizationActivity().cache_key(),
+        }
+        assert len(keys) == 3
+
+    def test_constant_ignores_geometry(self):
+        model = ConstantActivity(0.7)
+        gemm = GemmShape(m=100, n=150, t=7, name="x")
+        assert model.activity(gemm, 128, 128) == 0.7
+        assert model.activity(gemm, 8, 8) == 0.7
+        vector = model.activity_vector(
+            np.array([100]), np.array([150]), np.array([7]), 128, 128
+        )
+        assert float(vector[0]) == 0.7
+
+    def test_utilization_model_matches_tiling_function(self):
+        model = UtilizationActivity()
+        gemm = GemmShape(m=100, n=150, t=49, name="x")
+        assert model.activity(gemm, 128, 128) == tiling_utilization(100, 150, 128, 128)
+
+    def test_utilization_below_one_iff_inexact_tiling(self):
+        model = UtilizationActivity()
+        exact = GemmShape(m=256, n=128, t=10, name="exact")
+        inexact = GemmShape(m=255, n=128, t=10, name="inexact")
+        assert model.activity(exact, 128, 128) == 1.0
+        assert model.activity(inexact, 128, 128) < 1.0
+
+
+class TestConfigIntegration:
+    def test_default_is_constant_one(self):
+        config = ArrayFlexConfig.paper_128x128()
+        assert config.activity_model == ConstantActivity(1.0)
+
+    def test_string_coerced_to_model(self):
+        config = ArrayFlexConfig(rows=64, cols=64, activity_model="utilization")
+        assert isinstance(config.activity_model, UtilizationActivity)
+
+    def test_cache_key_distinguishes_activity_models(self):
+        constant = ArrayFlexConfig.paper_128x128()
+        derated = constant.with_activity_model("utilization")
+        assert constant.cache_key() != derated.cache_key()
+        assert derated.activity_model == UtilizationActivity()
+        # Everything else is preserved by the copy.
+        assert (derated.rows, derated.cols) == (constant.rows, constant.cols)
+        assert derated.supported_depths == constant.supported_depths
+
+    def test_invalid_activity_model_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(rows=8, cols=8, activity_model="oracle")
+        with pytest.raises(ValueError):
+            ArrayFlexConfig(rows=8, cols=8, activity_model=object())

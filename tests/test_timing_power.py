@@ -123,3 +123,61 @@ class TestArrayPower:
         range, not milliwatts or kilowatts."""
         watts = power.conventional_array_power_mw(128, 128, 2.0) / 1000.0
         assert 20.0 < watts < 400.0
+
+
+class TestArrayPowerBreakdown:
+    """The breakdown-returning array power paths behind LayerMetrics."""
+
+    def test_total_matches_scalar_path_bitwise(self, power):
+        for activity in (1.0, 0.625, 0.1):
+            breakdown = power.arrayflex_array_power_breakdown(
+                128, 128, 2, 1.7, activity=activity
+            )
+            assert breakdown.total_mw == power.arrayflex_array_power_mw(
+                128, 128, 2, 1.7, activity=activity
+            )
+            conventional = power.conventional_array_power_breakdown(
+                128, 128, 2.0, activity=activity
+            )
+            assert conventional.total_mw == power.conventional_array_power_mw(
+                128, 128, 2.0, activity=activity
+            )
+
+    def test_components_sum_to_total(self, power):
+        breakdown = power.arrayflex_array_power_breakdown(64, 64, 4, 1.4, activity=0.8)
+        parts = breakdown.as_dict()
+        total = parts.pop("total")
+        assert total == pytest.approx(sum(parts.values()))
+
+    def test_activity_scales_datapath_components_only(self, power):
+        full = power.arrayflex_array_power_breakdown(128, 128, 2, 1.7, activity=1.0)
+        half = power.arrayflex_array_power_breakdown(128, 128, 2, 1.7, activity=0.5)
+        for component in full.DATAPATH_COMPONENTS:
+            assert getattr(half, component) == pytest.approx(
+                getattr(full, component) / 2
+            )
+        assert half.register_clock == full.register_clock
+        assert half.leakage == full.leakage
+        assert half.datapath_mw == pytest.approx(full.datapath_mw / 2)
+
+    def test_conventional_has_no_csa_or_mux_power(self, power):
+        breakdown = power.conventional_array_power_breakdown(16, 16, 2.0)
+        assert breakdown.carry_save_adder == 0.0
+        assert breakdown.bypass_muxes == 0.0
+
+    @pytest.mark.parametrize("activity", [-0.1, 1.0000001, 2.0, float("nan")])
+    def test_breakdown_rejects_out_of_range_activity(self, power, activity):
+        with pytest.raises(ValueError):
+            power.arrayflex_array_power_breakdown(8, 8, 2, 1.7, activity=activity)
+        with pytest.raises(ValueError):
+            power.conventional_array_power_breakdown(8, 8, 2.0, activity=activity)
+
+    def test_breakdown_validates_array_and_frequency(self, power):
+        with pytest.raises(ValueError):
+            power.arrayflex_array_power_breakdown(0, 8, 2, 1.7)
+        with pytest.raises(ValueError):
+            power.arrayflex_array_power_breakdown(8, -1, 2, 1.7)
+        with pytest.raises(ValueError):
+            power.conventional_array_power_breakdown(8, 8, 0.0)
+        with pytest.raises(ValueError):
+            power.arrayflex_array_power_breakdown(8, 8, 0, 1.7)
