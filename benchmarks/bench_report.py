@@ -36,6 +36,7 @@ from bench_scenarios import (  # noqa: E402
     DESIGN_POINTS,
     best_of as _best_of,
     design_space_sweep,
+    schedule_cnn_suite,
     schedule_transformer_suite,
 )
 
@@ -45,6 +46,7 @@ from repro.backends import (  # noqa: E402
     BatchedCachedBackend,
     CycleAccurateBackend,
     DecisionStore,
+    SampledSimBackend,
 )
 from repro.core.config import ArrayFlexConfig  # noqa: E402
 from repro.core.design_space import DesignSpaceExplorer  # noqa: E402
@@ -146,7 +148,31 @@ def collect(rounds: int = 3) -> dict:
         lambda: design_space_sweep(activity_model=UtilizationActivity()), rounds
     )
 
+    # Sampled vs exact cycle backend on the batched CNN suite (the
+    # test_bench_sampled.py scenario): cold runs, fresh backends per
+    # round.  The timed rounds double as the accuracy inputs — the cycle
+    # scenario is the slowest path of the whole bench job, so it runs
+    # exactly the timed rounds and nothing more.
+    cycle_runs: list = []
+    sampled_runs: list = []
+    timings_ms["cnn_suite_bs4_cycle"] = 1e3 * _best_of(
+        lambda: cycle_runs.append(schedule_cnn_suite(CycleAccurateBackend())),
+        rounds=min(rounds, 2),
+    )
+    timings_ms["cnn_suite_bs4_sampled"] = 1e3 * _best_of(
+        lambda: sampled_runs.append(schedule_cnn_suite(SampledSimBackend())),
+        rounds=min(rounds, 2),
+    )
+    for sampled_schedule, exact_schedule in zip(sampled_runs[0], cycle_runs[0]):
+        drift = abs(sampled_schedule.total_cycles - exact_schedule.total_cycles)
+        assert drift <= (
+            sampled_schedule.max_error_bound() * exact_schedule.total_cycles + 1e-9
+        ), "sampled estimate outside its error bound"
+
     speedups = {
+        "sampled_vs_cycle": (
+            timings_ms["cnn_suite_bs4_cycle"] / timings_ms["cnn_suite_bs4_sampled"]
+        ),
         "utilization_activity_overhead": (
             timings_ms["design_space_utilization_activity"]
             / timings_ms["design_space_constant_activity"]

@@ -35,6 +35,34 @@ TRANSFORMER_SUITE = "transformers"
 TRANSFORMER_SIZES = (128, 256)
 
 
+#: The sampled-vs-cycle scenario (``test_bench_sampled.py`` and the
+#: ``BENCH_<sha>.json`` artifact): the ``cnn`` registry suite under
+#: batched inference, scheduled per layer on one mid-size geometry.  The
+#: batch scaling puts the streamed dimension T squarely in the big-model
+#: regime the sampled backend exists for (the cycle backend's cost grows
+#: with T; the sampled backend's calibrated probes do not).
+CNN_SAMPLED_SUITE = "cnn"
+CNN_SAMPLED_BATCH = 4
+CNN_SAMPLED_SIZE = 64
+
+
+def schedule_cnn_suite(backend, batch: int = CNN_SAMPLED_BATCH):
+    """Run the sampled-vs-cycle scenario once on ``backend``.
+
+    Returns the per-workload :class:`~repro.core.metrics.ModelSchedule`
+    objects (the accuracy assertions need per-layer cycles and error
+    bounds, not just totals), in the suite's sorted-key order.
+    """
+    from repro.core.config import ArrayFlexConfig
+    from repro.workloads import get_suite
+
+    config = ArrayFlexConfig(rows=CNN_SAMPLED_SIZE, cols=CNN_SAMPLED_SIZE)
+    return [
+        backend.schedule_model(workload, config)
+        for workload in get_suite(CNN_SAMPLED_SUITE, batch=batch)
+    ]
+
+
 def transformer_workloads():
     """Fresh workload objects of the transformer scenario (sorted by key)."""
     from repro.workloads import get_suite

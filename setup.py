@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "ArrayFlex: a systolic array architecture with configurable transparent "
         "pipelining (DATE 2023) - full Python reproduction"

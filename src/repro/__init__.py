@@ -24,9 +24,11 @@ Architecture with Configurable Transparent Pipelining* (DATE 2023):
   batch-scaling adapter for batched inference.
 * :mod:`repro.baselines` -- the conventional fixed-pipeline baseline.
 * :mod:`repro.backends` -- pluggable execution backends: the analytical
-  reference, the batched/cached fast path (identical numbers) and the
-  cycle-accurate measured path, all behind one protocol; plus the
-  disk-persistent decision cache (:mod:`repro.backends.store`).
+  reference, the batched/cached fast path (identical numbers), the
+  calibrated sampled-simulation path (measured estimates with per-layer
+  statistical error bounds) and the cycle-accurate measured path, all
+  behind one protocol; plus the disk-persistent decision cache
+  (:mod:`repro.backends.store`).
 * :mod:`repro.serve` -- the batch-serving front-end: deduplicating,
   future-returning ``schedule_many()`` over thread/process executors.
 * :mod:`repro.eval` -- the experiment harness regenerating every figure of
@@ -48,6 +50,7 @@ from repro.backends import (
     CycleAccurateBackend,
     DecisionStore,
     ExecutionBackend,
+    SampledSimBackend,
     create_backend,
     default_cache_dir,
 )
@@ -73,7 +76,7 @@ from repro.workloads import (
     register_workload,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ActivityModel",
@@ -89,6 +92,7 @@ __all__ = [
     "ExecutionBackend",
     "GemmShape",
     "LayerMetrics",
+    "SampledSimBackend",
     "UtilizationActivity",
     "create_activity_model",
     "ScheduleRequest",

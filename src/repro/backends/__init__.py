@@ -1,6 +1,6 @@
 """Pluggable execution backends.
 
-One protocol, three fidelities:
+One protocol, four fidelities:
 
 ========================  =====================================================
 backend                   what it does
@@ -8,6 +8,9 @@ backend                   what it does
 ``analytical``            reference closed forms (Eqs. 1–7), per layer
 ``batched``               same numbers from one vectorised NumPy pass per
                           model, memoised across repeated shapes and sweeps
+``sampled``               cycle counts extrapolated from a seeded stratified
+                          sample of tiles simulated on the cycle engine, with
+                          per-layer statistical error bounds
 ``cycle``                 cycle counts measured on the cycle-accurate tile
                           simulator (slow; for validation)
 ========================  =====================================================
@@ -31,12 +34,14 @@ from repro.backends.base import (
 )
 from repro.backends.batched import BatchedCachedBackend
 from repro.backends.cycle_accurate import CycleAccurateBackend
+from repro.backends.sampled import SampledSimBackend
 from repro.backends.store import CACHE_VERSION, DecisionStore, default_cache_dir
 
 #: Registry of backend constructors, keyed by their CLI names.
 BACKENDS: dict[str, type[ExecutionBackend]] = {
     AnalyticalBackend.name: AnalyticalBackend,
     BatchedCachedBackend.name: BatchedCachedBackend,
+    SampledSimBackend.name: SampledSimBackend,
     CycleAccurateBackend.name: CycleAccurateBackend,
 }
 
@@ -49,10 +54,12 @@ def attach_store(
 
     The one place every ``cache_dir=`` entry point (accelerator facade,
     serving front-end, design-space explorer, size sweep) funnels
-    through, so they all validate identically: ``cache_dir`` implies the
-    batched backend (which owns the decision cache being persisted) and
-    refuses to clobber a store the caller already configured.  With
-    ``cache_dir=None`` the backend argument passes through untouched.
+    through, so they all validate identically: ``cache_dir`` requires a
+    decision-cache-owning backend — ``batched`` (the default it implies)
+    or ``sampled``, whose store shards are additionally keyed by its
+    sampling parameters — and refuses to clobber a store the caller
+    already configured.  With ``cache_dir=None`` the backend argument
+    passes through untouched.
 
     A caller-provided backend *instance* is never mutated: the store is
     attached to a deep copy (which routes through the backends'
@@ -63,10 +70,10 @@ def attach_store(
     if cache_dir is None:
         return backend
     backend = create_backend(backend, default="batched")
-    if not isinstance(backend, BatchedCachedBackend):
+    if not isinstance(backend, (BatchedCachedBackend, SampledSimBackend)):
         raise ValueError(
-            "cache_dir requires the batched backend (it owns the decision "
-            "cache being persisted)"
+            "cache_dir requires a decision-cache-owning backend — batched "
+            "(the default) or sampled"
         )
     if backend.store is not None:
         raise ValueError("backend already has a store; drop cache_dir")
@@ -126,6 +133,7 @@ __all__ = [
     "AnalyticalBackend",
     "BatchedCachedBackend",
     "CycleAccurateBackend",
+    "SampledSimBackend",
     "DecisionStore",
     "CACHE_VERSION",
     "default_cache_dir",

@@ -151,6 +151,22 @@ class ExecutionBackend(abc.ABC):
     # ------------------------------------------------------------------ #
     # The protocol
     # ------------------------------------------------------------------ #
+    def decision_identity(self) -> tuple:
+        """Backend parameters that change the *numbers* it produces.
+
+        The exact backends (analytical / batched / cycle) are numerically
+        interchangeable, so their identity is empty: results cached or
+        deduplicated under one of them are valid under any other.
+        Estimating backends whose output depends on their own knobs — the
+        sampled backend's seed and sample sizes — override this; the
+        tuple is folded into :class:`~repro.serve.SchedulingService`
+        dedup keys and into the backend's
+        :class:`~repro.backends.store.DecisionStore` shard keys, so a
+        result computed under one seed/fraction can never be served for
+        another.
+        """
+        return ()
+
     @abc.abstractmethod
     def schedule_layer(
         self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1

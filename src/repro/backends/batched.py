@@ -37,11 +37,16 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.backends.base import ExecutionBackend, LayerResult, ModelTotals
+from repro.backends.decisions import (
+    Decision,
+    decision_from_row,
+    decision_to_layer,
+    decision_to_row,
+)
 from repro.backends.store import DecisionStore
 from repro.core.activity import tiling_utilization_vector
 from repro.core.config import ArrayFlexConfig
@@ -59,74 +64,12 @@ from repro.timing.power_model import ArrayPowerBreakdown, PowerModel
 #: :meth:`PipelineOptimizer.best_depth`).
 _TIE_EPS = 1e-12
 
-
-@dataclass(frozen=True)
-class _Decision:
-    """Cached outcome of one (GEMM, configuration) mode decision."""
-
-    collapse_depth: int
-    cycles: int
-    clock_frequency_ghz: float
-    execution_time_ns: float
-    analytical_depth: float
-    activity: float
-    array_utilization: float
-    power: ArrayPowerBreakdown
-
-    @property
-    def power_mw(self) -> float:
-        return self.power.total_mw
-
-
-def _decision_to_row(decision: _Decision) -> list:
-    """The JSON-serialisable store row of one decision.
-
-    Floats round-trip bit-exactly through JSON (repr-based encoding), so a
-    decision read back from disk equals the freshly solved one.  The row
-    layout is versioned through :data:`repro.backends.store.
-    DECISION_MODEL_VERSION` — widening it (as the activity-aware refactor
-    did) bumps that version and purges every stale shard.
-    """
-    power = decision.power
-    return [
-        decision.collapse_depth,
-        decision.cycles,
-        decision.clock_frequency_ghz,
-        decision.execution_time_ns,
-        decision.analytical_depth,
-        decision.activity,
-        decision.array_utilization,
-        power.multiplier,
-        power.carry_propagate_adder,
-        power.carry_save_adder,
-        power.bypass_muxes,
-        power.register_data,
-        power.register_clock,
-        power.leakage,
-        power.total_mw,
-    ]
-
-
-def _decision_from_row(row: list) -> _Decision:
-    return _Decision(
-        collapse_depth=int(row[0]),
-        cycles=int(row[1]),
-        clock_frequency_ghz=float(row[2]),
-        execution_time_ns=float(row[3]),
-        analytical_depth=float(row[4]),
-        activity=float(row[5]),
-        array_utilization=float(row[6]),
-        power=ArrayPowerBreakdown(
-            multiplier=float(row[7]),
-            carry_propagate_adder=float(row[8]),
-            carry_save_adder=float(row[9]),
-            bypass_muxes=float(row[10]),
-            register_data=float(row[11]),
-            register_clock=float(row[12]),
-            leakage=float(row[13]),
-            total_mw=float(row[14]),
-        ),
-    )
+#: Back-compat aliases: the decision record and its store-row codec moved
+#: to :mod:`repro.backends.decisions` when the sampled backend started
+#: sharing them.  Same objects — old imports keep working.
+_Decision = Decision
+_decision_to_row = decision_to_row
+_decision_from_row = decision_from_row
 
 
 def _ceil_div(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
@@ -604,7 +547,7 @@ class BatchedCachedBackend(ExecutionBackend):
             parts.energy.power_model.arrayflex_pe_leakage_mw(),
         )
         return [
-            _Decision(
+            Decision(
                 collapse_depth=depths[best_col[i]],
                 cycles=int(best_cycles[i]),
                 clock_frequency_ghz=float(best_frequencies[i]),
@@ -620,16 +563,5 @@ class BatchedCachedBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _to_layer(index: int, gemm: GemmShape, decision: _Decision) -> LayerMetrics:
-        return LayerMetrics(
-            index=index,
-            gemm=gemm,
-            collapse_depth=decision.collapse_depth,
-            cycles=decision.cycles,
-            clock_frequency_ghz=decision.clock_frequency_ghz,
-            execution_time_ns=decision.execution_time_ns,
-            activity=decision.activity,
-            array_utilization=decision.array_utilization,
-            power=decision.power,
-            analytical_depth=decision.analytical_depth,
-        )
+    def _to_layer(index: int, gemm: GemmShape, decision: Decision) -> LayerMetrics:
+        return decision_to_layer(index, gemm, decision)

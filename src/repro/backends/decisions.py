@@ -1,0 +1,121 @@
+"""The shared per-(GEMM, configuration) decision record and its store codec.
+
+Both decision-caching backends — :class:`~repro.backends.batched.
+BatchedCachedBackend` and :class:`~repro.backends.sampled.
+SampledSimBackend` — memoise the outcome of one mode decision as a
+:class:`Decision` and spill it to the :class:`~repro.backends.store.
+DecisionStore` as one JSON row.  Keeping the record and the row codec in
+one module guarantees the two backends can never drift apart on the
+on-disk layout: a row written by either is readable by the other's codec
+(though never *looked up* by the other — the sampled backend's store
+shards are keyed by its sampling parameters on top of the configuration
+key, see :meth:`SampledSimBackend.store_config_key`).
+
+The row layout is versioned through :data:`repro.backends.store.
+DECISION_MODEL_VERSION`; widening it (as the ``error_bound`` column did)
+bumps that version and purges every stale shard on the next write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import LayerMetrics
+from repro.nn.gemm_mapping import GemmShape
+from repro.timing.power_model import ArrayPowerBreakdown
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Cached outcome of one (GEMM, configuration) mode decision.
+
+    ``error_bound`` is the relative statistical uncertainty of ``cycles``
+    reported by estimating backends (the sampled-simulation backend);
+    exact backends leave it ``None``.  See
+    :attr:`repro.core.metrics.LayerMetrics.error_bound`.
+    """
+
+    collapse_depth: int
+    cycles: int
+    clock_frequency_ghz: float
+    execution_time_ns: float
+    analytical_depth: float
+    activity: float
+    array_utilization: float
+    power: ArrayPowerBreakdown
+    error_bound: float | None = None
+
+    @property
+    def power_mw(self) -> float:
+        return self.power.total_mw
+
+
+def decision_to_row(decision: Decision) -> list:
+    """The JSON-serialisable store row of one decision.
+
+    Floats round-trip bit-exactly through JSON (repr-based encoding), so a
+    decision read back from disk equals the freshly solved one.  The row
+    layout is versioned through :data:`repro.backends.store.
+    DECISION_MODEL_VERSION` — widening it (as the activity-aware refactor
+    and the ``error_bound`` column did) bumps that version and purges
+    every stale shard.
+    """
+    power = decision.power
+    return [
+        decision.collapse_depth,
+        decision.cycles,
+        decision.clock_frequency_ghz,
+        decision.execution_time_ns,
+        decision.analytical_depth,
+        decision.activity,
+        decision.array_utilization,
+        power.multiplier,
+        power.carry_propagate_adder,
+        power.carry_save_adder,
+        power.bypass_muxes,
+        power.register_data,
+        power.register_clock,
+        power.leakage,
+        power.total_mw,
+        decision.error_bound,
+    ]
+
+
+def decision_from_row(row: list) -> Decision:
+    return Decision(
+        collapse_depth=int(row[0]),
+        cycles=int(row[1]),
+        clock_frequency_ghz=float(row[2]),
+        execution_time_ns=float(row[3]),
+        analytical_depth=float(row[4]),
+        activity=float(row[5]),
+        array_utilization=float(row[6]),
+        power=ArrayPowerBreakdown(
+            multiplier=float(row[7]),
+            carry_propagate_adder=float(row[8]),
+            carry_save_adder=float(row[9]),
+            bypass_muxes=float(row[10]),
+            register_data=float(row[11]),
+            register_clock=float(row[12]),
+            leakage=float(row[13]),
+            total_mw=float(row[14]),
+        ),
+        error_bound=None if row[15] is None else float(row[15]),
+    )
+
+
+def decision_to_layer(index: int, gemm: GemmShape, decision: Decision) -> LayerMetrics:
+    """Rehydrate one cached decision into the standard per-layer record."""
+    return LayerMetrics(
+        index=index,
+        gemm=gemm,
+        collapse_depth=decision.collapse_depth,
+        cycles=decision.cycles,
+        clock_frequency_ghz=decision.clock_frequency_ghz,
+        execution_time_ns=decision.execution_time_ns,
+        activity=decision.activity,
+        array_utilization=decision.array_utilization,
+        power=decision.power,
+        analytical_depth=decision.analytical_depth,
+        error_bound=decision.error_bound,
+    )

@@ -1,0 +1,566 @@
+"""Calibrated sampled-simulation backend.
+
+:class:`~repro.backends.cycle_accurate.CycleAccurateBackend` buys its
+confidence by simulating tiles in full, which is far too slow for the
+transformer suites and 64+-point design-space sweeps the rest of the
+system treats as routine.  :class:`SampledSimBackend` sits between the
+``batched`` and ``cycle`` fidelities: it *measures* cycles on the same
+cycle-accurate engine, but only for a small, deterministic, seeded sample
+of each layer's tile population, and extrapolates to the full layer with
+an explicit statistical error bound.
+
+How one layer is estimated
+--------------------------
+
+1. **Enumerate the tile population.**  The layer's GEMM is decomposed by
+   :class:`repro.sim.tiling.TilingPlan` into ``ceil(N/R) x ceil(M/C)``
+   tiles, grouped into *strata* by distinct tile shape ``(N', M')`` — the
+   full interior tiles plus up to three partially-filled edge/corner
+   shapes.
+2. **Stratified sampling.**  Each stratum of ``P`` tiles contributes
+   ``n = min(P, max(min_tiles_per_shape, ceil(sample_fraction * P)))``
+   sampled tiles (partial samples are forced to ``n >= 2`` so the sample
+   variance is estimable).  Sampled tile operands are synthesised from
+   ``sample_seed`` and the sample index — the same synthetic-measurement
+   convention as the cycle backend — which makes every measurement a pure
+   function of ``(geometry, mode, T, tile shape, seed, index)`` and
+   therefore reusable across layers and shareable through the memo.
+3. **Calibrated streaming probes.**  Simulating a tile costs time
+   proportional to its streamed dimension T.  For large T the backend
+   calibrates the stratum's T-response once — three truncated probes
+   (``max_probe_t``, 1.5x and 2x that) that must be exactly collinear
+   with an integer slope, because the hardware's tile latency is affine
+   in T (Eqs. (1)/(3)); a non-affine measurement *fails loudly* instead
+   of extrapolating a wrong model.  Each sampled tile is then measured
+   at the base probe length only and extrapolated with the calibrated
+   slope.  Every simulation also verifies the functional product against
+   NumPy.
+4. **Extrapolate with an error bound.**  The layer estimate is the
+   stratified-sampling estimator ``sum_s P_s * mean_s`` and the reported
+   :attr:`~repro.core.metrics.LayerMetrics.error_bound` is the relative
+   half-width of its normal-theory confidence interval, with finite
+   population correction:  ``z * sqrt(sum_s P_s^2 (1 - n_s/P_s) var_s /
+   n_s) / estimate``.  Exhaustively sampled layers (fewer tiles than the
+   sample size, or ``sample_fraction=1.0``) degenerate to exact cycle
+   measurement and report ``error_bound == 0.0`` — and are bit-identical
+   to the cycle backend.  In this simulator per-tile cycle counts are
+   content-independent (the control path never looks at data), so
+   observed variances are zero and the estimates are exact in practice;
+   the variance machinery is what *detects* it rather than assumes it,
+   and keeps the bound honest if the engine ever grows data-dependent
+   timing.
+
+``error_target`` switches on auto-calibration: after the initial
+allocation the per-stratum samples keep doubling (deterministically —
+growing a sample extends the same seeded sequence) until the estimated
+relative error falls below the target or the sample is exhaustive.
+
+Mode selection still uses the Eq. (6) discrete search and the power/time
+figures still come from the shared operating-point and energy models —
+exactly like the cycle backend — so the only estimated quantity is the
+cycle count, and the ``error_bound`` applies verbatim to the derived
+time/energy figures.
+
+Decisions are memoised in an LRU and optionally spilled to a
+:class:`~repro.backends.store.DecisionStore`; the store shard key and the
+:class:`~repro.serve.SchedulingService` dedup key both fold in
+:meth:`decision_identity` (seed, fraction, sample sizes, probe cap), so a
+row written under one seed/fraction can never be served for another.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.base import ExecutionBackend, LayerResult
+from repro.backends.decisions import (
+    Decision,
+    decision_from_row,
+    decision_to_layer,
+    decision_to_row,
+)
+from repro.backends.store import DecisionStore
+from repro.core.config import ArrayFlexConfig
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.workloads import random_int_matrices
+from repro.sim.systolic_sim import CycleAccurateSystolicArray
+from repro.sim.tiling import TilingPlan
+
+
+@dataclass(frozen=True)
+class StratumEstimate:
+    """Sampling outcome of one tile-shape stratum of one layer."""
+
+    n_size: int
+    m_size: int
+    population: int
+    sampled: int
+    mean_cycles: float
+    cycle_variance: float
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.sampled >= self.population
+
+
+@dataclass(frozen=True)
+class LayerCycleEstimate:
+    """Extrapolated cycle count of one layer, with its uncertainty.
+
+    ``error_bound`` is relative: the estimator guarantees
+    ``|cycles - exact| <= error_bound * exact`` at the configured
+    confidence level (exactly, not just in expectation, whenever the
+    per-stratum variance is zero — which the engine's data-independent
+    timing makes the observed case).
+    """
+
+    cycles: int
+    error_bound: float
+    exhaustive: bool
+    simulated_tiles: int
+    total_tiles: int
+    strata: tuple[StratumEstimate, ...]
+
+
+class SampledSimBackend(ExecutionBackend):
+    """Cycle-level estimates from a seeded stratified sample of tiles."""
+
+    name = "sampled"
+
+    #: Bound on memoised per-tile measurements (LRU-evicted beyond this).
+    MAX_TILE_MEASUREMENTS = 8192
+    #: Normal-theory confidence multiplier of the reported error bound
+    #: (1.96 = the conventional 95% interval).
+    CONFIDENCE_Z = 1.96
+
+    def __init__(
+        self,
+        sample_fraction: float = 0.05,
+        min_tiles_per_shape: int = 2,
+        sample_seed: int = 0,
+        error_target: float | None = None,
+        max_probe_t: int | None = 32,
+        cache_size: int = 65536,
+        store: DecisionStore | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if min_tiles_per_shape < 1:
+            raise ValueError("min_tiles_per_shape must be at least 1")
+        if sample_seed < 0:
+            raise ValueError("sample_seed must be non-negative")
+        if error_target is not None and error_target < 0.0:
+            raise ValueError("error_target must be non-negative (or None)")
+        if max_probe_t is not None and max_probe_t < 2:
+            raise ValueError("max_probe_t must be at least 2 (or None to disable)")
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.sample_fraction = sample_fraction
+        self.min_tiles_per_shape = min_tiles_per_shape
+        self.sample_seed = sample_seed
+        #: Auto-calibration target: keep growing the sample until the
+        #: estimated relative error is at most this (None: fixed sample).
+        self.error_target = error_target
+        #: Streamed-dimension probe cap: layers with T > 2x this are
+        #: measured through three truncated probes and a verified affine
+        #: extrapolation along T.  None simulates every tile at full T.
+        self.max_probe_t = max_probe_t
+        self.cache_size = cache_size
+        #: Optional disk persistence layer; see :mod:`repro.backends.store`.
+        self.store = store
+        self._cache: OrderedDict[tuple, Decision] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._store_hits = 0
+        self._lock = threading.RLock()
+        self._tile_cycles: OrderedDict[tuple, int] = OrderedDict()
+        self._measure_lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Pickling (locks cannot cross process boundaries)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state.pop("_lock", None)
+        state.pop("_measure_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._lock = threading.RLock()
+        self._measure_lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Identity (dedup / store keying)
+    # ------------------------------------------------------------------ #
+    def decision_identity(self) -> tuple:
+        """Sampling parameters that change this backend's numbers.
+
+        Folded into serving dedup keys and into every store shard key
+        (see :meth:`store_config_key`): the same workload estimated under
+        a different seed, fraction, sample floor, probe cap or error
+        target is a different computation, never a shared one.
+        """
+        return (
+            self.name,
+            self.sample_seed,
+            self.sample_fraction,
+            self.min_tiles_per_shape,
+            self.error_target,
+            self.max_probe_t,
+        )
+
+    def store_config_key(self, config: ArrayFlexConfig) -> tuple:
+        """The :class:`DecisionStore` shard key of one configuration.
+
+        The configuration's own ``cache_key`` plus
+        :meth:`decision_identity`, so sampled rows can never collide with
+        the batched backend's rows for the same configuration, nor with
+        sampled rows produced under different sampling parameters.
+        """
+        return (*config.cache_key(), self.decision_identity())
+
+    # ------------------------------------------------------------------ #
+    # Protocol implementation
+    # ------------------------------------------------------------------ #
+    def schedule_layer(
+        self, gemm: GemmShape, config: ArrayFlexConfig, index: int = 1
+    ) -> LayerResult:
+        return decision_to_layer(index, gemm, self._decide(gemm, config))
+
+    def _decide(self, gemm: GemmShape, config: ArrayFlexConfig) -> Decision:
+        """One cached (LRU -> store -> estimate) mode decision."""
+        config_key = self.store_config_key(config)
+        key = (gemm.m, gemm.n, gemm.t, config_key)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached
+        if self.store is not None:
+            row = self.store.get(config_key, gemm.m, gemm.n, gemm.t)
+            if row is not None:
+                decision = decision_from_row(row)
+                self._remember(key, decision, from_store=True)
+                return decision
+        decision = self._solve(gemm, config)
+        if self.store is not None:
+            self.store.put_many(
+                config_key,
+                {DecisionStore.gemm_key(gemm.m, gemm.n, gemm.t): decision_to_row(decision)},
+            )
+        self._remember(key, decision, from_store=False)
+        return decision
+
+    def _remember(self, key: tuple, decision: Decision, from_store: bool) -> None:
+        with self._lock:
+            if from_store:
+                self._store_hits += 1
+            else:
+                self._misses += 1
+            self._cache[key] = decision
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def _solve(self, gemm: GemmShape, config: ArrayFlexConfig) -> Decision:
+        """Estimate one layer: Eq. (6) mode policy + sampled measurement."""
+        parts = self.components(config)
+        mode = parts.optimizer.best_depth(gemm)
+        depth = mode.collapse_depth
+        estimate = self.estimate_layer_cycles(config, gemm, depth)
+        frequency = parts.clock.frequency_ghz(depth)
+        power, activity, utilization = parts.energy.arrayflex_layer_power(
+            gemm, depth, frequency
+        )
+        return Decision(
+            collapse_depth=depth,
+            cycles=estimate.cycles,
+            clock_frequency_ghz=frequency,
+            execution_time_ns=parts.clock.execution_time_ns(estimate.cycles, depth),
+            analytical_depth=mode.analytical_depth,
+            activity=activity,
+            array_utilization=utilization,
+            power=power,
+            error_bound=estimate.error_bound,
+        )
+
+    # ------------------------------------------------------------------ #
+    # The estimator
+    # ------------------------------------------------------------------ #
+    def layer_estimate(
+        self, gemm: GemmShape, config: ArrayFlexConfig
+    ) -> LayerCycleEstimate:
+        """Uncached estimate of one layer at its Eq. (6) mode.
+
+        Introspection/report entry point: exposes the per-stratum sample
+        sizes, populations and variances behind a schedule's
+        ``error_bound`` (the accuracy experiment and the test-suite's
+        degenerate-case checks read these).
+        """
+        parts = self.components(config)
+        depth = parts.optimizer.best_depth(gemm).collapse_depth
+        return self.estimate_layer_cycles(config, gemm, depth)
+
+    def estimate_layer_cycles(
+        self, config: ArrayFlexConfig, gemm: GemmShape, collapse_depth: int
+    ) -> LayerCycleEstimate:
+        """Stratified sampled-simulation estimate of one layer's cycles."""
+        plan = TilingPlan(
+            n_dim=gemm.n, m_dim=gemm.m, rows=config.rows, cols=config.cols
+        )
+        populations = Counter(
+            (spec.n_size, spec.m_size) for spec in plan.tiles()
+        )
+        # Deterministic stratum order (largest shapes first), independent
+        # of tile execution order.
+        shapes = sorted(populations, reverse=True)
+        sizes = {
+            shape: self._allocation(populations[shape]) for shape in shapes
+        }
+        while True:
+            strata = tuple(
+                self._measure_stratum(
+                    config, collapse_depth, gemm.t, shape, populations[shape],
+                    sizes[shape],
+                )
+                for shape in shapes
+            )
+            estimate = self._combine(plan.total_tiles, strata)
+            if self.error_target is None or estimate.exhaustive:
+                return estimate
+            if estimate.error_bound <= self.error_target:
+                return estimate
+            # Auto mode: double every partial stratum's sample (extending
+            # the same seeded sequence — deterministic) and re-estimate.
+            for shape in shapes:
+                if sizes[shape] < populations[shape]:
+                    sizes[shape] = min(populations[shape], 2 * sizes[shape])
+
+    def _allocation(self, population: int) -> int:
+        """Initial per-stratum sample size of the calibration knobs."""
+        size = max(
+            self.min_tiles_per_shape,
+            math.ceil(self.sample_fraction * population),
+        )
+        size = min(population, size)
+        if size < population:
+            # A partial sample needs at least two observations for the
+            # variance term of the error bound to be estimable.
+            size = min(population, max(size, 2))
+        return size
+
+    def _measure_stratum(
+        self,
+        config: ArrayFlexConfig,
+        collapse_depth: int,
+        t_rows: int,
+        shape: tuple[int, int],
+        population: int,
+        sampled: int,
+    ) -> StratumEstimate:
+        n_size, m_size = shape
+        cycles = [
+            self._tile_cycles_at(
+                config, collapse_depth, t_rows, n_size, m_size, index
+            )
+            for index in range(sampled)
+        ]
+        mean = sum(cycles) / len(cycles)
+        if len(cycles) > 1:
+            variance = sum((c - mean) ** 2 for c in cycles) / (len(cycles) - 1)
+        else:
+            variance = 0.0  # exhaustive single-tile stratum: no sampling error
+        return StratumEstimate(
+            n_size=n_size,
+            m_size=m_size,
+            population=population,
+            sampled=sampled,
+            mean_cycles=mean,
+            cycle_variance=variance,
+        )
+
+    def _combine(
+        self, total_tiles: int, strata: tuple[StratumEstimate, ...]
+    ) -> LayerCycleEstimate:
+        """Fold per-stratum samples into the layer estimate and its bound."""
+        total = 0.0
+        se_squared = 0.0
+        simulated = 0
+        exhaustive = True
+        for stratum in strata:
+            total += stratum.population * stratum.mean_cycles
+            simulated += stratum.sampled
+            if not stratum.exhaustive:
+                exhaustive = False
+                finite_population = 1.0 - stratum.sampled / stratum.population
+                se_squared += (
+                    stratum.population**2
+                    * finite_population
+                    * stratum.cycle_variance
+                    / stratum.sampled
+                )
+        cycles = int(round(total))
+        if exhaustive or total <= 0.0:
+            bound = 0.0
+        else:
+            bound = self.CONFIDENCE_Z * math.sqrt(se_squared) / total
+        return LayerCycleEstimate(
+            cycles=cycles,
+            error_bound=bound,
+            exhaustive=exhaustive,
+            simulated_tiles=simulated,
+            total_tiles=total_tiles,
+            strata=strata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Tile measurement (calibrated streaming probes + memo)
+    # ------------------------------------------------------------------ #
+    def _tile_cycles_at(
+        self,
+        config: ArrayFlexConfig,
+        collapse_depth: int,
+        t_rows: int,
+        n_size: int,
+        m_size: int,
+        sample_index: int,
+    ) -> int:
+        """Measured (or probe-extrapolated) cycles of one sampled tile.
+
+        Small-T tiles are simulated outright.  Large-T tiles are measured
+        at the base probe length and extrapolated along T with the
+        stratum's calibrated slope — calibration (three probes, exact
+        collinearity required) runs once per (geometry, mode, tile shape)
+        on the first sample, so every further sampled tile costs a single
+        short simulation instead of a full-T one.
+        """
+        cap = self.max_probe_t
+        if cap is None or t_rows <= 2 * cap:
+            return self._simulate(
+                config, collapse_depth, t_rows, n_size, m_size, sample_index
+            )
+        slope = self._calibrated_slope(config, collapse_depth, n_size, m_size)
+        cycles_low = self._simulate(
+            config, collapse_depth, cap, n_size, m_size, sample_index
+        )
+        return cycles_low + slope * (t_rows - cap)
+
+    def _calibrated_slope(
+        self, config: ArrayFlexConfig, collapse_depth: int, n_size: int, m_size: int
+    ) -> int:
+        """Cycles-per-streamed-row slope of one stratum, measured.
+
+        Three probe simulations of the stratum's first sampled tile; the
+        tile latency must be affine in T (Eqs. (1)/(3)), so the probes
+        have to be exactly collinear with an integer slope — otherwise
+        the extrapolation model is wrong and we refuse to use it.  The
+        probe measurements are memoised, so re-deriving the slope for
+        every sampled tile of the stratum costs three memo lookups.
+        """
+        cap = self.max_probe_t
+        low, mid, high = cap, cap + (cap + 1) // 2, 2 * cap
+        cycles_low = self._simulate(config, collapse_depth, low, n_size, m_size, 0)
+        cycles_mid = self._simulate(config, collapse_depth, mid, n_size, m_size, 0)
+        cycles_high = self._simulate(config, collapse_depth, high, n_size, m_size, 0)
+        collinear = (cycles_mid - cycles_low) * (high - low) == (
+            cycles_high - cycles_low
+        ) * (mid - low)
+        if not collinear or (cycles_high - cycles_low) % (high - low) != 0:
+            raise RuntimeError(
+                f"streaming-probe calibration failed: tile cycles are not "
+                f"affine in T at probes {(low, mid, high)} for tile "
+                f"(rows={config.rows}, cols={config.cols}, N'={n_size}, "
+                f"M'={m_size}, k={collapse_depth}); refusing to extrapolate"
+            )
+        return (cycles_high - cycles_low) // (high - low)
+
+    def _simulate(
+        self,
+        config: ArrayFlexConfig,
+        collapse_depth: int,
+        t_rows: int,
+        n_size: int,
+        m_size: int,
+        sample_index: int,
+    ) -> int:
+        """One memoised cycle-engine run of one sampled tile.
+
+        The memo key deliberately omits the layer dimensions: a
+        measurement is a pure function of the geometry, mode, streamed
+        depth, tile shape and seeded sample index, so layers whose strata
+        coincide (ubiquitous in CNN suites) share measurements — the same
+        economics that make the cycle backend's per-(T, k) memo work.
+        """
+        key = (
+            config.rows, config.cols, collapse_depth, t_rows, n_size, m_size,
+            sample_index,
+        )
+        with self._measure_lock:
+            cached = self._tile_cycles.get(key)
+            if cached is not None:
+                self._tile_cycles.move_to_end(key)
+                return cached
+        array = CycleAccurateSystolicArray(
+            rows=config.rows,
+            cols=config.cols,
+            collapse_depth=collapse_depth,
+            configurable=True,
+        )
+        a_tile, b_tile = random_int_matrices(
+            t_rows,
+            n_size,
+            m_size,
+            # Sequence seeds are deterministic across runs, threads and
+            # process pools; the sample index (not the tile coordinate)
+            # varies the operands, which is what keeps measurements
+            # shareable across layers.
+            seed=[self.sample_seed, sample_index, t_rows, n_size, m_size],
+        )
+        result = array.simulate_tile(a_tile, b_tile)
+        if not np.array_equal(result.output, a_tile @ b_tile):
+            raise RuntimeError(
+                f"sampled simulation produced a wrong product for tile "
+                f"(rows={config.rows}, cols={config.cols}, N'={n_size}, "
+                f"M'={m_size}, T={t_rows}, k={collapse_depth})"
+            )
+        with self._measure_lock:
+            self._tile_cycles[key] = result.total_cycles
+            while len(self._tile_cycles) > self.MAX_TILE_MEASUREMENTS:
+                self._tile_cycles.popitem(last=False)
+        return result.total_cycles
+
+    # ------------------------------------------------------------------ #
+    # Cache bookkeeping (same counters surface as the batched backend)
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the decision cache.
+
+        ``store_hits`` counts memory misses answered from the attached
+        :class:`~repro.backends.store.DecisionStore`; ``misses`` counts
+        decisions that went through a fresh sampled estimate.
+        """
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "store_hits": self._store_hits,
+            "size": len(self._cache),
+            "max_size": self.cache_size,
+            "tile_measurements": len(self._tile_cycles),
+        }
+
+    def cache_clear(self) -> None:
+        """Drop decisions, measurements and counters (the disk store persists)."""
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+            self._store_hits = 0
+        with self._measure_lock:
+            self._tile_cycles.clear()

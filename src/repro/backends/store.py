@@ -1,13 +1,18 @@
 """Disk-persistent decision cache.
 
-:class:`DecisionStore` spills the batched backend's LRU decision cache to
-an on-disk store so repeated CLI / CI invocations skip re-deriving mode
-decisions entirely.  One *shard* file holds every cached decision of one
-accelerator configuration; shards are named by a digest of
-``(store version, ArrayFlexConfig.cache_key())``, so decisions computed
-under a different array geometry, mode set, activity factor, activity
-model or technology model can never be confused — the technology model's full parameter set is
-part of :meth:`~repro.core.config.ArrayFlexConfig.cache_key`.
+:class:`DecisionStore` spills the decision-caching backends' LRU caches
+(batched and sampled) to an on-disk store so repeated CLI / CI
+invocations skip re-deriving mode decisions entirely.  One *shard* file
+holds every cached decision of one accelerator configuration; shards are
+named by a digest of ``(store version, config key)``, so decisions
+computed under a different array geometry, mode set, activity factor,
+activity model or technology model can never be confused — the
+technology model's full parameter set is part of
+:meth:`~repro.core.config.ArrayFlexConfig.cache_key`, and the sampled
+backend widens its config key with its sampling parameters
+(:meth:`~repro.backends.sampled.SampledSimBackend.store_config_key`), so
+rows estimated under one seed/fraction can never answer a lookup made
+under another.
 
 Versioning and invalidation are explicit:
 
@@ -42,8 +47,11 @@ STORE_FORMAT_VERSION = 1
 #: change in a way that alters cached decisions — or when the decision
 #: row widens.  v2: the activity-aware LayerMetrics refactor (rows now
 #: carry per-layer activity, array utilization and the full per-component
-#: power breakdown instead of one collapsed power scalar).
-DECISION_MODEL_VERSION = 2
+#: power breakdown instead of one collapsed power scalar).  v3: rows
+#: widened with the sampled-simulation backend's relative ``error_bound``
+#: column (null for the exact backends); sampled-backend shards are
+#: additionally keyed by the backend's sampling parameters.
+DECISION_MODEL_VERSION = 3
 #: The combined version every shard is keyed and stamped with.
 CACHE_VERSION = f"{STORE_FORMAT_VERSION}.{DECISION_MODEL_VERSION}"
 

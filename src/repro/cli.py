@@ -18,8 +18,8 @@ Commands
                 workloads, grouped by suite).
 ``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
                 fig9, eq7, clock, abl_csa, abl_dirs) or the beyond-paper
-                ``transformers`` suite / ``activity`` sensitivity tables
-                and print it.
+                ``transformers`` suite / ``activity`` sensitivity /
+                ``sampled`` backend-accuracy tables and print it.
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
 
 Workloads are resolved by name through the :mod:`repro.workloads`
@@ -30,12 +30,16 @@ inference (T scaled by the batch)::
     python -m repro batch --suite transformers
     python -m repro compare --model bert_base
 
-The global ``--backend {analytical,batched,cycle}`` flag (before the
-command) selects the execution backend: the closed-form reference, the
-vectorised/cached fast path (same numbers), or the cycle-accurate
-measured path (slow; for validation)::
+The global ``--backend {analytical,batched,cycle,sampled}`` flag (before
+the command) selects the execution backend: the closed-form reference,
+the vectorised/cached fast path (same numbers), the cycle-accurate
+measured path (slow; for validation), or the calibrated
+sampled-simulation path (measured cycle-level estimates with per-layer
+statistical error bounds, tuned by ``--sample-fraction`` and
+``--sample-seed``)::
 
     python -m repro --backend batched compare --model resnet34
+    python -m repro --backend sampled --sample-fraction 0.1 compare --model resnet34
 
 The global ``--cache-dir`` flag points the batched backend's decision
 cache at a persistent directory (default for ``batch``: the user cache
@@ -77,6 +81,7 @@ from repro.eval.experiments import (
     Fig7Experiment,
     Fig8Experiment,
     Fig9Experiment,
+    SampledAccuracyExperiment,
     TransformerSuiteExperiment,
 )
 from repro.eval.report import format_percent, format_ratio
@@ -97,6 +102,7 @@ EXPERIMENT_FACTORIES = {
     "abl_dirs": lambda backend=None: [DirectionAblationExperiment()],
     "transformers": lambda backend=None: [TransformerSuiteExperiment(backend=backend)],
     "activity": lambda backend=None: [ActivitySensitivityExperiment(backend=backend)],
+    "sampled": lambda backend=None: [SampledAccuracyExperiment(backend=backend)],
 }
 
 
@@ -152,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "execution backend: 'analytical' closed forms (default), 'batched' "
-            "vectorised+cached fast path (identical numbers), 'cycle' "
+            "vectorised+cached fast path (identical numbers), 'sampled' "
+            "calibrated sampled simulation (measured estimates with error "
+            "bounds; see --sample-fraction/--sample-seed), 'cycle' "
             "cycle-accurate measurement (slow)"
         ),
     )
@@ -160,9 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help=(
-            "directory for the disk-persistent decision cache (batched "
-            "backend); default: no persistence, except for 'batch' which "
-            "uses the user cache directory (XDG_CACHE_HOME aware)"
+            "directory for the disk-persistent decision cache (batched or "
+            "sampled backend); default: no persistence, except for 'batch' "
+            "which uses the user cache directory (XDG_CACHE_HOME aware)"
+        ),
+    )
+    parser.add_argument(
+        "--sample-fraction",
+        type=float,
+        default=None,
+        help=(
+            "sampled backend only: fraction of each layer's tiles (per "
+            "distinct tile shape) simulated through the cycle engine "
+            "(default: 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        help=(
+            "sampled backend only: seed of the deterministic stratified "
+            "tile sample (default: 0); the same seed reproduces bit-"
+            "identical estimates"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -278,14 +306,48 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------- #
 # Command implementations
 # ---------------------------------------------------------------------- #
+def _resolve_backend(args: argparse.Namespace):
+    """The backend argument handed to the library.
+
+    Registry names pass through; ``--backend sampled`` builds a
+    :class:`~repro.backends.SampledSimBackend` configured from the
+    sampling flags.  Sampling flags without the sampled backend are an
+    error, never a silent no-op (mirroring the ``--cache-dir`` rule).
+    """
+    given = [
+        flag
+        for flag, value in (
+            ("--sample-fraction", args.sample_fraction),
+            ("--sample-seed", args.sample_seed),
+        )
+        if value is not None
+    ]
+    if args.backend != "sampled":
+        if given:
+            raise ValueError(
+                f"{'/'.join(given)} requires --backend sampled "
+                f"(the {args.backend!r} backend does not sample)"
+            )
+        return args.backend
+    from repro.backends import SampledSimBackend
+
+    kwargs = {}
+    if args.sample_fraction is not None:
+        kwargs["sample_fraction"] = args.sample_fraction
+    if args.sample_seed is not None:
+        kwargs["sample_seed"] = args.sample_seed
+    return SampledSimBackend(**kwargs)
+
+
 def _build_accelerator(args: argparse.Namespace) -> ArrayFlexAccelerator:
     # cache_dir validation is the facade's job (shared attach_store rules):
-    # --cache-dir with a non-batched backend is an error, never a no-op.
+    # --cache-dir with a backend that owns no decision cache is an error,
+    # never a no-op.
     return ArrayFlexAccelerator(
         rows=args.rows,
         cols=args.cols,
         supported_depths=tuple(args.depths),
-        backend=args.backend,
+        backend=_resolve_backend(args),
         cache_dir=args.cache_dir,
         activity_model=args.activity_model,
     )
@@ -440,6 +502,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"the 'batch' command always uses the batched backend; "
             f"--backend {args.backend} is not supported here"
         )
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
     if args.no_cache and args.cache_dir:
         raise ValueError("--no-cache and --cache-dir are mutually exclusive")
     sizes = [_parse_size(size) for size in args.sizes]
@@ -516,6 +579,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_workloads(args: argparse.Namespace) -> int:
     """List the workload registry, grouped by suite."""
     _reject_cache_dir(args)
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
     suites = list_suites()
     if args.suite is not None:
         if args.suite not in suites:
@@ -543,7 +607,21 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     _reject_cache_dir(args)
-    for experiment in EXPERIMENT_FACTORIES[args.id](args.backend):
+    backend = _resolve_backend(args)
+    if args.id == "sampled" and args.backend_explicit:
+        from repro.backends import SampledSimBackend
+
+        # The accuracy experiment inherently runs the sampled backend
+        # against the exact cycle backend; any other explicit request
+        # must fail, not be silently replaced by the default.
+        if not isinstance(backend, SampledSimBackend):
+            raise ValueError(
+                f"the 'sampled' experiment always compares the sampled "
+                f"backend against the cycle backend; --backend "
+                f"{args.backend} is not supported here (tune the sampled "
+                f"side with --backend sampled --sample-fraction/--sample-seed)"
+            )
+    for experiment in EXPERIMENT_FACTORIES[args.id](backend):
         print(experiment.render())
         print()
     return 0
@@ -563,6 +641,7 @@ def _reject_cache_dir(args: argparse.Namespace) -> None:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     _reject_cache_dir(args)
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
     from repro.eval.paper_report import write_experiments_markdown
 
     content = write_experiments_markdown(args.output)

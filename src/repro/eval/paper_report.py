@@ -219,6 +219,49 @@ def _activity_section() -> list[str]:
     return lines
 
 
+def _sampled_section() -> list[str]:
+    from repro.eval.experiments import SampledAccuracyExperiment
+
+    experiment = SampledAccuracyExperiment()
+    result = experiment.run()
+    lines = [
+        "## Beyond the paper — sampled vs cycle backend accuracy",
+        "",
+        "* The `sampled` backend estimates per-layer cycle counts from a "
+        "seeded stratified sample of each layer's tiles (plus calibrated "
+        "streaming probes along T) instead of simulating tiles in full, and "
+        "reports a per-layer relative `error_bound`.  The table compares it "
+        "against the exact `cycle` backend on the CNN suite "
+        f"({experiment.size}x{experiment.size} SA, sample fraction "
+        f"{experiment.sampled.sample_fraction}, seed "
+        f"{experiment.sampled.sample_seed}); the sample is deterministic, so "
+        "these numbers regenerate bit-identically.",
+        "",
+        "| workload | GEMMs | exact cycles | sampled cycles | max layer error | max bound | tiles sampled | within bound |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for entry in result.entries:
+        lines.append(
+            f"| {entry.workload_name} | {entry.num_gemms} | "
+            f"{entry.exact_cycles} | {entry.sampled_cycles} | "
+            f"{format_percent(entry.max_rel_error)} | "
+            f"{format_percent(entry.max_error_bound)} | "
+            f"{entry.simulated_tiles}/{entry.total_tiles} "
+            f"({format_percent(entry.coverage)}) | "
+            f"{'yes' if entry.within_bounds else 'NO'} |"
+        )
+    lines += [
+        "",
+        "Every layer estimate lands within its self-reported bound (the "
+        "engine's tile latency is content-independent, so the stratified "
+        "estimates are exact in practice while sampling ~5% of the tile "
+        "population); `benchmarks/test_bench_sampled.py` additionally pins "
+        "the >=5x speedup over the cycle backend on the batched CNN suite.",
+        "",
+    ]
+    return lines
+
+
 def _eq7_section() -> list[str]:
     result = Eq7ValidationExperiment().run()
     return [
@@ -317,6 +360,7 @@ def generate_experiments_markdown() -> str:
         + _fig9_section()
         + _transformer_section()
         + _activity_section()
+        + _sampled_section()
         + _eq7_section()
         + _ablation_section()
     )

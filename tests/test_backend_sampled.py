@@ -1,0 +1,288 @@
+"""Tests for the calibrated sampled-simulation backend.
+
+Three contracts on top of the shared parity harness:
+
+* **seeded determinism** — the same ``sample_seed`` yields bit-identical
+  results across fresh backends, thread-pool serving and process-pool
+  design-space sweeps; different seeds stay within the self-reported
+  ``error_bound`` of the exact cycle backend on the CNN suite;
+* **degenerate sampling** — layers with fewer tiles than the sample size
+  fall back to exact cycle simulation (``error_bound == 0``), and
+  exhaustive sampling (``sample_fraction=1.0``) is bit-identical to
+  :class:`~repro.backends.CycleAccurateBackend`;
+* **calibration honesty** — the streaming-probe extrapolation refuses a
+  non-affine measurement instead of extrapolating a wrong model.
+"""
+
+import pickle
+
+import pytest
+
+from repro.backends import (
+    BatchedCachedBackend,
+    CycleAccurateBackend,
+    SampledSimBackend,
+)
+from repro.core.arrayflex import ArrayFlexAccelerator
+from repro.core.config import ArrayFlexConfig
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer
+from repro.nn.gemm_mapping import GemmShape
+from repro.nn.models import mobilenet_v1
+from repro.serve import ScheduleRequest, SchedulingService
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ArrayFlexConfig(rows=16, cols=16)
+
+
+@pytest.fixture(scope="module")
+def cnn_exact_schedules(config):
+    """Exact cycle-backend schedules of the CNN suite, computed once."""
+    from repro.workloads import get_suite
+
+    backend = CycleAccurateBackend()
+    return [
+        (workload, backend.schedule_model(workload, config))
+        for workload in get_suite("cnn")
+    ]
+
+
+#: A workload with every edge-tile combination, a repeat, and streamed
+#: dimensions on both sides of the probe cap.
+MIXED = [
+    GemmShape(m=20, n=33, t=6, name="edge-both"),
+    GemmShape(m=16, n=16, t=40, name="exact"),
+    GemmShape(m=7, n=50, t=3, name="edge-n"),
+    GemmShape(m=24, n=40, t=300, name="tall"),
+    GemmShape(m=20, n=33, t=6, name="edge-both-repeat"),
+]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_fraction": 0.0},
+            {"sample_fraction": 1.5},
+            {"min_tiles_per_shape": 0},
+            {"sample_seed": -1},
+            {"error_target": -0.1},
+            {"max_probe_t": 1},
+            {"cache_size": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SampledSimBackend(**kwargs)
+
+    def test_decision_identity_carries_every_knob(self):
+        backend = SampledSimBackend(
+            sample_fraction=0.25,
+            min_tiles_per_shape=3,
+            sample_seed=7,
+            error_target=0.01,
+            max_probe_t=16,
+        )
+        assert backend.decision_identity() == (
+            "sampled", 7, 0.25, 3, 0.01, 16,
+        )
+
+    def test_store_config_key_differs_from_plain_config_key(self, config):
+        backend = SampledSimBackend()
+        assert backend.store_config_key(config) != config.cache_key()
+        assert backend.store_config_key(config)[:-1] == config.cache_key()
+
+
+class TestSeededDeterminism:
+    def test_same_seed_is_bit_identical_across_backends(self, config):
+        first = SampledSimBackend(sample_seed=11).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        second = SampledSimBackend(sample_seed=11).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        assert first.layers == second.layers
+        assert [layer.error_bound for layer in first.layers] == [
+            layer.error_bound for layer in second.layers
+        ]
+
+    def test_real_model_deterministic(self, config):
+        model = mobilenet_v1()
+        first = SampledSimBackend(sample_seed=5).schedule_model(model, config)
+        second = SampledSimBackend(sample_seed=5).schedule_model(model, config)
+        assert first.layers == second.layers
+
+    def test_thread_pool_serving_matches_direct(self, config):
+        backend = SampledSimBackend(sample_seed=3)
+        direct = SampledSimBackend(sample_seed=3).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        with SchedulingService(backend=backend, max_workers=4) as service:
+            results = service.schedule_all(
+                [
+                    ScheduleRequest(
+                        model=tuple(MIXED), config=config, model_name="mixed"
+                    )
+                    for _ in range(4)
+                ]
+            )
+        for result in results:
+            assert result.layers == direct.layers
+
+    def test_process_pool_sweep_matches_serial(self):
+        points = [
+            DesignPoint(rows=8, cols=8, supported_depths=(1, 2, 4)),
+            DesignPoint(rows=16, cols=16, supported_depths=(1, 2)),
+        ]
+        models = [mobilenet_v1()]
+        serial = DesignSpaceExplorer(
+            models, backend=SampledSimBackend(sample_seed=2)
+        ).explore(points)
+        fanned = DesignSpaceExplorer(
+            models, backend=SampledSimBackend(sample_seed=2), max_workers=2
+        ).explore(points)
+        assert fanned == serial
+
+    def test_pickled_backend_schedules_identically(self, config):
+        backend = SampledSimBackend(sample_seed=9)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.decision_identity() == backend.decision_identity()
+        assert (
+            clone.schedule_model(MIXED, config, model_name="m").layers
+            == backend.schedule_model(MIXED, config, model_name="m").layers
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_other_seeds_stay_within_bound_of_cycle_on_cnn_suite(
+        self, seed, config, cnn_exact_schedules
+    ):
+        """Different seeds: every per-layer estimate within its bound."""
+        sampled_backend = SampledSimBackend(sample_seed=seed)
+        for workload, exact in cnn_exact_schedules:
+            sampled = sampled_backend.schedule_model(workload, config)
+            for exact_layer, sampled_layer in zip(exact.layers, sampled.layers):
+                bound = sampled_layer.error_bound
+                assert bound is not None and bound >= 0.0
+                assert abs(sampled_layer.cycles - exact_layer.cycles) <= (
+                    bound * exact_layer.cycles + 1e-9
+                )
+
+
+class TestDegenerateSampling:
+    def test_fewer_tiles_than_sample_size_is_exact(self, config):
+        """Single-tile layers: exact cycle simulation, zero error bound."""
+        gemm = GemmShape(m=6, n=7, t=9, name="one-tile")
+        sampled = SampledSimBackend(min_tiles_per_shape=5).schedule_layer(
+            gemm, config
+        )
+        exact = CycleAccurateBackend().schedule_layer(gemm, config)
+        assert sampled == exact
+        assert sampled.error_bound == 0.0
+        estimate = SampledSimBackend(min_tiles_per_shape=5).layer_estimate(
+            gemm, config
+        )
+        assert estimate.exhaustive
+        assert estimate.simulated_tiles == estimate.total_tiles == 1
+
+    def test_exhaustive_sampling_is_bit_identical_to_cycle(self, config):
+        exhaustive = SampledSimBackend(sample_fraction=1.0).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        exact = CycleAccurateBackend().schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        assert exhaustive.layers == exact.layers
+        assert [layer.cycles for layer in exhaustive.layers] == [
+            layer.cycles for layer in exact.layers
+        ]
+        assert all(layer.error_bound == 0.0 for layer in exhaustive.layers)
+        assert exhaustive.max_error_bound() == 0.0
+
+    def test_exhaustive_sampling_without_probes_matches_too(self, config):
+        """Disabling probe truncation must not change the numbers."""
+        with_probes = SampledSimBackend(sample_fraction=1.0).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        without = SampledSimBackend(
+            sample_fraction=1.0, max_probe_t=None
+        ).schedule_model(MIXED, config, model_name="mixed")
+        assert with_probes.layers == without.layers
+
+
+class TestErrorBoundAndEstimates:
+    def test_every_layer_reports_a_bound(self, config):
+        schedule = SampledSimBackend().schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        for layer in schedule.layers:
+            assert layer.error_bound is not None
+            assert layer.error_bound >= 0.0
+
+    def test_exact_backends_report_no_bound(self, config):
+        for backend in (BatchedCachedBackend(), CycleAccurateBackend()):
+            schedule = backend.schedule_model(MIXED, config, model_name="mixed")
+            assert all(layer.error_bound is None for layer in schedule.layers)
+            assert schedule.max_error_bound() == 0.0
+
+    def test_layer_estimate_exposes_strata(self, config):
+        gemm = GemmShape(m=20, n=33, t=6, name="edge-both")
+        estimate = SampledSimBackend().layer_estimate(gemm, config)
+        # 33x20 on 16x16: 3x2 tiles in four distinct shapes.
+        assert estimate.total_tiles == 6
+        assert {(s.n_size, s.m_size) for s in estimate.strata} == {
+            (16, 16), (16, 4), (1, 16), (1, 4),
+        }
+        assert sum(s.population for s in estimate.strata) == 6
+        assert all(1 <= s.sampled <= s.population for s in estimate.strata)
+
+    def test_error_target_auto_mode_meets_target(self, config):
+        backend = SampledSimBackend(error_target=0.05)
+        schedule = backend.schedule_model(MIXED, config, model_name="mixed")
+        assert all(layer.error_bound <= 0.05 for layer in schedule.layers)
+
+    def test_decision_cache_hits_on_repeats(self, config):
+        backend = SampledSimBackend()
+        backend.schedule_model(MIXED, config, model_name="mixed")
+        info = backend.cache_info()
+        # The repeated edge-both shape is decided once.
+        assert info["misses"] == 4
+        assert info["hits"] == 1
+        backend.schedule_model(MIXED, config, model_name="mixed")
+        assert backend.cache_info()["misses"] == 4
+        backend.cache_clear()
+        assert backend.cache_info()["size"] == 0
+
+    def test_calibration_refuses_non_affine_measurements(self, config, monkeypatch):
+        """A non-affine T-response must fail loudly, not extrapolate."""
+        backend = SampledSimBackend()
+        gemm = GemmShape(m=8, n=8, t=500, name="tall")
+
+        def quadratic(config, depth, t_rows, n_size, m_size, index):
+            return t_rows * t_rows  # not affine in T
+
+        monkeypatch.setattr(backend, "_simulate", quadratic)
+        with pytest.raises(RuntimeError, match="calibration failed"):
+            backend.schedule_layer(gemm, config)
+
+
+class TestFacadeAndExplorerWiring:
+    def test_accelerator_accepts_sampled_by_name(self):
+        accel = ArrayFlexAccelerator(rows=16, cols=16, backend="sampled")
+        assert isinstance(accel.backend, SampledSimBackend)
+        schedule = accel.run_model(MIXED)
+        reference = ArrayFlexAccelerator(rows=16, cols=16).run_model(MIXED)
+        assert schedule.layers == reference.layers
+
+    def test_explorer_accepts_sampled_by_name(self):
+        explorer = DesignSpaceExplorer([mobilenet_v1()], backend="sampled")
+        assert isinstance(explorer.backend, SampledSimBackend)
+
+    def test_accelerator_cache_dir_with_sampled_backend(self, tmp_path):
+        accel = ArrayFlexAccelerator(
+            rows=16, cols=16, backend=SampledSimBackend(), cache_dir=tmp_path
+        )
+        assert isinstance(accel.backend, SampledSimBackend)
+        assert accel.backend.store is not None
+        accel.run_model(MIXED)
+        assert accel.backend.store.stats()["entries"] > 0

@@ -8,6 +8,7 @@ import pytest
 from repro.backends import AnalyticalBackend, BatchedCachedBackend
 from repro.backends.store import CACHE_VERSION, DecisionStore, default_cache_dir
 from repro.core.config import ArrayFlexConfig
+from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import resnet34
 
 
@@ -190,6 +191,14 @@ class TestVersioning:
         assert CACHE_VERSION == f"{STORE_FORMAT_VERSION}.{DECISION_MODEL_VERSION}"
         assert CACHE_VERSION != "1.1"  # the six-number flat-row era
 
+    def test_error_bound_column_bumped_the_decision_model_version(self):
+        """The sampled backend widened rows with the error_bound column
+        (v3); pre-widening shards must be orphaned by the version key."""
+        from repro.backends.store import DECISION_MODEL_VERSION
+
+        assert DECISION_MODEL_VERSION >= 3
+        assert CACHE_VERSION != "1.2"  # the 15-column pre-error_bound era
+
     def test_version_bump_purges_pre_refactor_shards(self, tmp_path, config):
         """Shards written by the pre-refactor store (version 1.1, six-number
         rows) are purged wholesale the first time the current store writes."""
@@ -306,6 +315,65 @@ class TestBackendIntegration:
         reference = backend.schedule_model(model, config)
         clone = pickle.loads(pickle.dumps(backend))
         assert clone.schedule_model(model, config).layers == reference.layers
+
+
+class TestSampledStoreKeys:
+    """Sampled-backend rows are keyed by the sampling parameters: a row
+    written under one seed or fraction can never answer a lookup made
+    under another (the cache-key collision the PR exists to prevent)."""
+
+    WORKLOAD = [
+        GemmShape(m=20, n=33, t=6, name="edge-both"),
+        GemmShape(m=24, n=40, t=300, name="tall"),
+        GemmShape(m=7, n=50, t=3, name="edge-n"),
+    ]
+
+    @staticmethod
+    def _backend(tmp_path, **kwargs):
+        from repro.backends import SampledSimBackend
+
+        return SampledSimBackend(store=DecisionStore(tmp_path), **kwargs)
+
+    def test_same_parameters_warm_start_from_disk(self, tmp_path):
+        small = ArrayFlexConfig(rows=16, cols=16)
+        cold = self._backend(tmp_path, sample_seed=4)
+        reference = cold.schedule_model(self.WORKLOAD, small)
+        warm = self._backend(tmp_path, sample_seed=4)
+        assert warm.schedule_model(self.WORKLOAD, small).layers == reference.layers
+        info = warm.cache_info()
+        assert info["store_hits"] > 0
+        assert info["misses"] == 0
+
+    @pytest.mark.parametrize(
+        "other_kwargs",
+        [
+            {"sample_seed": 5},
+            {"sample_fraction": 0.5},
+            {"min_tiles_per_shape": 3},
+            {"max_probe_t": 16},
+            {"error_target": 0.01},
+        ],
+    )
+    def test_different_sampling_parameters_never_share_rows(self, tmp_path, other_kwargs):
+        small = ArrayFlexConfig(rows=16, cols=16)
+        writer = self._backend(tmp_path, sample_seed=4)
+        writer.schedule_model(self.WORKLOAD, small)
+        reader = self._backend(tmp_path, **{"sample_seed": 4, **other_kwargs})
+        reader.schedule_model(self.WORKLOAD, small)
+        info = reader.cache_info()
+        assert info["store_hits"] == 0  # rejected: different shard key
+        assert info["misses"] > 0
+        # Both parameter sets own separate shards in the same directory.
+        assert DecisionStore(tmp_path).stats()["shards"] == 2
+
+    def test_sampled_and_batched_rows_never_collide(self, tmp_path):
+        small = ArrayFlexConfig(rows=16, cols=16)
+        sampled = self._backend(tmp_path)
+        sampled.schedule_model(self.WORKLOAD, small)
+        batched = BatchedCachedBackend(store=DecisionStore(tmp_path))
+        batched.schedule_model(self.WORKLOAD, small)
+        assert batched.cache_info()["store_hits"] == 0
+        assert DecisionStore(tmp_path).stats()["shards"] == 2
 
 
 class TestAttachStore:

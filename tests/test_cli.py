@@ -136,6 +136,64 @@ class TestBackendFlag:
         assert main(["compare", "--model", "resnet34", "--backend", "batched"]) == 0
         assert "batched backend" in capsys.readouterr().out
 
+    def test_compare_sampled_backend_small_array(self, capsys):
+        assert (
+            main(
+                [
+                    "--backend", "sampled",
+                    "--sample-fraction", "0.25",
+                    "--sample-seed", "7",
+                    "compare",
+                    "--rows", "16",
+                    "--cols", "16",
+                    "--model", "mobilenet_v1",
+                ]
+            )
+            == 0
+        )
+        assert "sampled backend" in capsys.readouterr().out
+
+    def test_sampled_flags_configure_the_backend(self):
+        from repro.cli import _resolve_backend
+
+        args = build_parser().parse_args(
+            ["--backend", "sampled", "--sample-fraction", "0.5", "--sample-seed", "3", "info"]
+        )
+        backend = _resolve_backend(args)
+        assert backend.sample_fraction == 0.5
+        assert backend.sample_seed == 3
+
+    def test_sampling_flags_require_sampled_backend(self):
+        with pytest.raises(ValueError, match="requires --backend sampled"):
+            main(["--sample-seed", "3", "compare", "--model", "resnet34"])
+        with pytest.raises(ValueError, match="requires --backend sampled"):
+            main(
+                ["--backend", "batched", "--sample-fraction", "0.5",
+                 "compare", "--model", "resnet34"]
+            )
+
+    def test_batch_rejects_stray_sampling_flags(self):
+        with pytest.raises(ValueError, match="requires --backend sampled"):
+            main(["--sample-seed", "3", "batch", "--models", "resnet34",
+                  "--sizes", "64x64", "--no-cache"])
+
+    @pytest.mark.parametrize("command", [["workloads"], ["report"]])
+    def test_every_command_rejects_stray_sampling_flags(self, command):
+        """No command may silently ignore the sampling flags."""
+        with pytest.raises(ValueError, match="requires --backend sampled"):
+            main(["--sample-seed", "3", *command])
+
+    def test_experiment_sampled_registered(self):
+        from repro.cli import EXPERIMENT_FACTORIES
+
+        assert "sampled" in EXPERIMENT_FACTORIES
+
+    def test_experiment_sampled_rejects_other_explicit_backends(self):
+        """The accuracy experiment must not silently swap in the default
+        sampled backend when another backend was explicitly requested."""
+        with pytest.raises(ValueError, match="not supported here"):
+            main(["--backend", "cycle", "experiment", "sampled"])
+
 
 class TestWorkloadsCommand:
     def test_lists_all_suites(self, capsys):

@@ -123,6 +123,41 @@ class TestScheduleMany:
         assert schedules[1].layers == reference[("ResNet-34", True)].layers
 
 
+class TestBackendIdentityInDedupKeys:
+    """Dedup keys fold in the backend's ``decision_identity()``: sampled
+    results estimated under one seed/fraction are never keyed like
+    another's, while the exact backends keep their historical keys."""
+
+    @staticmethod
+    def _key(service, config):
+        request = ScheduleRequest(model=resnet34(), config=config)
+        key, future = service._submit_keyed(request)
+        future.result()
+        return key
+
+    def test_exact_backends_have_empty_identity(self, config):
+        with SchedulingService() as service:
+            assert service._backend_identity == ()
+            assert self._key(service, config)[-1] == ()
+
+    def test_sampled_seed_and_fraction_distinguish_keys(self, config):
+        from repro.backends import SampledSimBackend
+
+        small = config.with_size(16, 16)
+        keys = []
+        for backend in (
+            SampledSimBackend(sample_seed=0),
+            SampledSimBackend(sample_seed=1),
+            SampledSimBackend(sample_seed=0, sample_fraction=0.5),
+        ):
+            with SchedulingService(backend=backend) as service:
+                keys.append(self._key(service, small))
+        assert len(set(keys)) == 3
+        # Same parameters produce the same key (cross-service identity).
+        with SchedulingService(backend=SampledSimBackend(sample_seed=0)) as service:
+            assert self._key(service, small) == keys[0]
+
+
 class TestConcurrency:
     def test_concurrent_schedule_many_is_safe_and_exact(self, config, reference):
         """Many threads hammering one service agree with the reference."""
