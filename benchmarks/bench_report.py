@@ -34,10 +34,15 @@ for _path in (_HERE.parent / "src", _HERE):
 
 from bench_scenarios import (  # noqa: E402
     DESIGN_POINTS,
+    STORE_WARM_ROWS,
     best_of as _best_of,
+    build_columnar_store,
+    columnar_warm_load,
     design_space_sweep,
+    json_v1_warm_load,
     schedule_cnn_suite,
     schedule_transformer_suite,
+    write_json_v1_shard,
 )
 
 from repro import __version__  # noqa: E402
@@ -169,7 +174,28 @@ def collect(rounds: int = 3) -> dict:
             sampled_schedule.max_error_bound() * exact_schedule.total_cycles + 1e-9
         ), "sampled estimate outside its error bound"
 
+    # Store warm load: a fresh handle mmap-loading one >= 10k-decision
+    # columnar shard vs parsing the same decisions from the v1 JSON
+    # format (the test_bench_store.py scenario).
+    with tempfile.TemporaryDirectory() as store_dir:
+        store_root = Path(store_dir)
+        columnar_dir = store_root / "columnar"
+        columnar_dir.mkdir()
+        build_columnar_store(columnar_dir)
+        json_path = write_json_v1_shard(store_root / "decisions-v1.json")
+        assert len(columnar_warm_load(columnar_dir)) == STORE_WARM_ROWS
+        timings_ms["store_warm_load_columnar"] = 1e3 * _best_of(
+            lambda: columnar_warm_load(columnar_dir), rounds
+        )
+        timings_ms["store_warm_load_json_v1"] = 1e3 * _best_of(
+            lambda: json_v1_warm_load(json_path), rounds
+        )
+
     speedups = {
+        "store_warm_vs_json_v1": (
+            timings_ms["store_warm_load_json_v1"]
+            / timings_ms["store_warm_load_columnar"]
+        ),
         "sampled_vs_cycle": (
             timings_ms["cnn_suite_bs4_cycle"] / timings_ms["cnn_suite_bs4_sampled"]
         ),

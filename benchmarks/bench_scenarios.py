@@ -112,6 +112,121 @@ def design_space_sweep(activity_model=None, backend=None):
     return explorer.explore(DESIGN_POINTS)
 
 
+#: The store-warm-load scenario (``test_bench_store.py`` and the
+#: ``BENCH_<sha>.json`` artifact): one >= 10k-decision shard, loaded warm
+#: by a fresh process the way every pool worker of a sweep does.  The
+#: baseline is the v1 JSON shard format (one payload object, string
+#: keys, fully materialised list rows) parsed the way the v1 store did.
+STORE_WARM_ROWS = 10_000
+STORE_WARM_CONFIG_KEY = ("bench-store-warm", 128, 128)
+STORE_WARM_PROBES = 64
+
+
+def store_warm_rows(count: int = STORE_WARM_ROWS):
+    """``count`` synthetic decision rows keyed by distinct (m, n, t).
+
+    Full-width rows (every power column populated, half the rows with a
+    finite ``error_bound``) so the scenario pays the real per-row cost.
+    """
+    rows = {}
+    for i in range(count):
+        key = (i + 1, (i % 97) + 1, (i % 89) + 1)
+        bound = None if i % 2 else 1e-3 + i * 1e-9
+        rows[key] = [
+            1 + i % 4,
+            1_000 + i,
+            1.7,
+            58.8 + i,
+            3.5,
+            0.5,
+            0.9,
+            *[float(i % 7) + j * 0.125 for j in range(8)],
+            bound,
+        ]
+    return rows
+
+
+def build_columnar_store(directory, count: int = STORE_WARM_ROWS):
+    """Write the scenario's decisions as one columnar v2 shard."""
+    from repro.backends.store import DecisionStore
+
+    store = DecisionStore(directory)
+    store.put_many(STORE_WARM_CONFIG_KEY, store_warm_rows(count))
+    return store
+
+
+def write_json_v1_shard(path, count: int = STORE_WARM_ROWS):
+    """Write the same decisions in the v1 JSON shard format."""
+    import json
+
+    decisions = {
+        ",".join(map(str, key)): row for key, row in store_warm_rows(count).items()
+    }
+    payload = {
+        "version": "1.3",
+        "config_key": list(STORE_WARM_CONFIG_KEY),
+        "decisions": decisions,
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def columnar_warm_load(directory):
+    """One warm columnar load: fresh store handle, mmap + index build."""
+    from repro.backends.store import DecisionStore
+
+    return DecisionStore(directory).load(STORE_WARM_CONFIG_KEY)
+
+
+def json_v1_warm_load(path):
+    """One warm v1 load: parse the JSON payload into the row dict."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)["decisions"]
+
+
+def _vm_rss_kb() -> int:
+    """Resident set size of this process in KiB (0 if unavailable)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+#: How many simultaneous loads each RSS worker holds.  A single load can
+#: hide inside allocator arenas the worker inherited over ``fork``;
+#: holding several live at once forces real heap growth, and the
+#: per-load average is what gets compared.
+STORE_WARM_RSS_LOADS = 3
+
+
+def rss_delta_columnar_worker(directory) -> float:
+    """Pool worker: per-load RSS growth (KiB), columnar path + probes."""
+    before = _vm_rss_kb()
+    views = [columnar_warm_load(directory) for _ in range(STORE_WARM_RSS_LOADS)]
+    for view in views:
+        probes = [view.get(key) for key in list(view.keys())[:STORE_WARM_PROBES]]
+        assert len(probes) == STORE_WARM_PROBES and all(p is not None for p in probes)
+    after = _vm_rss_kb()
+    return (after - before) / STORE_WARM_RSS_LOADS
+
+
+def rss_delta_json_worker(path) -> float:
+    """Pool worker: per-load RSS growth (KiB), v1 JSON path + probes."""
+    before = _vm_rss_kb()
+    tables = [json_v1_warm_load(path) for _ in range(STORE_WARM_RSS_LOADS)]
+    for table in tables:
+        probes = [table[key] for key in list(table)[:STORE_WARM_PROBES]]
+        assert len(probes) == STORE_WARM_PROBES
+    after = _vm_rss_kb()
+    return (after - before) / STORE_WARM_RSS_LOADS
+
+
 def best_of(fn, rounds: int = 3) -> float:
     """Best-of-N wall-clock seconds of ``fn()``."""
     best = float("inf")

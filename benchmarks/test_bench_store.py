@@ -1,0 +1,109 @@
+"""Benchmark: the v2 columnar DecisionStore warm-load path.
+
+Not a paper figure: this pins the perf claims of the columnar shard
+rewrite on the store-warm-load scenario of ``bench_scenarios.py`` — one
+shard holding >= 10k decisions, loaded warm by fresh store handles the
+way every pool worker of a design-space sweep does.
+
+Pinned conclusions:
+
+* a warm columnar load (``np.load(..., mmap_mode="r")`` + index build)
+  is at least 5x faster than parsing the same decisions from the v1
+  JSON shard format;
+* the loads are equivalent: every probed key decodes to the exact row
+  the JSON payload holds;
+* across a 4-worker process pool, the per-worker RSS growth of the
+  columnar path is measurably below the JSON path's — the memmap keeps
+  row storage in shared page-cache pages instead of per-process heaps.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from bench_scenarios import (
+    STORE_WARM_PROBES,
+    STORE_WARM_ROWS,
+    best_of as _best_of,
+    build_columnar_store,
+    columnar_warm_load,
+    json_v1_warm_load,
+    rss_delta_columnar_worker,
+    rss_delta_json_worker,
+    speedup_floor,
+    store_warm_rows,
+    write_json_v1_shard,
+    _vm_rss_kb,
+)
+
+POOL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def warm_stores(tmp_path_factory):
+    """The scenario's two on-disk stores: columnar v2 and JSON v1."""
+    root = tmp_path_factory.mktemp("store-warm")
+    columnar_dir = root / "columnar"
+    columnar_dir.mkdir()
+    build_columnar_store(columnar_dir)
+    json_path = write_json_v1_shard(root / "decisions-v1.json")
+    return columnar_dir, json_path
+
+
+def test_warm_columnar_load_beats_json_v1(benchmark, warm_stores):
+    """A warm columnar load is >= 5x faster than the v1 JSON parse."""
+    columnar_dir, json_path = warm_stores
+
+    view = columnar_warm_load(columnar_dir)
+    table = json_v1_warm_load(json_path)
+    assert len(view) == STORE_WARM_ROWS == len(table)
+
+    # Equivalent contents: every probed key decodes to the JSON row.
+    for key in list(view.keys())[:STORE_WARM_PROBES]:
+        assert view.get(key) == table[",".join(map(str, key))]
+
+    columnar_s = _best_of(lambda: columnar_warm_load(columnar_dir))
+    json_s = _best_of(lambda: json_v1_warm_load(json_path))
+    speedup = json_s / columnar_s
+    print(
+        f"\njson v1 {json_s * 1e3:.1f} ms  "
+        f"columnar {columnar_s * 1e3:.1f} ms  speedup {speedup:.1f}x"
+    )
+    floor = speedup_floor(5.0)
+    assert speedup >= floor, f"expected >= {floor:.1f}x, measured {speedup:.2f}x"
+
+    # Track the warm-load path in the perf trajectory.
+    benchmark(columnar_warm_load, columnar_dir)
+
+
+def test_pool_workers_share_columnar_pages(warm_stores):
+    """4 pool workers grow less RSS on columnar shards than on JSON.
+
+    Each worker measures its own VmRSS before and after one warm load
+    plus row probes.  The JSON path materialises every row as Python
+    lists on the worker's private heap; the columnar path touches
+    memmap pages (shared, reclaimable) plus one small key index — so
+    its per-worker growth must land clearly below the JSON path's.
+    """
+    if _vm_rss_kb() == 0:
+        pytest.skip("VmRSS not readable on this platform")
+    columnar_dir, json_path = warm_stores
+
+    with ProcessPoolExecutor(max_workers=POOL_WORKERS) as pool:
+        json_kb = list(pool.map(rss_delta_json_worker, [json_path] * POOL_WORKERS))
+    with ProcessPoolExecutor(max_workers=POOL_WORKERS) as pool:
+        columnar_kb = list(
+            pool.map(rss_delta_columnar_worker, [columnar_dir] * POOL_WORKERS)
+        )
+
+    mean_json = sum(json_kb) / len(json_kb)
+    mean_columnar = sum(columnar_kb) / len(columnar_kb)
+    print(
+        f"\nper-worker RSS growth: json v1 {mean_json:.0f} KiB  "
+        f"columnar {mean_columnar:.0f} KiB  ({json_kb} vs {columnar_kb})"
+    )
+    assert mean_json > 0, "JSON baseline measured no RSS growth"
+    assert mean_columnar < 0.8 * mean_json, (
+        f"columnar per-worker RSS {mean_columnar:.0f} KiB not below "
+        f"0.8x the JSON baseline {mean_json:.0f} KiB"
+    )

@@ -35,7 +35,12 @@ from repro.backends.base import (
 from repro.backends.batched import BatchedCachedBackend
 from repro.backends.cycle_accurate import CycleAccurateBackend
 from repro.backends.sampled import SampledSimBackend
-from repro.backends.store import CACHE_VERSION, DecisionStore, default_cache_dir
+from repro.backends.store import (
+    CACHE_VERSION,
+    DecisionStore,
+    ShardView,
+    default_cache_dir,
+)
 
 #: Registry of backend constructors, keyed by their CLI names.
 BACKENDS: dict[str, type[ExecutionBackend]] = {
@@ -135,6 +140,7 @@ __all__ = [
     "CycleAccurateBackend",
     "SampledSimBackend",
     "DecisionStore",
+    "ShardView",
     "CACHE_VERSION",
     "default_cache_dir",
     "ExecutionBackend",

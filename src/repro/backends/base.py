@@ -151,6 +151,20 @@ class ExecutionBackend(abc.ABC):
     # ------------------------------------------------------------------ #
     # The protocol
     # ------------------------------------------------------------------ #
+    def flush_store(self) -> None:
+        """Flush buffered decision-store writes to disk.
+
+        No-op for backends without an attached
+        :class:`~repro.backends.store.DecisionStore` (or without one at
+        all).  Single-decision writers buffer rows in the store
+        (:meth:`DecisionStore.put`) and call this at model boundaries, so
+        a finished schedule is always fully persisted; long-lived callers
+        (the serving front-end's ``close``) call it as a final drain.
+        """
+        store = getattr(self, "store", None)
+        if store is not None:
+            store.flush()
+
     def decision_identity(self) -> tuple:
         """Backend parameters that change the *numbers* it produces.
 

@@ -28,7 +28,11 @@ With a :class:`~repro.backends.store.DecisionStore` attached, the LRU is
 additionally spilled to disk: every freshly solved decision is flushed to
 the store, and memory misses consult it before falling back to the NumPy
 solve, so a new process (a rerun CLI invocation, a CI job, a pool worker)
-starts warm.  All cache bookkeeping is serialised on an internal lock,
+starts warm.  The store's shards are memory-mapped columnar arrays read
+through a zero-copy :class:`~repro.backends.store.ShardView` — all pool
+workers share one page-cache copy, and a stored row is only materialised
+into a :class:`Decision` when this backend actually misses its in-memory
+LRU.  All cache bookkeeping is serialised on an internal lock,
 which makes one backend instance safe to share across the threads of
 :class:`~repro.serve.SchedulingService`.
 """

@@ -4,12 +4,23 @@ Both decision-caching backends — :class:`~repro.backends.batched.
 BatchedCachedBackend` and :class:`~repro.backends.sampled.
 SampledSimBackend` — memoise the outcome of one mode decision as a
 :class:`Decision` and spill it to the :class:`~repro.backends.store.
-DecisionStore` as one JSON row.  Keeping the record and the row codec in
+DecisionStore` as one row.  Keeping the record and the row codec in
 one module guarantees the two backends can never drift apart on the
 on-disk layout: a row written by either is readable by the other's codec
 (though never *looked up* by the other — the sampled backend's store
 shards are keyed by its sampling parameters on top of the configuration
 key, see :meth:`SampledSimBackend.store_config_key`).
+
+On disk a shard is one NumPy structured array (:data:`DECISION_DTYPE`):
+the three GEMM dimensions followed by the sixteen columns of
+:func:`decision_to_row`.  Every column is an ``int64`` or ``float64``, so
+values round-trip bit-exactly, and the nullable ``error_bound`` column
+encodes ``None`` as ``NaN`` (the sampled backend never reports a NaN
+bound — its estimator computes finite ratios — so the encoding is
+unambiguous).  The array form is what makes the store's zero-copy read
+path possible: shards are memory-mapped read-only and rows are
+materialised one at a time through :func:`record_to_row`, only when a
+backend actually misses its in-memory LRU.
 
 The row layout is versioned through :data:`repro.backends.store.
 DECISION_MODEL_VERSION`; widening it (as the ``error_bound`` column did)
@@ -18,11 +29,45 @@ bumps that version and purges every stale shard on the next write.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.metrics import LayerMetrics
 from repro.nn.gemm_mapping import GemmShape
 from repro.timing.power_model import ArrayPowerBreakdown
+
+#: Columns of one store row (see :func:`decision_to_row`): seven decision
+#: scalars, the eight :class:`ArrayPowerBreakdown` components, and the
+#: nullable ``error_bound``.
+DECISION_ROW_WIDTH = 16
+
+#: The columnar on-disk layout of one decision: the within-shard GEMM key
+#: (m, n, t) followed by the :func:`decision_to_row` columns, in order.
+DECISION_DTYPE = np.dtype(
+    [
+        ("m", np.int64),
+        ("n", np.int64),
+        ("t", np.int64),
+        ("collapse_depth", np.int64),
+        ("cycles", np.int64),
+        ("clock_frequency_ghz", np.float64),
+        ("execution_time_ns", np.float64),
+        ("analytical_depth", np.float64),
+        ("activity", np.float64),
+        ("array_utilization", np.float64),
+        ("power_multiplier", np.float64),
+        ("power_carry_propagate_adder", np.float64),
+        ("power_carry_save_adder", np.float64),
+        ("power_bypass_muxes", np.float64),
+        ("power_register_data", np.float64),
+        ("power_register_clock", np.float64),
+        ("power_leakage", np.float64),
+        ("power_total_mw", np.float64),
+        ("error_bound", np.float64),
+    ]
+)
 
 
 @dataclass(frozen=True)
@@ -101,6 +146,65 @@ def decision_from_row(row: list) -> Decision:
             total_mw=float(row[14]),
         ),
         error_bound=None if row[15] is None else float(row[15]),
+    )
+
+
+def rows_to_records(decisions: dict[tuple, list]) -> np.ndarray:
+    """Encode ``{(m, n, t): row}`` decisions as one structured array.
+
+    The inverse of :func:`record_to_row` per entry; malformed keys or rows
+    are rejected loudly (a store must never persist a shard it cannot read
+    back).  ``error_bound`` ``None`` is encoded as ``NaN``.
+    """
+    records = np.empty(len(decisions), dtype=DECISION_DTYPE)
+    for position, (key, row) in enumerate(decisions.items()):
+        if not (isinstance(key, tuple) and len(key) == 3):
+            raise ValueError(f"within-shard key must be an (m, n, t) tuple, got {key!r}")
+        if len(row) != DECISION_ROW_WIDTH:
+            raise ValueError(
+                f"decision row must have {DECISION_ROW_WIDTH} columns, got {len(row)}"
+            )
+        error_bound = row[DECISION_ROW_WIDTH - 1]
+        records[position] = (
+            int(key[0]),
+            int(key[1]),
+            int(key[2]),
+            *row[: DECISION_ROW_WIDTH - 1],
+            math.nan if error_bound is None else float(error_bound),
+        )
+    return records
+
+
+def record_to_row(record: np.void) -> list:
+    """Decode one structured-array record back into the canonical row.
+
+    Bit-exact: every column is an ``int64``/``float64``, so the list this
+    returns equals the one :func:`rows_to_records` encoded, with the
+    ``NaN`` sentinel of the ``error_bound`` column mapped back to ``None``
+    — ready for :func:`decision_from_row`.
+    """
+    # .item() already yields native Python ints/floats per the dtype, so
+    # slicing the tuple is the whole decode (this runs once per LRU miss
+    # on the warm path — keep it lean).
+    values = record.item()
+    error_bound = values[18]
+    row = list(values[3:18])
+    row.append(None if math.isnan(error_bound) else error_bound)
+    return row
+
+
+def records_index(array: np.ndarray) -> dict[tuple[int, int, int], int]:
+    """Map every (m, n, t) key of a shard array to its row position.
+
+    This is the only whole-shard pass of the warm read path: three column
+    reads plus one dict build, no per-row Python object materialisation.
+    Later duplicates win, matching dict-merge semantics.
+    """
+    return dict(
+        zip(
+            zip(array["m"].tolist(), array["n"].tolist(), array["t"].tolist()),
+            range(len(array)),
+        )
     )
 
 

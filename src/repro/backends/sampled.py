@@ -252,12 +252,35 @@ class SampledSimBackend(ExecutionBackend):
                 return decision
         decision = self._solve(gemm, config)
         if self.store is not None:
-            self.store.put_many(
+            # Buffered append: one layer is one row, so writing through
+            # DecisionStore.put batches a whole model's worth of fresh
+            # decisions into a single shard merge (flushed at the store's
+            # row threshold and at every model boundary below) instead of
+            # a read-merge-replace cycle per layer.
+            self.store.put(
                 config_key,
-                {DecisionStore.gemm_key(gemm.m, gemm.n, gemm.t): decision_to_row(decision)},
+                DecisionStore.gemm_key(gemm.m, gemm.n, gemm.t),
+                decision_to_row(decision),
             )
         self._remember(key, decision, from_store=False)
         return decision
+
+    def schedule_model(
+        self,
+        model,
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+    ):
+        """Schedule every layer, then flush buffered store rows to disk.
+
+        The flush makes "a finished model run is persisted" hold for the
+        buffered write path exactly like it did for the old
+        write-per-decision path: a second process (or a rerun) starts warm
+        from everything this schedule derived.
+        """
+        schedule = super().schedule_model(model, config, model_name=model_name)
+        self.flush_store()
+        return schedule
 
     def _remember(self, key: tuple, decision: Decision, from_store: bool) -> None:
         with self._lock:

@@ -1,35 +1,66 @@
-"""Disk-persistent decision cache.
+"""Disk-persistent decision cache (v2: columnar, memory-mapped shards).
 
 :class:`DecisionStore` spills the decision-caching backends' LRU caches
 (batched and sampled) to an on-disk store so repeated CLI / CI
-invocations skip re-deriving mode decisions entirely.  One *shard* file
-holds every cached decision of one accelerator configuration; shards are
-named by a digest of ``(store version, config key)``, so decisions
-computed under a different array geometry, mode set, activity factor,
-activity model or technology model can never be confused — the
-technology model's full parameter set is part of
+invocations skip re-deriving mode decisions entirely.  One *shard* holds
+every cached decision of one accelerator configuration; shards are named
+by a digest of ``(store version, config key)``, so decisions computed
+under a different array geometry, mode set, activity factor, activity
+model or technology model can never be confused — the technology model's
+full parameter set is part of
 :meth:`~repro.core.config.ArrayFlexConfig.cache_key`, and the sampled
 backend widens its config key with its sampling parameters
 (:meth:`~repro.backends.sampled.SampledSimBackend.store_config_key`), so
 rows estimated under one seed/fraction can never answer a lookup made
 under another.
 
+The v2 on-disk format is columnar:
+
+* ``decisions-<digest>.npy`` — one NumPy structured array
+  (:data:`~repro.backends.decisions.DECISION_DTYPE`: the (m, n, t) GEMM
+  key plus the sixteen decision columns, ``error_bound`` nullable as
+  ``NaN``).  Shards are opened with ``np.load(..., mmap_mode="r")``, so
+  N processes of a pool sweep share one page-cache copy of the payload
+  instead of N parsed heaps, and a warm load costs an mmap plus one
+  key-index build instead of a JSON parse.  Rows are materialised into
+  Python lists one at a time (:class:`ShardView.get`), only when a
+  backend actually misses its in-memory LRU.
+* ``decisions-<digest>.meta.json`` — a small sidecar recording the shard's
+  store version, configuration key and row count.
+* ``decisions-<digest>.hits`` — an append-only use counter (one byte per
+  warm start, written with an atomic ``O_APPEND`` append): hits = file
+  size, recency = file mtime.  These drive the eviction score without
+  putting a read-modify-replace cycle on the read path.
+
+Within one process, unchanged shard files additionally resolve through a
+global view registry validated by ``stat`` signatures, so however many
+fresh :class:`DecisionStore` handles a sweep opens, each shard costs one
+mmap and one key-index build per process.
+
 Versioning and invalidation are explicit:
 
-* :data:`STORE_FORMAT_VERSION` changes when the on-disk layout changes;
+* :data:`STORE_FORMAT_VERSION` changes when the on-disk layout changes
+  (v2: the JSON-to-columnar rewrite);
 * :data:`DECISION_MODEL_VERSION` changes when the latency / clock / energy
-  closed forms change (anything that would alter a cached number);
+  closed forms change (anything that would alter a cached number) or when
+  the row layout changes (v4: the columnar encoding of the v3 row);
 * the combined :data:`CACHE_VERSION` is baked into every shard digest and
-  recorded both in a ``VERSION`` marker file and inside each shard, so a
-  version bump atomically orphans every stale entry and the store purges
-  them on the next write.
+  recorded both in a ``VERSION`` marker file and inside each sidecar, so a
+  version bump atomically orphans every stale entry — including the whole
+  JSON v1 era — and the store purges them on the next write.
 
 Writes are atomic (temp file + :func:`os.replace` in the same directory)
 and merge with whatever a concurrent writer already flushed, so parallel
 sweeps sharing one cache directory lose at most duplicated work, never
-correctness.  The store never writes inside the repository tree: the
-default location honours ``REPRO_CACHE_DIR`` and ``XDG_CACHE_HOME`` and
-falls back to ``~/.cache/repro-arrayflex``.
+correctness.  Single-row writers batch through :meth:`DecisionStore.put`,
+which buffers rows and turns them into one merge per
+:attr:`~DecisionStore.flush_rows` appends (or an explicit
+:meth:`~DecisionStore.flush`).  Corrupt shards are never silently
+swallowed: unreadable payloads are surfaced through a ``warnings.warn``
+naming the file and counted in :meth:`~DecisionStore.stats`.  The store
+never writes inside the repository tree: the default location honours
+``REPRO_CACHE_DIR`` and ``XDG_CACHE_HOME`` and falls back to
+``~/.cache/repro-arrayflex``.
 """
 
 from __future__ import annotations
@@ -39,25 +70,85 @@ import json
 import os
 import tempfile
 import threading
+import time
+import warnings
 from pathlib import Path
 
-#: Bump when the on-disk shard layout changes.
-STORE_FORMAT_VERSION = 1
+import numpy as np
+
+from repro.backends.decisions import (
+    DECISION_DTYPE,
+    record_to_row,
+    records_index,
+    rows_to_records,
+)
+
+#: Bump when the on-disk shard layout changes.  v2: JSON payloads replaced
+#: by memory-mapped columnar ``.npy`` structured arrays with a JSON
+#: metadata sidecar per shard.
+STORE_FORMAT_VERSION = 2
 #: Bump when the scheduling closed forms (latency / clock / energy models)
 #: change in a way that alters cached decisions — or when the decision
-#: row widens.  v2: the activity-aware LayerMetrics refactor (rows now
+#: row layout changes.  v2: the activity-aware LayerMetrics refactor (rows
 #: carry per-layer activity, array utilization and the full per-component
-#: power breakdown instead of one collapsed power scalar).  v3: rows
-#: widened with the sampled-simulation backend's relative ``error_bound``
-#: column (null for the exact backends); sampled-backend shards are
-#: additionally keyed by the backend's sampling parameters.
-DECISION_MODEL_VERSION = 3
+#: power breakdown).  v3: rows widened with the sampled-simulation
+#: backend's relative ``error_bound`` column (null for the exact
+#: backends).  v4: the same sixteen columns re-encoded as one structured-
+#: array record per row (``error_bound`` ``None`` as ``NaN``), so every
+#: JSON-era shard purges cleanly on first use.
+DECISION_MODEL_VERSION = 4
 #: The combined version every shard is keyed and stamped with.
 CACHE_VERSION = f"{STORE_FORMAT_VERSION}.{DECISION_MODEL_VERSION}"
 
 #: Name of the marker file recording the version a cache directory serves.
 _VERSION_MARKER = "VERSION"
 _SHARD_PREFIX = "decisions-"
+_SHARD_SUFFIX = ".npy"
+_SIDECAR_SUFFIX = ".meta.json"
+_HITS_SUFFIX = ".hits"
+
+#: Process-global shard-view registry: the shared read path.  Every
+#: DecisionStore instance in this process resolves an unchanged shard
+#: file to the same :class:`ShardView` (one mmap + one key index per
+#: shard per process, however many fresh store handles a sweep opens);
+#: entries are validated against the payload/sidecar ``stat`` signatures
+#: on every lookup, so any on-disk change — a concurrent merge, a purge,
+#: hand-edited files — misses the cache and re-reads.
+_VIEW_CACHE: dict[str, tuple[tuple, tuple, str, str, ShardView]] = {}
+_VIEW_CACHE_LOCK = threading.Lock()
+_VIEW_CACHE_CAP = 1024
+
+
+def _stat_sig(path: Path) -> tuple:
+    stat = path.stat()
+    return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+
+def _view_cache_get(path: Path, payload_sig: tuple, sidecar_sig: tuple):
+    with _VIEW_CACHE_LOCK:
+        entry = _VIEW_CACHE.get(str(path))
+    if entry is None or entry[0] != payload_sig or entry[1] != sidecar_sig:
+        return None
+    return entry[2:]
+
+
+def _view_cache_put(
+    path: Path,
+    payload_sig: tuple,
+    sidecar_sig: tuple,
+    version: str,
+    config_repr: str,
+    view: ShardView,
+) -> None:
+    with _VIEW_CACHE_LOCK:
+        if len(_VIEW_CACHE) >= _VIEW_CACHE_CAP:
+            _VIEW_CACHE.clear()
+        _VIEW_CACHE[str(path)] = (payload_sig, sidecar_sig, version, config_repr, view)
+
+
+def _view_cache_discard(path: Path) -> None:
+    with _VIEW_CACHE_LOCK:
+        _VIEW_CACHE.pop(str(path), None)
 
 
 def default_cache_dir() -> Path:
@@ -77,14 +168,57 @@ def default_cache_dir() -> Path:
     return base / "repro-arrayflex"
 
 
+class ShardView:
+    """Zero-copy read view of one columnar shard.
+
+    Wraps the shard's structured array — usually a read-only memmap whose
+    pages every reader process shares through the OS page cache — plus the
+    ``(m, n, t) -> row position`` index.  ``get`` materialises exactly one
+    row into the canonical list form (:func:`~repro.backends.decisions.
+    record_to_row`), so a warm backend pays per-row decode cost only on
+    the rows it actually misses in memory.
+    """
+
+    __slots__ = ("array", "_index")
+
+    def __init__(self, array: np.ndarray, index: dict | None = None) -> None:
+        self.array = array
+        self._index = records_index(array) if index is None else index
+
+    def get(self, key: tuple, default: list | None = None) -> list | None:
+        position = self._index.get(key)
+        if position is None:
+            return default
+        return record_to_row(self.array[position])
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._index
+
+    def __iter__(self):
+        return iter(self._index)
+
+    def keys(self):
+        return self._index.keys()
+
+
+def _empty_view() -> ShardView:
+    return ShardView(np.empty(0, dtype=DECISION_DTYPE), {})
+
+
 class DecisionStore:
     """On-disk, versioned store of ``(GEMM, configuration) -> decision``.
 
     Decisions are the per-layer metrics rows cached by
-    :class:`~repro.backends.batched.BatchedCachedBackend` (mode, cycles,
-    operating point, activity, utilization and the per-component power
-    breakdown); they are stored as JSON (floats round-trip bit-exactly
-    through ``repr``), one shard file per configuration.  The store is safe for concurrent use from
+    :class:`~repro.backends.batched.BatchedCachedBackend` and
+    :class:`~repro.backends.sampled.SampledSimBackend` (mode, cycles,
+    operating point, activity, utilization, the per-component power
+    breakdown and the nullable error bound); they are stored as one
+    columnar structured array per configuration (int64/float64 columns
+    round-trip bit-exactly) and read back through memory-mapped
+    :class:`ShardView` objects.  The store is safe for concurrent use from
     threads (a lock serialises shard mutation) and from processes (atomic
     replace + merge-on-write).
     """
@@ -94,38 +228,58 @@ class DecisionStore:
         directory: str | os.PathLike[str] | None = None,
         version: str = CACHE_VERSION,
         max_bytes: int | None = None,
+        flush_rows: int = 256,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for no cap)")
+        if flush_rows < 1:
+            raise ValueError("flush_rows must be at least 1")
         self.directory = (
             Path(directory).expanduser() if directory is not None else default_cache_dir()
         )
         self.version = version
-        #: Opt-in size cap: every merge prunes oldest-written shards until
-        #: the on-disk footprint fits, so long-lived caches (CI runners,
-        #: shared dev machines) cannot grow unboundedly.  ``None`` (the
-        #: default) keeps the historical unbounded behaviour.
+        #: Opt-in size cap: every merge prunes the lowest-value shards
+        #: (fewest recorded hits, least recently used) until the on-disk
+        #: footprint fits, so long-lived caches (CI runners, shared dev
+        #: machines) cannot grow unboundedly.  ``None`` (the default)
+        #: keeps the historical unbounded behaviour.
         self.max_bytes = max_bytes
+        #: Buffered single-row appends (:meth:`put`) are flushed as one
+        #: merge once this many rows are pending.
+        self.flush_rows = flush_rows
         self._lock = threading.Lock()
-        #: Shard cache: digest -> decisions dict, loaded lazily per shard.
-        self._shards: dict[str, dict[str, list]] = {}
+        #: Shard memo: digest -> ShardView, mapped lazily per shard.
+        self._shards: dict[str, ShardView] = {}
+        #: Write buffer: digest -> (config_key, {gemm_key: row}).
+        self._pending: dict[str, tuple[tuple, dict[tuple, list]]] = {}
+        self._pending_rows = 0
+        #: Unreadable shards encountered by this instance's loads.
+        self._corrupt_loads = 0
 
     # ------------------------------------------------------------------ #
     # Pickling (process-pool workers reopen the same directory)
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
+        # Flush first: rows buffered here must be on disk before a pool
+        # worker opens the same directory expecting to start warm.
+        self.flush()
         return {
             "directory": self.directory,
             "version": self.version,
             "max_bytes": self.max_bytes,
+            "flush_rows": self.flush_rows,
         }
 
     def __setstate__(self, state: dict) -> None:
         self.directory = state["directory"]
         self.version = state["version"]
         self.max_bytes = state.get("max_bytes")
+        self.flush_rows = state.get("flush_rows", 256)
         self._lock = threading.Lock()
         self._shards = {}
+        self._pending = {}
+        self._pending_rows = 0
+        self._corrupt_loads = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DecisionStore({str(self.directory)!r}, version={self.version!r})"
@@ -138,82 +292,248 @@ class DecisionStore:
         return hashlib.sha256(payload).hexdigest()[:24]
 
     def _shard_path(self, digest: str) -> Path:
-        return self.directory / f"{_SHARD_PREFIX}{digest}.json"
+        return self.directory / f"{_SHARD_PREFIX}{digest}{_SHARD_SUFFIX}"
+
+    def _sidecar_path(self, digest: str) -> Path:
+        return self.directory / f"{_SHARD_PREFIX}{digest}{_SIDECAR_SUFFIX}"
+
+    def _hits_path(self, digest: str) -> Path:
+        return self.directory / f"{_SHARD_PREFIX}{digest}{_HITS_SUFFIX}"
 
     @staticmethod
-    def gemm_key(m: int, n: int, t: int) -> str:
+    def gemm_key(m: int, n: int, t: int) -> tuple[int, int, int]:
         """The within-shard key of one GEMM shape."""
-        return f"{m},{n},{t}"
+        return (m, n, t)
 
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
-    def load(self, config_key: tuple) -> dict[str, list]:
-        """All stored decisions of one configuration (``{} `` when none).
+    def load(self, config_key: tuple) -> ShardView:
+        """The stored decisions of one configuration, as a zero-copy view.
 
-        The shard is read from disk once per store instance and memoised;
-        entries written through :meth:`put_many` keep the memo in sync.
+        The shard is memory-mapped once per store instance and memoised;
+        entries written through :meth:`put_many` / :meth:`flush` keep the
+        memo in sync.  Rows buffered by :meth:`put` and not yet flushed
+        are visible through :meth:`get`, not through this view.
         """
         digest = self._digest(config_key)
         with self._lock:
-            shard = self._shards.get(digest)
-            if shard is None:
-                shard = self._read_shard(digest, config_key)
-                self._shards[digest] = shard
-            return shard
+            view = self._shards.get(digest)
+            if view is None:
+                view = self._read_shard(digest, config_key)
+                self._shards[digest] = view
+                if len(view):
+                    self._count_shard_use(digest)
+            return view
 
     def get(self, config_key: tuple, m: int, n: int, t: int) -> list | None:
-        """One stored decision, or None when absent."""
-        return self.load(config_key).get(self.gemm_key(m, n, t))
+        """One stored decision, or None when absent (read-your-writes)."""
+        key = self.gemm_key(m, n, t)
+        digest = self._digest(config_key)
+        with self._lock:
+            pending = self._pending.get(digest)
+            if pending is not None and key in pending[1]:
+                return list(pending[1][key])
+        return self.load(config_key).get(key)
 
-    def _read_shard(self, digest: str, config_key: tuple) -> dict[str, list]:
+    def _read_shard(self, digest: str, config_key: tuple) -> ShardView:
+        """Memory-map one shard; corrupt payloads warn and read as empty.
+
+        A missing payload or sidecar reads as empty silently (nothing was
+        written yet, a stale-format era, or a concurrent writer mid-pair);
+        a *present but unreadable* file is surfaced: ``warnings.warn``
+        names it and :meth:`stats` counts it under ``corrupt_shards``.
+        Unchanged shard files resolve through the process-global view
+        registry, so N fresh store handles in one process cost one mmap
+        and one index build, not N.
+        """
         path = self._shard_path(digest)
+        sidecar = self._sidecar_path(digest)
         try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return {}
-        if (
-            not isinstance(payload, dict)
-            or payload.get("version") != self.version
-            or payload.get("config_key") != repr(config_key)
-        ):
+            payload_sig = _stat_sig(path)
+            sidecar_sig = _stat_sig(sidecar)
+        except OSError:
+            return _empty_view()
+        cached = _view_cache_get(path, payload_sig, sidecar_sig)
+        if cached is not None:
+            version, config_repr, view = cached
+            if version == self.version and config_repr == repr(config_key):
+                return view
+            return _empty_view()
+        try:
+            meta = json.loads(sidecar.read_text(encoding="utf-8"))
+            if not isinstance(meta, dict):
+                raise ValueError("sidecar is not a JSON object")
+        except FileNotFoundError:
+            return _empty_view()
+        except (OSError, ValueError) as error:
+            self._note_corrupt(sidecar, error)
+            return _empty_view()
+        if meta.get("version") != self.version or meta.get("config_key") != repr(config_key):
             # Stale format or (vanishingly unlikely) digest collision:
-            # treat as empty; the next write overwrites the file.
-            return {}
-        decisions = payload.get("decisions")
-        return decisions if isinstance(decisions, dict) else {}
+            # treat as empty; the next write overwrites the pair.
+            return _empty_view()
+        try:
+            array = np.load(path, mmap_mode="r", allow_pickle=False)
+            if array.dtype != DECISION_DTYPE or array.ndim != 1:
+                raise ValueError(f"unexpected shard layout {array.dtype}/{array.ndim}d")
+        except (OSError, ValueError, EOFError) as error:
+            self._note_corrupt(path, error)
+            return _empty_view()
+        view = ShardView(array)
+        _view_cache_put(
+            path, payload_sig, sidecar_sig, str(meta["version"]), str(meta["config_key"]), view
+        )
+        return view
+
+    def _note_corrupt(self, path: Path, error: Exception) -> None:
+        self._corrupt_loads += 1
+        warnings.warn(
+            f"DecisionStore: skipping corrupt shard file {path} ({error}); "
+            f"its decisions will be re-derived and the file overwritten on "
+            f"the next write",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _count_shard_use(self, digest: str) -> None:
+        """Bump the shard's persistent hit/recency counters (best effort).
+
+        Called once per (store instance, shard) on the first disk load, so
+        the hit count approximates "how many fresh consumers started warm
+        from this shard" — the value signal the eviction score ranks by.
+        The counter is an append-only ``.hits`` file: one byte per warm
+        start (``O_APPEND`` writes are atomic, so concurrent readers never
+        race), hits = file size, recency = file mtime — keeping the hot
+        read path free of read-modify-replace cycles.  Failures are
+        swallowed: use counting must never break a read-only consumer.
+        """
+        try:
+            with open(self._hits_path(digest), "ab") as handle:
+                handle.write(b"+")
+        except OSError:  # pragma: no cover - depends on filesystem state
+            pass
+
+    def _shard_use(self, digest: str, fallback_mtime: float) -> tuple[int, float]:
+        """The shard's (hits, last-used) eviction score inputs."""
+        try:
+            stat = self._hits_path(digest).stat()
+        except OSError:
+            return (0, fallback_mtime)
+        # A merge is a use too: recency is the later of last warm start
+        # (hits-file mtime) and last write (payload mtime).
+        return (stat.st_size, max(stat.st_mtime, fallback_mtime))
+
+    def _read_sidecar(self, digest: str) -> dict | None:
+        try:
+            meta = json.loads(self._sidecar_path(digest).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
 
     # ------------------------------------------------------------------ #
     # Writes
     # ------------------------------------------------------------------ #
-    def put_many(self, config_key: tuple, decisions: dict[str, list]) -> None:
+    def put(self, config_key: tuple, gemm_key: tuple, row: list) -> None:
+        """Buffer one decision row; flushed as a single batched merge.
+
+        The single-row writer's path (the sampled backend persists one
+        decision per layer): rows accumulate in memory and become one
+        atomic shard merge per :attr:`flush_rows` appends, instead of one
+        read-merge-replace cycle per row.  :meth:`get` sees buffered rows
+        immediately; other store instances see them after :meth:`flush`
+        (called automatically on overflow, pickling, stats and pruning).
+        """
+        digest = self._digest(config_key)
+        with self._lock:
+            entry = self._pending.get(digest)
+            if entry is None:
+                entry = (config_key, {})
+                self._pending[digest] = entry
+            if gemm_key not in entry[1]:
+                self._pending_rows += 1
+            entry[1][gemm_key] = list(row)
+            if self._pending_rows >= self.flush_rows:
+                self._flush_locked()
+
+    def flush(self) -> None:
+        """Merge every buffered :meth:`put` row to disk (one merge per shard)."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        pending, self._pending, self._pending_rows = self._pending, {}, 0
+        for digest, (config_key, decisions) in pending.items():
+            self._merge_locked(digest, config_key, decisions)
+
+    def put_many(self, config_key: tuple, decisions: dict[tuple, list]) -> None:
         """Merge decisions into the configuration's shard (atomic on disk)."""
         if not decisions:
             return
         digest = self._digest(config_key)
         with self._lock:
-            self._ensure_directory()
-            # Merge with concurrent writers' flushes before replacing.
-            current = self._read_shard(digest, config_key)
-            current.update(decisions)
-            self._shards[digest] = current
-            payload = {
-                "version": self.version,
-                "config_key": repr(config_key),
-                "decisions": current,
-            }
-            self._atomic_write(self._shard_path(digest), payload)
-            if self.max_bytes is not None:
-                self._prune_locked(self.max_bytes, protect=digest)
+            # Fold same-shard buffered rows into the same merge (explicit
+            # writes win over buffered ones on key collisions).
+            entry = self._pending.pop(digest, None)
+            if entry is not None:
+                self._pending_rows -= len(entry[1])
+                entry[1].update(decisions)
+                decisions = entry[1]
+            self._merge_locked(digest, config_key, decisions)
 
-    def _atomic_write(self, path: Path, payload: dict) -> None:
+    def _merge_locked(self, digest: str, config_key: tuple, decisions: dict) -> None:
+        self._ensure_directory()
+        fresh = rows_to_records(decisions)
+        # Merge with concurrent writers' flushes before replacing: re-read
+        # the on-disk shard rather than trusting this instance's memo.
+        on_disk = self._read_shard(digest, config_key)
+        if len(on_disk):
+            keep = np.array([key not in decisions for key in on_disk.keys()], dtype=bool)
+            merged = np.concatenate([np.asarray(on_disk.array)[keep], fresh])
+        else:
+            merged = fresh
+        path = self._shard_path(digest)
+        sidecar = self._sidecar_path(digest)
+        self._atomic_write_array(path, merged)
+        self._atomic_write_bytes(
+            sidecar,
+            (
+                json.dumps(
+                    {
+                        "version": self.version,
+                        "config_key": repr(config_key),
+                        "rows": int(len(merged)),
+                        "written": time.time(),
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            ).encode("utf-8"),
+        )
+        view = ShardView(merged)
+        self._shards[digest] = view
+        try:
+            _view_cache_put(
+                path, _stat_sig(path), _stat_sig(sidecar), self.version, repr(config_key), view
+            )
+        except OSError:  # pragma: no cover - racing writer replaced the pair
+            _view_cache_discard(path)
+        if self.max_bytes is not None:
+            self._prune_locked(self.max_bytes, protect=digest)
+
+    def _atomic_write_array(self, path: Path, array: np.ndarray) -> None:
+        self._atomic_write(path, lambda handle: np.save(handle, array, allow_pickle=False))
+
+    def _atomic_write_bytes(self, path: Path, payload: bytes) -> None:
+        self._atomic_write(path, lambda handle: handle.write(payload))
+
+    def _atomic_write(self, path: Path, write) -> None:
         fd, tmp = tempfile.mkstemp(
             prefix=path.name + ".", suffix=".tmp", dir=self.directory
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
+            with os.fdopen(fd, "wb") as handle:
+                write(handle)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -226,8 +546,9 @@ class DecisionStore:
         """Create the directory and enforce the version marker.
 
         A marker recording a *different* version means every shard on disk
-        was produced by an incompatible store: purge them all, then claim
-        the directory for this version.
+        was produced by an incompatible store — including the JSON shards
+        of the v1 format era: purge them all, then claim the directory for
+        this version.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         marker = self.directory / _VERSION_MARKER
@@ -242,7 +563,13 @@ class DecisionStore:
 
     def _purge_shards(self) -> None:
         self._shards.clear()
-        for shard in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
+        for shard in self.directory.glob(f"{_SHARD_PREFIX}*"):
+            # Payloads, sidecars and hit counters of any era (.npy,
+            # .meta.json, .hits, and the v1 format's .json shards);
+            # in-flight *.tmp files belong to live writers and stay.
+            if shard.suffix not in (".npy", ".json", ".hits"):
+                continue
+            _view_cache_discard(shard)
             try:
                 shard.unlink()
             except OSError:
@@ -252,15 +579,17 @@ class DecisionStore:
     # Maintenance / introspection
     # ------------------------------------------------------------------ #
     def prune(self, max_bytes: int | None = None) -> dict[str, int]:
-        """Evict oldest-written shards until the store fits ``max_bytes``.
+        """Evict the lowest-value shards until the store fits ``max_bytes``.
 
         The explicit maintenance entry point behind the opt-in
         ``max_bytes`` cap (which calls this after every merge).  Eviction
-        is whole-shard, oldest modification time first — a shard is one
-        configuration's decisions, and the configurations written longest
-        ago are the likeliest to be dead design points.  Evicting only
-        costs re-derivation on re-encounter; correctness never depends on
-        the store's contents.
+        is whole-shard, ranked by the sidecar's persistent use counters:
+        fewest warm-start hits first, ties broken by least-recent use
+        (file mtime when a sidecar is missing) — a shard is one
+        configuration's decisions, and the configurations no process has
+        started warm from in a long time are the likeliest to be dead
+        design points.  Evicting only costs re-derivation on re-encounter;
+        correctness never depends on the store's contents.
 
         Returns ``{"removed_shards", "removed_bytes", "total_bytes"}``.
         """
@@ -270,7 +599,44 @@ class DecisionStore:
         if limit <= 0:
             raise ValueError("max_bytes must be positive")
         with self._lock:
+            self._flush_locked()
             return self._prune_locked(limit)
+
+    def _scan_shards(self) -> list[tuple[str, Path, int, float]]:
+        """One directory scan: ``(digest, payload path, bytes, mtime)`` rows.
+
+        The single glob every maintenance operation shares — size
+        accounting, eviction ordering and stats reuse these entries
+        instead of re-walking the directory per concern.  Byte counts
+        include each shard's sidecar.
+        """
+        entries: list[tuple[str, Path, int, float]] = []
+        if not self.directory.is_dir():
+            return entries
+        for path in self.directory.glob(f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            digest = path.name[len(_SHARD_PREFIX):-len(_SHARD_SUFFIX)]
+            size = stat.st_size
+            for companion in (self._sidecar_path(digest), self._hits_path(digest)):
+                try:
+                    size += companion.stat().st_size
+                except OSError:
+                    pass
+            entries.append((digest, path, size, stat.st_mtime))
+        return entries
+
+    def _eviction_order(
+        self, entries: list[tuple[str, Path, int, float]]
+    ) -> list[tuple[str, Path, int, float]]:
+        """Entries sorted least-valuable first: (hits, last-used) ascending."""
+
+        def score(entry: tuple[str, Path, int, float]) -> tuple[int, float]:
+            return self._shard_use(entry[0], entry[3])
+
+        return sorted(entries, key=score)
 
     def _prune_locked(self, max_bytes: int, protect: str | None = None) -> dict[str, int]:
         """Shared eviction loop; ``protect`` keeps the shard just merged.
@@ -279,28 +645,25 @@ class DecisionStore:
         degrades to "keep only the current configuration" instead of
         deleting the bytes the caller just paid to write.
         """
-        shards: list[tuple[float, int, Path]] = []
-        total = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
-                try:
-                    stat = path.stat()
-                except OSError:
-                    continue
-                total += stat.st_size
-                shards.append((stat.st_mtime, stat.st_size, path))
+        entries = self._scan_shards()
+        total = sum(size for _, _, size, _ in entries)
         removed_shards = 0
         removed_bytes = 0
-        for _, size, path in sorted(shards):
+        for digest, path, size, _ in self._eviction_order(entries):
             if total <= max_bytes:
                 break
-            digest = path.stem[len(_SHARD_PREFIX):]
             if digest == protect:
                 continue
             try:
                 path.unlink()
             except OSError:
                 continue
+            for companion in (self._sidecar_path(digest), self._hits_path(digest)):
+                try:
+                    companion.unlink()
+                except OSError:
+                    pass
+            _view_cache_discard(path)
             self._shards.pop(digest, None)
             total -= size
             removed_shards += 1
@@ -312,27 +675,51 @@ class DecisionStore:
         }
 
     def clear(self) -> None:
-        """Remove every shard (and the memo); the directory itself stays."""
+        """Remove every shard (and the memo / write buffer); the directory stays."""
         with self._lock:
+            self._pending.clear()
+            self._pending_rows = 0
             if self.directory.is_dir():
                 self._purge_shards()
             self._shards.clear()
 
     def stats(self) -> dict[str, int]:
-        """Entry / shard / byte counts of what is currently on disk."""
-        shards = 0
-        entries = 0
-        total_bytes = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob(f"{_SHARD_PREFIX}*.json"):
-                shards += 1
-                try:
-                    total_bytes += path.stat().st_size
-                    with open(path, encoding="utf-8") as handle:
-                        payload = json.load(handle)
-                    decisions = payload.get("decisions", {})
-                    if isinstance(decisions, dict):
-                        entries += len(decisions)
-                except (OSError, json.JSONDecodeError):
+        """What is currently on disk, from one directory scan.
+
+        ``shards`` / ``entries`` / ``total_bytes`` count the readable
+        columnar shards (of any version), ``hits`` sums their persistent
+        warm-start counters, and ``corrupt_shards`` counts shard files
+        present on disk that cannot be read back (truncated or garbled
+        payloads, unreadable sidecars) — plus any corrupt files this
+        instance's loads already tripped over and warned about.
+        """
+        with self._lock:
+            self._flush_locked()
+            shards = 0
+            entries = 0
+            total_bytes = 0
+            corrupt = 0
+            hits = 0
+            for digest, path, size, _ in self._scan_shards():
+                meta = self._read_sidecar(digest)
+                if meta is None and self._sidecar_path(digest).exists():
+                    corrupt += 1
                     continue
-        return {"shards": shards, "entries": entries, "total_bytes": total_bytes}
+                try:
+                    array = np.load(path, mmap_mode="r", allow_pickle=False)
+                    if array.dtype != DECISION_DTYPE or array.ndim != 1:
+                        raise ValueError("unexpected shard layout")
+                except (OSError, ValueError, EOFError):
+                    corrupt += 1
+                    continue
+                shards += 1
+                entries += len(array)
+                total_bytes += size
+                hits += self._shard_use(digest, 0.0)[0]
+            return {
+                "shards": shards,
+                "entries": entries,
+                "total_bytes": total_bytes,
+                "hits": hits,
+                "corrupt_shards": corrupt + self._corrupt_loads,
+            }

@@ -16,6 +16,9 @@ Commands
                 warm by default across invocations.
 ``workloads``   List the workload registry (built-in CNN and transformer
                 workloads, grouped by suite).
+``cache``       Inspect (``cache stats``) or manually prune
+                (``cache prune --max-bytes N``) the disk-persistent
+                decision cache, honouring ``--cache-dir``.
 ``experiment``  Run one of the paper experiments (fig5, fig6, fig7, fig8,
                 fig9, eq7, clock, abl_csa, abl_dirs) or the beyond-paper
                 ``transformers`` suite / ``activity`` sensitivity /
@@ -290,6 +293,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite",
         default=None,
         help="only list one suite, e.g. cnn or transformers (default: all)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune the disk-persistent decision cache"
+    )
+    cache_actions = cache.add_subparsers(dest="cache_action", required=True)
+    cache_actions.add_parser(
+        "stats",
+        help=(
+            "shard/row/byte counts plus the warm-start hit and corrupt-"
+            "shard counters of the cache directory (--cache-dir, or the "
+            "user cache directory)"
+        ),
+    )
+    cache_prune = cache_actions.add_parser(
+        "prune",
+        help=(
+            "evict the least-valuable shards (fewest warm-start hits, "
+            "least recently used first) until the cache fits --max-bytes"
+        ),
+    )
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="target on-disk size of the cache directory, in bytes",
     )
 
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
@@ -639,6 +668,43 @@ def _reject_cache_dir(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the disk-persistent decision cache.
+
+    Pure store maintenance — no backend ever executes, so an explicit
+    ``--backend`` (like stray sampling flags) is an error, never a silent
+    no-op.  ``--cache-dir`` selects the directory; the default is the
+    same user cache directory the ``batch`` command persists into.
+    """
+    if args.backend_explicit:
+        raise ValueError(
+            "the 'cache' command only touches the on-disk store; "
+            "--backend is not supported here"
+        )
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    from repro.backends import DecisionStore
+
+    directory = args.cache_dir or default_cache_dir()
+    store = DecisionStore(directory)
+    if args.cache_action == "prune":
+        result = store.prune(max_bytes=args.max_bytes)
+        print(
+            f"pruned {result['removed_shards']} shards "
+            f"({result['removed_bytes']} bytes) from {directory}"
+        )
+        print(f"remaining: {result['total_bytes']} bytes")
+        return 0
+    stats = store.stats()
+    print(f"cache directory: {directory}")
+    print(f"  store version  : {store.version}")
+    print(f"  shards         : {stats['shards']}")
+    print(f"  rows           : {stats['entries']}")
+    print(f"  bytes          : {stats['total_bytes']}")
+    print(f"  warm-start hits: {stats['hits']}")
+    print(f"  corrupt shards : {stats['corrupt_shards']}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     _reject_cache_dir(args)
     _resolve_backend(args)  # rejects stray sampling flags, never a no-op
@@ -655,6 +721,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "batch": _cmd_batch,
     "workloads": _cmd_workloads,
+    "cache": _cmd_cache,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

@@ -502,6 +502,15 @@ class SchedulingService:
             # Process workers hold their own backend copies; the parent's
             # counters would be misleading there.
             counters.update(cache_info())
+        store = getattr(self.backend, "store", None)
+        if store is not None:
+            # The disk store is shared across executors of any kind (one
+            # directory, atomic merge-on-write), so its counters are
+            # meaningful even in process mode.  ``disk_``-prefixed to keep
+            # them apart from cache_info()'s in-memory ``store_hits``.
+            counters.update(
+                {f"disk_{key}": value for key, value in store.stats().items()}
+            )
         return counters
 
     def close(self, wait: bool = True, cancel_futures: bool = False) -> None:
@@ -516,6 +525,11 @@ class SchedulingService:
         work, however, is cancelled outright.
         """
         self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+        flush = getattr(self.backend, "flush_store", None)
+        if flush is not None:
+            # Drain buffered decision-store rows: a closed service leaves
+            # everything it derived on disk for the next process.
+            flush()
 
     def __enter__(self) -> "SchedulingService":
         return self

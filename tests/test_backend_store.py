@@ -1,15 +1,24 @@
 """Tests for the disk-persistent decision cache (`repro.backends.store`)."""
 
 import json
+import os
 import pickle
 
 import pytest
 
 from repro.backends import AnalyticalBackend, BatchedCachedBackend
+from repro.backends.decisions import DECISION_ROW_WIDTH
 from repro.backends.store import CACHE_VERSION, DecisionStore, default_cache_dir
 from repro.core.config import ArrayFlexConfig
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.models import resnet34
+
+
+def make_row(value: float = 1.0, error_bound: float | None = None) -> list:
+    """A well-formed decision row (the v4 16-column layout) for store tests."""
+    row = [2, 100, 1.7, 58.8, 3.5, 0.5, 0.9] + [float(value)] * 8 + [error_bound]
+    assert len(row) == DECISION_ROW_WIDTH
+    return row
 
 
 @pytest.fixture()
@@ -52,53 +61,120 @@ class TestRoundTrip:
 
     def test_put_then_get(self, store, config):
         key = config.cache_key()
-        store.put_many(key, {DecisionStore.gemm_key(8, 8, 8): [2, 100, 1.7, 58.8, 3.5, 1.9]})
-        assert store.get(key, 8, 8, 8) == [2, 100, 1.7, 58.8, 3.5, 1.9]
+        store.put_many(key, {DecisionStore.gemm_key(8, 8, 8): make_row(1.9)})
+        assert store.get(key, 8, 8, 8) == make_row(1.9)
 
     def test_fresh_instance_reads_what_another_wrote(self, tmp_path, config):
         key = config.cache_key()
-        DecisionStore(tmp_path).put_many(key, {"1,2,3": [1, 5, 2.0, 2.5, 1.0, 1.0]})
-        assert DecisionStore(tmp_path).get(key, 1, 2, 3) == [1, 5, 2.0, 2.5, 1.0, 1.0]
+        DecisionStore(tmp_path).put_many(key, {(1, 2, 3): make_row(2.5)})
+        assert DecisionStore(tmp_path).get(key, 1, 2, 3) == make_row(2.5)
+
+    def test_error_bound_round_trips_including_none(self, tmp_path, config):
+        """The nullable column survives the NaN encoding in both states."""
+        key = config.cache_key()
+        DecisionStore(tmp_path).put_many(
+            key,
+            {(1, 1, 1): make_row(1.0, error_bound=None),
+             (2, 2, 2): make_row(1.0, error_bound=0.0125)},
+        )
+        fresh = DecisionStore(tmp_path)
+        assert fresh.get(key, 1, 1, 1)[-1] is None
+        assert fresh.get(key, 2, 2, 2)[-1] == 0.0125
+
+    def test_shard_payload_is_columnar_npy(self, tmp_path, store, config):
+        """The v2 on-disk payload is a structured array, mmap-readable."""
+        import numpy as np
+
+        from repro.backends.decisions import DECISION_DTYPE
+
+        store.put_many(config.cache_key(), {(8, 8, 8): make_row()})
+        payload = next(tmp_path.glob("decisions-*.npy"))
+        array = np.load(payload, mmap_mode="r", allow_pickle=False)
+        assert array.dtype == DECISION_DTYPE
+        assert len(array) == 1
+        assert (int(array[0]["m"]), int(array[0]["n"]), int(array[0]["t"])) == (8, 8, 8)
+
+    def test_load_returns_lazy_view_not_a_dict(self, store, config):
+        """Reads go through the zero-copy view: len/contains/get, no dict."""
+        key = config.cache_key()
+        store.put_many(key, {(1, 2, 3): make_row(), (4, 5, 6): make_row(2.0)})
+        view = store.load(key)
+        assert len(view) == 2
+        assert (1, 2, 3) in view and (9, 9, 9) not in view
+        assert sorted(view.keys()) == [(1, 2, 3), (4, 5, 6)]
+        assert view.get((4, 5, 6)) == make_row(2.0)
+        assert view.get((9, 9, 9)) is None
+
+    def test_malformed_rows_are_rejected_loudly(self, store, config):
+        key = config.cache_key()
+        with pytest.raises(ValueError):
+            store.put_many(key, {"1,1,1": make_row()})  # v1-era string key
+        with pytest.raises(ValueError):
+            store.put_many(key, {(1, 1, 1): [1, 2, 3]})  # truncated row
 
     def test_different_configs_do_not_collide(self, store):
         small = ArrayFlexConfig(rows=16, cols=16).cache_key()
         large = ArrayFlexConfig(rows=128, cols=128).cache_key()
-        store.put_many(small, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        store.put_many(small, {(1, 1, 1): make_row()})
         assert store.get(large, 1, 1, 1) is None
 
     def test_merge_preserves_existing_entries(self, store, config):
         key = config.cache_key()
-        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
-        store.put_many(key, {"2,2,2": [2, 2, 2.0, 2.0, 2.0, 2.0]})
+        store.put_many(key, {(1, 1, 1): make_row(1.0)})
+        store.put_many(key, {(2, 2, 2): make_row(2.0)})
         assert store.get(key, 1, 1, 1) is not None
         assert store.get(key, 2, 2, 2) is not None
 
-    def test_corrupt_shard_treated_as_empty(self, tmp_path, store, config):
+    def test_merge_overrides_on_key_collision(self, tmp_path, store, config):
         key = config.cache_key()
-        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
-        shard = next(tmp_path.glob("decisions-*.json"))
-        shard.write_text("{not json", encoding="utf-8")
-        assert DecisionStore(tmp_path).get(key, 1, 1, 1) is None
+        store.put_many(key, {(1, 1, 1): make_row(1.0)})
+        store.put_many(key, {(1, 1, 1): make_row(9.0)})
+        assert store.get(key, 1, 1, 1) == make_row(9.0)
+        assert DecisionStore(tmp_path).stats()["entries"] == 1
+
+    def test_corrupt_shard_warns_and_reads_empty(self, tmp_path, store, config):
+        key = config.cache_key()
+        store.put_many(key, {(1, 1, 1): make_row()})
+        shard = next(tmp_path.glob("decisions-*.npy"))
+        shard.write_bytes(b"this is not a npy payload")
+        fresh = DecisionStore(tmp_path)
+        with pytest.warns(RuntimeWarning, match=shard.name):
+            assert fresh.get(key, 1, 1, 1) is None
 
     def test_stats_and_clear(self, tmp_path, store, config):
         key = config.cache_key()
-        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        store.put_many(key, {(1, 1, 1): make_row()})
         stats = DecisionStore(tmp_path).stats()
         assert (stats["shards"], stats["entries"]) == (1, 1)
         assert stats["total_bytes"] > 0
+        assert stats["corrupt_shards"] == 0
         store.clear()
         assert DecisionStore(tmp_path).stats() == {
-            "shards": 0, "entries": 0, "total_bytes": 0,
+            "shards": 0,
+            "entries": 0,
+            "total_bytes": 0,
+            "hits": 0,
+            "corrupt_shards": 0,
         }
 
 
 class TestPruning:
     @staticmethod
-    def _fill(store, config, configs=4, entries=50):
-        """Write several configuration shards with distinct mtimes."""
-        import os
-        import time as time_module
+    def _set_last_used(store, key, stamp):
+        """Pin one shard's recency (the eviction tie-breaker).
 
+        Recency is the later of the payload's mtime (last write) and the
+        ``.hits`` file's mtime (last warm start), so both get stamped.
+        Shards already evicted by a constructor cap are skipped.
+        """
+        digest = store._digest(key)
+        for path in (store._shard_path(digest), store._hits_path(digest)):
+            if path.exists():
+                os.utime(path, (stamp, stamp))
+
+    @classmethod
+    def _fill(cls, store, config, configs=4, entries=50):
+        """Write several configuration shards with distinct recency stamps."""
         keys = []
         for i in range(configs):
             key = config.with_size(8 * (i + 1), 8 * (i + 1)).cache_key()
@@ -106,28 +182,48 @@ class TestPruning:
             store.put_many(
                 key,
                 {
-                    DecisionStore.gemm_key(m, m, m): [2, 100, 1.7, 58.8, 3.5, 1.9]
+                    DecisionStore.gemm_key(m, m, m): make_row(1.9)
                     for m in range(1, entries + 1)
                 },
             )
-            # Distinct mtimes make the oldest-first order deterministic on
-            # filesystems with coarse timestamps.
-            digest = store._digest(key)
-            stamp = time_module.time() - (configs - i) * 10
-            os.utime(store._shard_path(digest), (stamp, stamp))
+            # Explicit, well-separated stamps make the least-recently-used
+            # order deterministic regardless of write timing.
+            cls._set_last_used(store, key, 1000.0 + 10.0 * i)
         return keys
 
-    def test_prune_removes_oldest_shards_first(self, tmp_path, config):
+    def test_prune_removes_least_recently_used_first(self, tmp_path, config):
         store = DecisionStore(tmp_path)
         keys = self._fill(store, config)
         total = store.stats()["total_bytes"]
         report = store.prune(max_bytes=total // 2)
         assert report["removed_shards"] >= 1
         assert report["total_bytes"] <= total // 2
-        # The newest shard survives, the oldest is gone.
+        # The most recently used shard survives, the stalest is gone.
         fresh = DecisionStore(tmp_path)
         assert fresh.get(keys[-1], 1, 1, 1) is not None
         assert fresh.get(keys[0], 1, 1, 1) is None
+
+    def test_warm_start_hits_outrank_recency(self, tmp_path, config):
+        """A shard other processes keep starting warm from survives a
+        more recently written hit-less one: hits are the primary score."""
+        store = DecisionStore(tmp_path)
+        keys = self._fill(store, config, configs=3)
+        # keys[0] is the stalest by recency but the only one ever used as
+        # a warm start (a fresh instance's first disk load records a hit).
+        DecisionStore(tmp_path).load(keys[0])
+        per_shard = store.stats()["total_bytes"] // 3
+        store.prune(max_bytes=per_shard + per_shard // 2)
+        fresh = DecisionStore(tmp_path)
+        assert fresh.get(keys[0], 1, 1, 1) is not None
+        assert fresh.get(keys[1], 1, 1, 1) is None
+
+    def test_first_load_per_instance_records_a_hit(self, tmp_path, config):
+        key = config.cache_key()
+        DecisionStore(tmp_path).put_many(key, {(1, 1, 1): make_row()})
+        assert DecisionStore(tmp_path).stats()["hits"] == 0
+        DecisionStore(tmp_path).load(key)
+        DecisionStore(tmp_path).load(key)
+        assert DecisionStore(tmp_path).stats()["hits"] == 2
 
     def test_prune_under_limit_is_a_no_op(self, tmp_path, config):
         store = DecisionStore(tmp_path)
@@ -147,17 +243,15 @@ class TestPruning:
             DecisionStore(tmp_path).prune(max_bytes=0)
 
     def test_constructor_cap_enforced_on_merge(self, tmp_path, config):
-        store = DecisionStore(tmp_path, max_bytes=4096)
+        store = DecisionStore(tmp_path, max_bytes=16384)
         self._fill(store, config, configs=6, entries=40)
-        assert store.stats()["total_bytes"] <= 4096
+        assert store.stats()["total_bytes"] <= 16384
 
     def test_cap_protects_the_shard_just_written(self, tmp_path, config):
         """A cap smaller than one shard keeps the active configuration."""
         store = DecisionStore(tmp_path, max_bytes=1)
         key = config.cache_key()
-        store.put_many(
-            key, {DecisionStore.gemm_key(8, 8, 8): [2, 100, 1.7, 58.8, 3.5, 1.9]}
-        )
+        store.put_many(key, {DecisionStore.gemm_key(8, 8, 8): make_row(1.9)})
         assert store.get(key, 8, 8, 8) is not None
         assert store.stats()["shards"] == 1
 
@@ -199,23 +293,47 @@ class TestVersioning:
         assert DECISION_MODEL_VERSION >= 3
         assert CACHE_VERSION != "1.2"  # the 15-column pre-error_bound era
 
-    def test_version_bump_purges_pre_refactor_shards(self, tmp_path, config):
-        """Shards written by the pre-refactor store (version 1.1, six-number
-        rows) are purged wholesale the first time the current store writes."""
+    def test_columnar_rewrite_bumped_both_versions(self):
+        """The v2 columnar format re-encoded rows (v4) and changed the
+        on-disk layout (store format 2): frozen floor so a future change
+        can never silently reuse JSON-era or early-columnar shards."""
+        from repro.backends.store import DECISION_MODEL_VERSION, STORE_FORMAT_VERSION
+
+        assert STORE_FORMAT_VERSION >= 2
+        assert DECISION_MODEL_VERSION >= 4
+        assert CACHE_VERSION != "1.3"  # the JSON-payload v3-row era
+
+    def test_version_bump_purges_v1_json_shards(self, tmp_path, config):
+        """A cache directory left behind by the JSON-v1-format store (v1.3
+        era: ``decisions-*.json`` payloads) is purged wholesale the first
+        time the current store writes — including the payload files the
+        columnar store itself can no longer parse."""
         key = config.cache_key()
-        legacy = DecisionStore(tmp_path, version="1.1")
-        legacy.put_many(key, {"8,8,8": [2, 100, 1.7, 58.8, 3.5, 1.9]})
-        assert (tmp_path / "VERSION").read_text().strip() == "1.1"
+        (tmp_path / "VERSION").write_text("1.3\n", encoding="utf-8")
+        legacy_shard = tmp_path / "decisions-0123456789abcdef01234567.json"
+        legacy_shard.write_text(
+            json.dumps(
+                {
+                    "version": "1.3",
+                    "config_key": repr(key),
+                    "decisions": {"8,8,8": [2, 100, 1.7, 58.8, 3.5, 0.5, 0.9]},
+                }
+            ),
+            encoding="utf-8",
+        )
 
         current = DecisionStore(tmp_path)  # defaults to CACHE_VERSION
         assert current.get(key, 8, 8, 8) is None  # stale shard is invisible
-        current.put_many(key, {"1,1,1": [1] * 15})
+        current.put_many(key, {(1, 1, 1): make_row()})
         assert (tmp_path / "VERSION").read_text().strip() == CACHE_VERSION
-        payloads = [
-            json.loads(path.read_text()) for path in tmp_path.glob("decisions-*.json")
+        assert not legacy_shard.exists()
+        metas = [
+            json.loads(path.read_text())
+            for path in tmp_path.glob("decisions-*.meta.json")
         ]
-        assert [p["version"] for p in payloads] == [CACHE_VERSION]
+        assert [m["version"] for m in metas] == [CACHE_VERSION]
         assert DecisionStore(tmp_path).get(key, 8, 8, 8) is None
+        assert DecisionStore(tmp_path).get(key, 1, 1, 1) == make_row()
 
     def test_warm_rerun_after_bump_re_derives_and_stays_correct(self, tmp_path, config):
         """End to end: a store carrying pre-refactor rows never feeds the
@@ -234,42 +352,88 @@ class TestVersioning:
 
     def test_version_mismatch_invalidates_lookups(self, tmp_path, config):
         key = config.cache_key()
-        DecisionStore(tmp_path, version="1.1").put_many(
-            key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]}
-        )
+        DecisionStore(tmp_path, version="8.8").put_many(key, {(1, 1, 1): make_row()})
         assert DecisionStore(tmp_path, version="9.9").get(key, 1, 1, 1) is None
 
     def test_new_version_purges_stale_shards_on_write(self, tmp_path, config):
         key = config.cache_key()
-        DecisionStore(tmp_path, version="1.1").put_many(
-            key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]}
-        )
-        assert (tmp_path / "VERSION").read_text().strip() == "1.1"
-        DecisionStore(tmp_path, version="9.9").put_many(
-            key, {"2,2,2": [2, 2, 2.0, 2.0, 2.0, 2.0]}
-        )
+        DecisionStore(tmp_path, version="8.8").put_many(key, {(1, 1, 1): make_row()})
+        assert (tmp_path / "VERSION").read_text().strip() == "8.8"
+        DecisionStore(tmp_path, version="9.9").put_many(key, {(2, 2, 2): make_row(2.0)})
         assert (tmp_path / "VERSION").read_text().strip() == "9.9"
-        payloads = [
+        metas = [
             json.loads(path.read_text())
-            for path in tmp_path.glob("decisions-*.json")
+            for path in tmp_path.glob("decisions-*.meta.json")
         ]
-        assert [p["version"] for p in payloads] == ["9.9"]
+        assert [m["version"] for m in metas] == ["9.9"]
+        assert len(list(tmp_path.glob("decisions-*.npy"))) == 1
 
-    def test_shard_records_config_and_version(self, tmp_path, store, config):
+    def test_sidecar_records_config_and_version(self, tmp_path, store, config):
         key = config.cache_key()
-        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
-        payload = json.loads(next(tmp_path.glob("decisions-*.json")).read_text())
-        assert payload["version"] == CACHE_VERSION
-        assert payload["config_key"] == repr(key)
+        store.put_many(key, {(1, 1, 1): make_row()})
+        meta = json.loads(next(tmp_path.glob("decisions-*.meta.json")).read_text())
+        assert meta["version"] == CACHE_VERSION
+        assert meta["config_key"] == repr(key)
+        assert meta["rows"] == 1
 
     def test_pickle_round_trip_drops_transient_state(self, tmp_path, config):
         store = DecisionStore(tmp_path)
         key = config.cache_key()
-        store.put_many(key, {"1,1,1": [1, 1, 1.0, 1.0, 1.0, 1.0]})
+        store.put_many(key, {(1, 1, 1): make_row()})
         clone = pickle.loads(pickle.dumps(store))
         assert clone.directory == store.directory
         assert clone.version == store.version
-        assert clone.get(key, 1, 1, 1) == [1, 1, 1.0, 1.0, 1.0, 1.0]
+        assert clone.get(key, 1, 1, 1) == make_row()
+
+
+class TestBufferedPut:
+    """Single-row writes batch in memory and merge once (`DecisionStore.put`)."""
+
+    def test_put_buffers_until_flush(self, tmp_path, config):
+        store = DecisionStore(tmp_path)
+        key = config.cache_key()
+        store.put(key, (1, 1, 1), make_row())
+        assert not list(tmp_path.glob("decisions-*.npy"))  # nothing on disk yet
+        store.flush()
+        assert DecisionStore(tmp_path).get(key, 1, 1, 1) == make_row()
+
+    def test_get_sees_buffered_rows(self, tmp_path, config):
+        """Read-your-writes: the buffering is invisible to the writer."""
+        store = DecisionStore(tmp_path)
+        key = config.cache_key()
+        store.put(key, (1, 1, 1), make_row(7.0))
+        assert store.get(key, 1, 1, 1) == make_row(7.0)
+
+    def test_flush_rows_threshold_triggers_one_merge(self, tmp_path, config):
+        store = DecisionStore(tmp_path, flush_rows=4)
+        key = config.cache_key()
+        for m in range(1, 4):
+            store.put(key, (m, m, m), make_row(float(m)))
+        assert not list(tmp_path.glob("decisions-*.npy"))
+        store.put(key, (4, 4, 4), make_row(4.0))  # fourth row: auto-flush
+        assert DecisionStore(tmp_path).stats()["entries"] == 4
+
+    def test_pickling_flushes_the_buffer(self, tmp_path, config):
+        """Shipping a store to a pool worker must not strand buffered rows."""
+        store = DecisionStore(tmp_path)
+        key = config.cache_key()
+        store.put(key, (1, 1, 1), make_row())
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get(key, 1, 1, 1) == make_row()
+        assert DecisionStore(tmp_path).stats()["entries"] == 1
+
+    def test_put_many_folds_in_buffered_rows_for_the_same_shard(self, tmp_path, config):
+        store = DecisionStore(tmp_path)
+        key = config.cache_key()
+        store.put(key, (1, 1, 1), make_row(1.0))
+        store.put_many(key, {(2, 2, 2): make_row(2.0)})
+        fresh = DecisionStore(tmp_path)
+        assert fresh.get(key, 1, 1, 1) == make_row(1.0)
+        assert fresh.get(key, 2, 2, 2) == make_row(2.0)
+
+    def test_invalid_flush_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DecisionStore(tmp_path, flush_rows=0)
 
 
 class TestBackendIntegration:
@@ -407,7 +571,7 @@ class TestAttachStore:
         explorer = DesignSpaceExplorer([resnet34()], backend="batched", cache_dir=tmp_path)
         assert explorer.backend.store is not None
         explorer.evaluate_point(DesignPoint(rows=64, cols=64, supported_depths=(1, 2)))
-        assert list(tmp_path.glob("decisions-*.json"))
+        assert list(tmp_path.glob("decisions-*.npy"))
         with pytest.raises(ValueError):
             DesignSpaceExplorer([resnet34()], backend="analytical", cache_dir=tmp_path)
 
@@ -415,7 +579,7 @@ class TestAttachStore:
         from repro.eval.sweep import array_size_sweep
 
         array_size_sweep([resnet34()], sizes=[(64, 64)], backend="batched", cache_dir=tmp_path)
-        assert list(tmp_path.glob("decisions-*.json"))
+        assert list(tmp_path.glob("decisions-*.npy"))
 
 
 class TestAttachStoreIsolation:

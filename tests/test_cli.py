@@ -353,7 +353,7 @@ class TestBatchCommand:
         ]
         assert main(args) == 0
         assert "batched backend" in capsys.readouterr().out
-        assert list(tmp_path.glob("decisions-*.json"))
+        assert list(tmp_path.glob("decisions-*.npy"))
 
     def test_experiment_and_report_reject_cache_dir(self, tmp_path):
         with pytest.raises(ValueError):
@@ -382,3 +382,61 @@ class TestBatchCommand:
         assert "served" in capsys.readouterr().out
         with pytest.raises(ValueError):
             main(["batch", "--no-cache", "--sizes", "64x64", "--backend", "cycle"])
+
+
+class TestCacheCommand:
+    """`python -m repro cache {stats,prune}`: store maintenance over --cache-dir."""
+
+    @staticmethod
+    def _warm(tmp_path):
+        args = ["--cache-dir", str(tmp_path), "batch", "--models", "resnet34", "--sizes", "64x64"]
+        assert main(args) == 0
+
+    def test_stats_reports_shards_rows_and_counters(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(["--cache-dir", str(tmp_path), "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "shards         : 1" in out
+        assert "rows           :" in out
+        assert "warm-start hits" in out
+        assert "corrupt shards : 0" in out
+
+    def test_stats_counts_corrupt_shards(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        shard = next(tmp_path.glob("decisions-*.npy"))
+        shard.write_bytes(b"garbage")
+        capsys.readouterr()
+        assert main(["--cache-dir", str(tmp_path), "cache", "stats"]) == 0
+        assert "corrupt shards : 1" in capsys.readouterr().out
+
+    def test_stats_on_empty_directory(self, capsys, tmp_path):
+        assert main(["--cache-dir", str(tmp_path / "nothing"), "cache", "stats"]) == 0
+        assert "shards         : 0" in capsys.readouterr().out
+
+    def test_prune_evicts_down_to_the_requested_size(self, capsys, tmp_path):
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["--cache-dir", str(tmp_path), "cache", "prune", "--max-bytes", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 shards" in out
+        assert not list(tmp_path.glob("decisions-*.npy"))
+
+    def test_prune_requires_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--cache-dir", str(tmp_path), "cache", "prune"])
+
+    def test_cache_requires_an_action(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--cache-dir", str(tmp_path), "cache"])
+
+    def test_cache_rejects_explicit_backend(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["--backend", "batched", "--cache-dir", str(tmp_path), "cache", "stats"])
+
+    def test_cache_rejects_stray_sampling_flags(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["--sample-fraction", "0.1", "--cache-dir", str(tmp_path), "cache", "stats"])

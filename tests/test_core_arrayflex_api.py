@@ -119,7 +119,7 @@ class TestCacheDir:
         assert isinstance(accel.backend, BatchedCachedBackend)
         assert accel.backend.store is not None
         accel.run_gemm((64, 64, 64))
-        assert list(tmp_path.glob("decisions-*.json"))
+        assert list(tmp_path.glob("decisions-*.npy"))
 
     def test_cache_dir_rejects_non_batched_backend(self, tmp_path):
         with pytest.raises(ValueError):

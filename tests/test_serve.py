@@ -226,6 +226,38 @@ class TestStats:
         assert stats["executor"] == "process"
         assert "misses" not in stats
 
+    def test_cache_dir_surfaces_disk_store_counters(self, config, tmp_path):
+        """With persistence on, stats() reports the on-disk store too,
+        ``disk_``-prefixed so they can't shadow the in-memory counters."""
+        with SchedulingService(cache_dir=tmp_path) as service:
+            service.schedule_all([(resnet34(), config)])
+            stats = service.stats()
+        assert stats["disk_shards"] == 1
+        assert stats["disk_entries"] > 0
+        assert stats["disk_total_bytes"] > 0
+        assert stats["disk_corrupt_shards"] == 0
+        assert "store_hits" in stats  # the in-memory counter is still there
+
+    def test_stats_without_cache_dir_have_no_disk_counters(self, config):
+        with SchedulingService() as service:
+            service.schedule_all([(resnet34(), config)])
+            stats = service.stats()
+        assert not any(key.startswith("disk_") for key in stats)
+
+    def test_close_flushes_buffered_store_rows(self, config, tmp_path):
+        """A closed service leaves everything it derived on disk, even
+        rows a buffering backend had not yet merged."""
+        from repro.backends import SampledSimBackend
+
+        backend = SampledSimBackend(store=DecisionStore(tmp_path))
+        service = SchedulingService(backend=backend)
+        small = ArrayFlexConfig(rows=16, cols=16)
+        gemms = [GemmShape(m=20, n=33, t=6)]
+        # schedule_layer alone buffers without a model-boundary flush.
+        service.backend.schedule_layer(gemms[0], small)
+        service.close()
+        assert DecisionStore(tmp_path).stats()["entries"] > 0
+
 
 class TestTotalsOnly:
     def test_totals_match_schedule_sums(self, config):
