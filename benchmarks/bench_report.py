@@ -38,8 +38,11 @@ from bench_scenarios import (  # noqa: E402
     best_of as _best_of,
     build_columnar_store,
     columnar_warm_load,
+    daemon_bench_requests,
     design_space_sweep,
     json_v1_warm_load,
+    run_direct_schedules,
+    run_http_schedules,
     schedule_cnn_suite,
     schedule_transformer_suite,
     write_json_v1_shard,
@@ -56,6 +59,7 @@ from repro.backends import (  # noqa: E402
 from repro.core.config import ArrayFlexConfig  # noqa: E402
 from repro.core.design_space import DesignSpaceExplorer  # noqa: E402
 from repro.nn.models import model_zoo, resnet34  # noqa: E402
+from repro.serve import DaemonClient, SchedulerDaemon, SchedulingService  # noqa: E402
 
 
 def _commit_sha() -> str:
@@ -191,7 +195,37 @@ def collect(rounds: int = 3) -> dict:
             lambda: json_v1_warm_load(json_path), rounds
         )
 
+    # Daemon HTTP serving: POST /v1/schedule round-trips against a local
+    # daemon vs the same calls as direct submit() library calls (the
+    # test_bench_daemon.py scenario).  Every timed round draws fresh GEMM
+    # shapes, so neither path degenerates into dedup-cache hits.
+    import itertools
+
+    daemon_runs = itertools.count()
+    daemon = SchedulerDaemon(port=0)
+    daemon.start()
+    try:
+        client = DaemonClient(*daemon.address)
+        with SchedulingService() as direct_service:
+            timings_ms["daemon_direct_schedule"] = 1e3 * _best_of(
+                lambda: run_direct_schedules(
+                    direct_service, daemon_bench_requests(next(daemon_runs))
+                ),
+                rounds,
+            )
+        timings_ms["daemon_http_schedule"] = 1e3 * _best_of(
+            lambda: run_http_schedules(
+                client, daemon_bench_requests(next(daemon_runs))
+            ),
+            rounds,
+        )
+    finally:
+        assert daemon.drain(timeout=30.0), "daemon failed to drain"
+
     speedups = {
+        "daemon_http_overhead": (
+            timings_ms["daemon_http_schedule"] / timings_ms["daemon_direct_schedule"]
+        ),
         "store_warm_vs_json_v1": (
             timings_ms["store_warm_load_json_v1"]
             / timings_ms["store_warm_load_columnar"]

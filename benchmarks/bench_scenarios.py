@@ -198,6 +198,23 @@ def _vm_rss_kb() -> int:
     return 0
 
 
+def _trim_heap() -> None:
+    """Release free malloc arenas back to the OS (glibc; no-op elsewhere).
+
+    The RSS workers fork from whatever process pytest has become by the
+    time this scenario runs; inherited free arenas would let the loads
+    recycle already-resident pages and read as ~zero RSS growth.
+    Trimming first restores the fresh-heap condition the comparison is
+    about.
+    """
+    import ctypes
+
+    try:
+        ctypes.CDLL("libc.so.6").malloc_trim(0)
+    except (OSError, AttributeError):
+        pass
+
+
 #: How many simultaneous loads each RSS worker holds.  A single load can
 #: hide inside allocator arenas the worker inherited over ``fork``;
 #: holding several live at once forces real heap growth, and the
@@ -207,6 +224,7 @@ STORE_WARM_RSS_LOADS = 3
 
 def rss_delta_columnar_worker(directory) -> float:
     """Pool worker: per-load RSS growth (KiB), columnar path + probes."""
+    _trim_heap()
     before = _vm_rss_kb()
     views = [columnar_warm_load(directory) for _ in range(STORE_WARM_RSS_LOADS)]
     for view in views:
@@ -218,6 +236,7 @@ def rss_delta_columnar_worker(directory) -> float:
 
 def rss_delta_json_worker(path) -> float:
     """Pool worker: per-load RSS growth (KiB), v1 JSON path + probes."""
+    _trim_heap()
     before = _vm_rss_kb()
     tables = [json_v1_warm_load(path) for _ in range(STORE_WARM_RSS_LOADS)]
     for table in tables:
@@ -225,6 +244,67 @@ def rss_delta_json_worker(path) -> float:
         assert len(probes) == STORE_WARM_PROBES
     after = _vm_rss_kb()
     return (after - before) / STORE_WARM_RSS_LOADS
+
+
+#: The daemon HTTP-overhead scenario (``test_bench_daemon.py`` and the
+#: ``BENCH_<sha>.json`` artifact): ``DAEMON_BENCH_CALLS`` schedule calls
+#: of distinct ``DAEMON_BENCH_LAYERS``-layer GEMM workloads, once as
+#: direct ``SchedulingService.submit()`` library calls and once as
+#: ``POST /v1/schedule`` round-trips against a daemon wrapping an
+#: identical service.  The streamed dimension T encodes both the run and
+#: the call index, so no timed call ever degenerates into a dedup or
+#: decision-cache hit: the measured ratio is real scheduling work with
+#: vs without the HTTP layer on top.
+DAEMON_BENCH_CALLS = 8
+DAEMON_BENCH_LAYERS = 384
+DAEMON_BENCH_SIZE = 64
+DAEMON_OVERHEAD_STRICT = 1.75
+
+
+def daemon_bench_requests(run: int):
+    """The ``run``-th batch of distinct schedule requests.
+
+    Shapes are disjoint across calls *and* runs, so repeated best-of
+    rounds keep paying the full scheduling cost on both paths.
+    """
+    from repro.core.config import ArrayFlexConfig
+    from repro.nn.gemm_mapping import GemmShape
+    from repro.serve import Request
+
+    config = ArrayFlexConfig(rows=DAEMON_BENCH_SIZE, cols=DAEMON_BENCH_SIZE)
+    requests = []
+    for call in range(DAEMON_BENCH_CALLS):
+        offset = (run * DAEMON_BENCH_CALLS + call) * DAEMON_BENCH_LAYERS
+        gemms = tuple(
+            GemmShape(
+                m=64 + layer,
+                n=64 + (layer % 9),
+                t=784 + offset + layer,
+                name=f"bench-r{run}-c{call}-l{layer}",
+            )
+            for layer in range(DAEMON_BENCH_LAYERS)
+        )
+        requests.append(
+            Request(
+                model=gemms,
+                config=config,
+                totals_only=True,
+                model_name=f"daemon-bench-{run}-{call}",
+            )
+        )
+    return requests
+
+
+def run_direct_schedules(service, requests) -> None:
+    """The library path: one blocking ``submit()`` per request."""
+    for request in requests:
+        assert service.submit(request).ok
+
+
+def run_http_schedules(client, requests) -> None:
+    """The HTTP path: one ``POST /v1/schedule`` round-trip per request."""
+    for request in requests:
+        assert client.schedule(request)["status"] == "ok"
 
 
 def best_of(fn, rounds: int = 3) -> float:

@@ -29,8 +29,10 @@ Architecture with Configurable Transparent Pipelining* (DATE 2023):
   statistical error bounds) and the cycle-accurate measured path, all
   behind one protocol; plus the disk-persistent decision cache
   (:mod:`repro.backends.store`).
-* :mod:`repro.serve` -- the batch-serving front-end: deduplicating,
-  future-returning ``schedule_many()`` over thread/process executors.
+* :mod:`repro.serve` -- the serving layer: the versioned
+  :class:`~repro.serve.protocol.Request`/``Response`` protocol, the
+  deduplicating ``submit()`` service over thread/process executors, and
+  the HTTP/JSON scheduler daemon (``python -m repro serve``).
 * :mod:`repro.eval` -- the experiment harness regenerating every figure of
   the paper's evaluation.
 
@@ -65,7 +67,7 @@ from repro.core.config import ArrayFlexConfig
 from repro.core.metrics import LayerMetrics
 from repro.baselines.conventional import ConventionalAccelerator
 from repro.nn.gemm_mapping import GemmShape
-from repro.serve import ScheduleRequest, SchedulingService
+from repro.serve import Request, Response, ScheduleRequest, SchedulingService
 from repro.timing.technology import TechnologyModel
 from repro.workloads import (
     TransformerConfig,
@@ -95,6 +97,8 @@ __all__ = [
     "SampledSimBackend",
     "UtilizationActivity",
     "create_activity_model",
+    "Request",
+    "Response",
     "ScheduleRequest",
     "SchedulingService",
     "TechnologyModel",

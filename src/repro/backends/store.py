@@ -255,6 +255,10 @@ class DecisionStore:
         self._pending_rows = 0
         #: Unreadable shards encountered by this instance's loads.
         self._corrupt_loads = 0
+        #: Cheap in-process activity counters (see :meth:`counters`).
+        self._shard_loads = 0
+        self._merges = 0
+        self._rows_merged = 0
 
     # ------------------------------------------------------------------ #
     # Pickling (process-pool workers reopen the same directory)
@@ -280,6 +284,9 @@ class DecisionStore:
         self._pending = {}
         self._pending_rows = 0
         self._corrupt_loads = 0
+        self._shard_loads = 0
+        self._merges = 0
+        self._rows_merged = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DecisionStore({str(self.directory)!r}, version={self.version!r})"
@@ -322,6 +329,7 @@ class DecisionStore:
             if view is None:
                 view = self._read_shard(digest, config_key)
                 self._shards[digest] = view
+                self._shard_loads += 1
                 if len(view):
                     self._count_shard_use(digest)
             return view
@@ -482,6 +490,8 @@ class DecisionStore:
             self._merge_locked(digest, config_key, decisions)
 
     def _merge_locked(self, digest: str, config_key: tuple, decisions: dict) -> None:
+        self._merges += 1
+        self._rows_merged += len(decisions)
         self._ensure_directory()
         fresh = rows_to_records(decisions)
         # Merge with concurrent writers' flushes before replacing: re-read
@@ -682,6 +692,25 @@ class DecisionStore:
             if self.directory.is_dir():
                 self._purge_shards()
             self._shards.clear()
+
+    def counters(self) -> dict[str, int]:
+        """This instance's in-process activity counters, lock-cheap.
+
+        Unlike :meth:`stats` (a full directory scan plus a flush — the
+        right tool for a CLI report, the wrong one for a live ``/metrics``
+        endpoint scraped every few seconds), this reads a handful of
+        integers under the lock and touches no disk: shards mapped by
+        this instance, merges written, rows merged, rows still buffered,
+        and corrupt loads tripped over.
+        """
+        with self._lock:
+            return {
+                "shard_loads": self._shard_loads,
+                "merges": self._merges,
+                "rows_merged": self._rows_merged,
+                "pending_rows": self._pending_rows,
+                "corrupt_loads": self._corrupt_loads,
+            }
 
     def stats(self) -> dict[str, int]:
         """What is currently on disk, from one directory scan.

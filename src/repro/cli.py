@@ -14,6 +14,17 @@ Commands
 ``batch``       Serve a whole (workload x array size) grid through the
                 batch front-end, with the disk-persistent decision cache
                 warm by default across invocations.
+``serve``       Run the long-lived HTTP/JSON scheduler daemon
+                (:mod:`repro.serve.daemon`): the batch front-end behind
+                ``POST /v1/schedule|batch|compare`` plus ``GET
+                /metrics`` and ``GET /healthz``, with bounded-queue
+                backpressure, optional per-client rate limits, and a
+                graceful SIGTERM drain that flushes the decision store.
+``client``      Talk to a running daemon (``client healthz|metrics|
+                schedule|compare``) — the smoke-test counterpart of
+                ``serve``; typed daemon errors map to distinct exit
+                codes (invalid request 2, queue full 3, rate limited 4,
+                timeout 5).
 ``workloads``   List the workload registry (built-in CNN and transformer
                 workloads, grouped by suite).
 ``cache``       Inspect (``cache stats``) or manually prune
@@ -64,6 +75,7 @@ breakdown::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -285,6 +297,124 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(batch)
     _add_activity_model_argument(batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP/JSON scheduler daemon (Ctrl-C / SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8537,
+        help="bind port; 0 picks an ephemeral port (default: 8537)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help=(
+            "bounded admission queue: requests beyond this many in flight "
+            "are shed with HTTP 429 + Retry-After (default: 64)"
+        ),
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help=(
+            "per-client token-bucket rate in requests/second, keyed by the "
+            "X-Client-Id header or peer host (default: no rate limiting)"
+        ),
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        help="token-bucket burst depth (default: one second's worth of --rate-limit)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "default per-request result deadline in seconds, applied when a "
+            "wire request carries none (default: wait forever)"
+        ),
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="service executor (default: thread)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="service worker count (default: auto from CPU count)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the disk-persistent decision cache",
+    )
+    _add_backend_argument(serve)
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running scheduler daemon (see 'serve')"
+    )
+    client.add_argument("--host", default="127.0.0.1", help="daemon address (default: 127.0.0.1)")
+    client.add_argument("--port", type=int, default=8537, help="daemon port (default: 8537)")
+    client.add_argument(
+        "--client-id",
+        default=None,
+        help="X-Client-Id header value (the daemon's rate-limit key)",
+    )
+    client.add_argument(
+        "--http-timeout",
+        type=float,
+        default=120.0,
+        help="HTTP socket timeout in seconds (default: 120)",
+    )
+    client_actions = client.add_subparsers(dest="client_action", required=True)
+    client_actions.add_parser("healthz", help="liveness probe (prints the JSON body)")
+    client_actions.add_parser(
+        "metrics", help="request/latency/cache counters (prints the JSON body)"
+    )
+    for action, description in (
+        ("schedule", "schedule one workload through the daemon"),
+        ("compare", "compare ArrayFlex vs the conventional SA through the daemon"),
+    ):
+        client_action = client_actions.add_parser(action, help=description)
+        client_action.add_argument(
+            "--model",
+            default="resnet34",
+            help="registry workload name, e.g. resnet34 or bert_base@bs4",
+        )
+        client_action.add_argument("--rows", type=int, default=128, help="array rows")
+        client_action.add_argument("--cols", type=int, default=128, help="array columns")
+        client_action.add_argument(
+            "--depths", type=int, nargs="+", default=[1, 2, 4], help="collapse depths"
+        )
+        _add_activity_model_argument(client_action)
+        client_action.add_argument(
+            "--totals-only",
+            action="store_true",
+            help="request aggregate totals instead of a full schedule",
+        )
+        client_action.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-request result deadline in seconds",
+        )
+        if action == "schedule":
+            client_action.add_argument(
+                "--conventional",
+                action="store_true",
+                help="schedule the conventional fixed-pipeline baseline",
+            )
 
     workloads = subparsers.add_parser(
         "workloads", help="list the workload registry (grouped by suite)"
@@ -524,7 +654,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     Returns a non-zero exit code when ``--timeout`` expired on any
     request (the timed-out rows are reported, not hung on).
     """
-    from repro.serve import SchedulingService, TimedOutRequest
+    from repro.serve import SchedulingService
 
     if args.backend_explicit and args.backend != "batched":
         raise ValueError(
@@ -555,22 +685,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_dir=cache_dir, executor=args.executor, max_workers=args.workers
     )
     try:
-        pairs = service.compare_many(grid, timeout=args.timeout)
+        pairs = service.compare(grid, timeout=args.timeout)
         print(
             f"{'workload':{name_width}s} {'array':9s} "
             f"{'conv ms':>9s} {'flex ms':>9s} {'saving':>7s} "
             f"{'flex uJ':>10s} {'dp/clk/lk %':>11s}"
         )
-        for (workload, config), (arrayflex, conventional) in zip(grid, pairs):
+        for (workload, config), (flex_response, conv_response) in zip(grid, pairs):
             geometry = f"{config.rows}x{config.cols:<6d}"
-            if isinstance(arrayflex, TimedOutRequest) or isinstance(
-                conventional, TimedOutRequest
-            ):
+            if not flex_response.ok or not conv_response.ok:
                 print(
                     f"{workload.name:{name_width}s} {geometry} "
                     f"{'-':>9s} {'-':>9s} {'timed out':>9s}"
                 )
                 continue
+            arrayflex = flex_response.result
+            conventional = conv_response.result
             saving = 1.0 - arrayflex.total_time_ns / conventional.total_time_ns
             print(
                 f"{arrayflex.model_name:{name_width}s} {geometry} "
@@ -603,6 +733,127 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"WARNING: {timed_out} requests timed out after {args.timeout}s")
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP/JSON scheduler daemon until drained.
+
+    Like ``batch``, always the batched backend (the daemon serves its
+    decision cache) with disk persistence on by default.  SIGTERM and
+    SIGINT (Ctrl-C) trigger a graceful drain: the listening socket
+    closes, in-flight requests finish, the decision store flushes, and
+    the process exits 0.
+    """
+    from repro.serve import SchedulerDaemon
+
+    if args.backend_explicit and args.backend != "batched":
+        raise ValueError(
+            f"the 'serve' command always uses the batched backend; "
+            f"--backend {args.backend} is not supported here"
+        )
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    if args.no_cache and args.cache_dir:
+        raise ValueError("--no-cache and --cache-dir are mutually exclusive")
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    daemon = SchedulerDaemon(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        executor=args.executor,
+        max_workers=args.workers,
+        max_inflight=args.max_inflight,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        default_timeout=args.timeout,
+    )
+    daemon.install_signal_handlers()
+    host, port = daemon.address
+    print(f"repro scheduler daemon on http://{host}:{port}", flush=True)
+    print(
+        "  POST /v1/schedule  /v1/batch  /v1/compare   GET /metrics  /healthz",
+        flush=True,
+    )
+    if cache_dir is not None:
+        print(f"  persistent cache: {cache_dir}", flush=True)
+    daemon.serve_forever()
+    print("drained: in-flight requests finished, decision store flushed")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running daemon; typed errors become distinct exit codes."""
+    from repro.serve import DaemonClient, Request, ServeError
+
+    _reject_cache_dir(args)
+    if args.backend_explicit:
+        raise ValueError(
+            "the 'client' command talks to a running daemon (whose backend "
+            "was chosen by 'serve'); --backend is not supported here"
+        )
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    client = DaemonClient(
+        host=args.host,
+        port=args.port,
+        timeout=args.http_timeout,
+        client_id=args.client_id,
+    )
+    try:
+        if args.client_action in ("healthz", "metrics"):
+            body = client.healthz() if args.client_action == "healthz" else client.metrics()
+            print(json.dumps(body, indent=2, sort_keys=True))
+            return 0
+        request = Request(
+            model=args.model,
+            config=ArrayFlexConfig(
+                rows=args.rows,
+                cols=args.cols,
+                supported_depths=tuple(args.depths),
+                activity_model=args.activity_model,
+            ),
+            conventional=getattr(args, "conventional", False),
+            totals_only=args.totals_only,
+            timeout=args.timeout,
+        )
+        if args.client_action == "schedule":
+            body = client.schedule(request)
+            _print_client_result(body)
+            return 0
+        pair = client.compare([request])["pairs"][0]
+        _print_client_result(pair[0])
+        _print_client_result(pair[1])
+        flex_time = pair[0]["result"]["time_ns"]
+        conv_time = pair[1]["result"]["time_ns"]
+        print(f"latency saving: {format_percent(1.0 - flex_time / conv_time)}")
+        return 0
+    except ServeError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        if exc.retry_after_s is not None:
+            print(f"retry after {exc.retry_after_s:g}s", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        print(
+            f"error: cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _print_client_result(body: dict) -> None:
+    """One human-readable line per wire response body."""
+    kind = "conventional" if body.get("conventional") else "arrayflex"
+    result = body.get("result")
+    if body.get("status") != "ok" or result is None:
+        print(f"{body.get('model_name', '?')} [{kind}]: {body.get('status')}")
+        return
+    time_ms = result["time_ns"] / 1e6
+    power_w = result["average_power_mw"] / 1e3
+    line = (
+        f"{body['model_name']} [{kind}]: {time_ms:.3f} ms, "
+        f"{result['energy_nj'] / 1e3:.1f} uJ, {power_w:.1f} W"
+    )
+    if result.get("kind") == "schedule":
+        line += f", modes {result['depth_histogram']}"
+    print(line)
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -664,7 +915,7 @@ def _reject_cache_dir(args: argparse.Namespace) -> None:
     if args.cache_dir:
         raise ValueError(
             f"--cache-dir is not supported by the {args.command!r} command "
-            f"(use it with info/decide/compare/batch)"
+            f"(use it with info/decide/compare/batch/serve)"
         )
 
 
@@ -720,6 +971,8 @@ _HANDLERS = {
     "decide": _cmd_decide,
     "compare": _cmd_compare,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
     "workloads": _cmd_workloads,
     "cache": _cmd_cache,
     "experiment": _cmd_experiment,

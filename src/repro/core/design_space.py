@@ -287,10 +287,13 @@ class DesignSpaceExplorer:
             # the point count — bounds useful parallelism.
             max_workers=min(workers, 2 * len(points) * len(self.models)),
         ) as service:
-            pairs = service.compare_many(
-                ((model, config) for config in configs for model in self.models),
-                totals_only=True,
-            )
+            pairs = [
+                (arrayflex.unwrap(), conventional.unwrap())
+                for arrayflex, conventional in service.compare(
+                    ((model, config) for config in configs for model in self.models),
+                    totals_only=True,
+                )
+            ]
         span = len(self.models)
         return [
             self._aggregate(point, config, pairs[i * span : (i + 1) * span])

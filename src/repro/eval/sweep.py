@@ -109,9 +109,11 @@ def array_size_sweep(
     with SchedulingService(
         backend=resolved, executor="thread", max_workers=max_workers or 1
     ) as service:
-        pairs = service.compare_many((model, config) for config, model in grid)
+        pairs = service.compare((model, config) for config, model in grid)
         points = []
-        for (config, model), (arrayflex, conventional) in zip(grid, pairs):
+        for (config, model), (flex_response, conv_response) in zip(grid, pairs):
+            arrayflex = flex_response.unwrap()
+            conventional = conv_response.unwrap()
             conventional_power = conventional.average_power_mw
             arrayflex_power = arrayflex.average_power_mw
             points.append(

@@ -1,23 +1,62 @@
-"""Batch-serving front-end: submit scheduling requests, get futures back.
+"""The serving layer: one typed request/response API, in process or over HTTP.
 
->>> from repro.serve import SchedulingService, ScheduleRequest
+The public surface is deliberately small and versioned:
+
+* :class:`~repro.serve.protocol.Request` /
+  :class:`~repro.serve.protocol.Response` — the keyword-only protocol
+  dataclasses every entry point speaks (``PROTOCOL_VERSION`` stamps the
+  wire form);
+* :class:`~repro.serve.service.SchedulingService` — the in-process
+  server; ``submit(Request) -> Response`` is the single core, with
+  ``submit_many``/``submit_future``/``compare`` as thin adapters;
+* :class:`~repro.serve.daemon.SchedulerDaemon` /
+  :class:`~repro.serve.daemon.DaemonClient` — the same service behind a
+  stdlib HTTP/JSON front door (``python -m repro serve``);
+* the :mod:`~repro.serve.errors` hierarchy — every failure carries a
+  wire ``code``, an HTTP status, and a CLI exit code.
+
+>>> from repro.serve import Request, SchedulingService
 >>> from repro.core.config import ArrayFlexConfig
 >>> from repro.nn.models import resnet34
 >>> with SchedulingService() as service:
-...     futures = service.schedule_many(
-...         [(resnet34(), ArrayFlexConfig.paper_128x128())]
+...     response = service.submit(
+...         Request(model=resnet34(), config=ArrayFlexConfig.paper_128x128())
 ...     )
-...     schedule = futures[0].result()
->>> schedule.model_name
+>>> response.unwrap().model_name
 'ResNet-34'
 
-See :mod:`repro.serve.service` for the full story (dedup, batching,
-thread/process executors, disk-persistent decision cache).
+``ScheduleRequest``, ``schedule_many``, ``schedule_all``,
+``schedule_suite`` and ``compare_many`` are deprecated pre-protocol
+aliases kept for one release; see ``docs/serve-api-migration.md``.
 """
 
+from repro.serve.daemon import DaemonClient, SchedulerDaemon
+from repro.serve.errors import (
+    AdmissionRejected,
+    InvalidRequest,
+    RateLimited,
+    RequestTimeout,
+    ServeError,
+)
+from repro.serve.middleware import (
+    AdmissionGate,
+    DaemonMetrics,
+    LatencyHistogram,
+    TokenBucket,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    coerce_request,
+    request_from_wire,
+    request_to_wire,
+    response_to_wire,
+    suite_requests,
+)
 from repro.serve.service import (
     EXECUTORS,
-    ScheduleRequest,
+    ScheduleRequest,  # deprecated alias of Request (one release of grace)
     SchedulingService,
     ServiceStats,
     TimedOutRequest,
@@ -25,10 +64,35 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    # protocol
+    "PROTOCOL_VERSION",
+    "Request",
+    "Response",
+    "coerce_request",
+    "request_from_wire",
+    "request_to_wire",
+    "response_to_wire",
+    "suite_requests",
+    # service
     "EXECUTORS",
-    "ScheduleRequest",
     "SchedulingService",
     "ServiceStats",
-    "TimedOutRequest",
     "default_max_workers",
+    # daemon
+    "DaemonClient",
+    "SchedulerDaemon",
+    # middleware
+    "AdmissionGate",
+    "DaemonMetrics",
+    "LatencyHistogram",
+    "TokenBucket",
+    # errors
+    "ServeError",
+    "InvalidRequest",
+    "AdmissionRejected",
+    "RateLimited",
+    "RequestTimeout",
+    # deprecated (one release of grace)
+    "ScheduleRequest",
+    "TimedOutRequest",
 ]

@@ -1,0 +1,249 @@
+"""Daemon middleware: the things a network service needs that a library
+doesn't.
+
+Three small, independently testable pieces sit between the HTTP layer
+and :class:`~repro.serve.service.SchedulingService`:
+
+* :class:`AdmissionGate` — a bounded admission queue.  At most ``limit``
+  requests may be *in flight* (admitted and not yet answered) at once;
+  request ``limit + 1`` is shed immediately with
+  :class:`~repro.serve.errors.AdmissionRejected` (HTTP 429 +
+  ``Retry-After``) instead of queueing without bound.  Shedding beats
+  queueing under saturation: a client that waits 30 s for a 200 has
+  usually given up anyway, while an instant 429 lets it back off and
+  retry into capacity.
+* :class:`TokenBucket` — per-client rate limiting.  Each client id (the
+  ``X-Client-Id`` header, falling back to the peer address) owns a
+  bucket of ``burst`` tokens refilled at ``rate`` tokens/second; a
+  request with an empty bucket is refused with
+  :class:`~repro.serve.errors.RateLimited` carrying the *exact* seconds
+  until a whole token exists again.
+* :class:`LatencyHistogram` / :class:`DaemonMetrics` — the ``/metrics``
+  counters: per-endpoint request/outcome counts, rejection counts, and
+  per-backend latency histograms over log-spaced buckets (fixed bucket
+  edges keep the histogram mergeable across scrapes — no quantile state
+  to decay).
+
+Everything takes an injectable clock so the tests never sleep to move
+time forward.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from bisect import bisect_left
+from collections.abc import Callable
+
+from repro.serve.errors import AdmissionRejected, InvalidRequest, RateLimited
+
+__all__ = [
+    "AdmissionGate",
+    "DaemonMetrics",
+    "LatencyHistogram",
+    "TokenBucket",
+]
+
+
+class AdmissionGate:
+    """Bounded admission queue with queue-depth backpressure.
+
+    ``enter()`` admits or raises :class:`AdmissionRejected`; ``leave()``
+    releases the slot (use :meth:`admit` as a context manager so a
+    handler that raises still releases).  ``retry_after_s`` is the hint
+    attached to rejections — an estimate of when a slot will free up, not
+    a promise.
+    """
+
+    def __init__(self, limit: int, retry_after_s: float = 1.0) -> None:
+        if limit < 1:
+            raise InvalidRequest("admission limit must be at least 1")
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        self._depth = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet answered."""
+        with self._lock:
+            return self._depth
+
+    def enter(self) -> None:
+        with self._lock:
+            if self._depth >= self.limit:
+                raise AdmissionRejected(
+                    f"admission queue is full ({self._depth}/{self.limit} in flight)",
+                    retry_after_s=self.retry_after_s,
+                )
+            self._depth += 1
+
+    def leave(self) -> None:
+        with self._lock:
+            self._depth = max(0, self._depth - 1)
+            if self._depth == 0:
+                self._idle.notify_all()
+
+    def admit(self) -> "_Admission":
+        """Context manager: ``enter()`` on entry, ``leave()`` on exit."""
+        return _Admission(self)
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight (the drain barrier)."""
+        with self._lock:
+            return self._idle.wait_for(lambda: self._depth == 0, timeout=timeout)
+
+
+class _Admission:
+    def __init__(self, gate: AdmissionGate) -> None:
+        self._gate = gate
+
+    def __enter__(self) -> AdmissionGate:
+        self._gate.enter()
+        return self._gate
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._gate.leave()
+
+
+class TokenBucket:
+    """Per-client token buckets: ``rate`` tokens/second, ``burst`` deep.
+
+    A disabled limiter (``rate=None``) admits everything — the daemon
+    default, so a single-user deployment needs no configuration.  Client
+    ids are whatever the caller keys on (the daemon uses the
+    ``X-Client-Id`` header, falling back to the peer host).  Buckets are
+    created full, so a new client can burst immediately.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise InvalidRequest("rate limit must be positive (or None to disable)")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate is not None else 0.0)
+        if rate is not None and self.burst < 1:
+            raise InvalidRequest("rate-limit burst must allow at least one request")
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: client id -> (tokens, last refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def admit(self, client: str) -> None:
+        """Spend one token of ``client``'s bucket or raise :class:`RateLimited`."""
+        if self.rate is None:
+            return
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            if tokens < 1.0:
+                self._buckets[client] = (tokens, now)
+                raise RateLimited(
+                    f"client {client!r} exceeded {self.rate:g} requests/s "
+                    f"(burst {self.burst:g})",
+                    retry_after_s=math.ceil(100 * (1.0 - tokens) / self.rate) / 100,
+                )
+            self._buckets[client] = (tokens - 1.0, now)
+
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+class LatencyHistogram:
+    """Cumulative latency histogram over fixed log-spaced millisecond buckets."""
+
+    #: Upper bucket edges in milliseconds (the last bucket is +inf).
+    BUCKETS_MS = (
+        0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+    )
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(self.BUCKETS_MS) + 1)
+        self._sum_ms = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, latency_ms: float) -> None:
+        index = bisect_left(self.BUCKETS_MS, latency_ms)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum_ms += latency_ms
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        """count / sum / mean plus cumulative ``le`` bucket counts."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            sum_ms = self._sum_ms
+        cumulative: dict[str, int] = {}
+        running = 0
+        for edge, count in zip(self.BUCKETS_MS, counts):
+            running += count
+            cumulative[f"{edge:g}"] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {
+            "count": total,
+            "sum_ms": round(sum_ms, 4),
+            "mean_ms": round(sum_ms / total, 4) if total else 0.0,
+            "buckets_le_ms": cumulative,
+        }
+
+
+class DaemonMetrics:
+    """The /metrics counters: requests, rejections, latency histograms.
+
+    ``observe(endpoint, outcome, backend, latency_ms)`` records one
+    answered request; rejections (shed before any backend work) are
+    recorded by ``reject(endpoint, code)``.  ``snapshot()`` returns one
+    JSON-ready dict; the daemon merges it with the service's serving and
+    store counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._outcomes: dict[str, int] = {}
+        self._rejections: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def observe(
+        self, endpoint: str, outcome: str, backend: str, latency_ms: float
+    ) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            key = f"{endpoint}:{outcome}"
+            self._outcomes[key] = self._outcomes.get(key, 0) + 1
+            histogram = self._histograms.get(backend)
+            if histogram is None:
+                histogram = self._histograms[backend] = LatencyHistogram()
+        histogram.observe(latency_ms)
+
+    def reject(self, endpoint: str, code: str) -> None:
+        with self._lock:
+            key = f"{endpoint}:{code}"
+            self._rejections[key] = self._rejections.get(key, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "requests": dict(sorted(self._requests.items())),
+                "outcomes": dict(sorted(self._outcomes.items())),
+                "rejections": dict(sorted(self._rejections.items())),
+                "latency_ms_by_backend": {
+                    backend: histogram.snapshot()
+                    for backend, histogram in sorted(self._histograms.items())
+                },
+            }

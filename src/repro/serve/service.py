@@ -1,11 +1,22 @@
 """Batch-serving front-end over the execution backends.
 
 :class:`SchedulingService` is the building block for serving scheduling
-decisions at scale: it accepts a *stream* of ``(model, configuration)``
-requests, deduplicates them, batches them through one shared
-:class:`~repro.backends.batched.BatchedCachedBackend` and returns
-:class:`concurrent.futures.Future` objects, so callers can submit work
-incrementally and collect results as they complete.
+decisions at scale: it accepts a *stream* of typed
+:class:`~repro.serve.protocol.Request` objects, deduplicates them,
+batches them through one shared
+:class:`~repro.backends.batched.BatchedCachedBackend` and returns typed
+:class:`~repro.serve.protocol.Response` objects (or raw
+:class:`concurrent.futures.Future` handles via :meth:`submit_future`,
+for callers that overlap their own work with collection).
+
+The public API is **one core**: :meth:`SchedulingService.submit` takes a
+:class:`Request` and returns a :class:`Response`; everything else —
+:meth:`submit_many`, :meth:`compare`, the HTTP daemon
+(:mod:`repro.serve.daemon`), the CLI ``batch`` command, and the four
+deprecated pre-protocol aliases (``schedule_many``/``schedule_all``/
+``schedule_suite``/``compare_many``) — is a thin adapter over it, so
+library callers, the CLI and wire clients all speak the same typed
+surface.
 
 Three layers of work elimination stack up:
 
@@ -16,8 +27,7 @@ Three layers of work elimination stack up:
   distinct computations, never one shared future; the backend's
   ``decision_identity()`` is folded in too, so a sampled-simulation
   result under one seed/fraction is never deduplicated against another)
-  are submitted once and share one future, across ``schedule_many``
-  calls;
+  are submitted once and share one future, across ``submit`` calls;
 * **decision cache** — distinct requests still share per-layer mode
   decisions through the backend's LRU (CNN suites repeat GEMM shapes
   heavily);
@@ -36,6 +46,7 @@ share warmth through the disk store).  ``max_workers`` is auto-sized from
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Iterable
 from concurrent.futures import (
     CancelledError,
@@ -45,7 +56,7 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from threading import RLock
+from threading import Event, RLock
 
 from repro.backends import (
     BatchedCachedBackend,
@@ -57,11 +68,23 @@ from repro.backends import (
     model_totals,
 )
 from repro.core.config import ArrayFlexConfig
-from repro.core.scheduler import ModelSchedule, WorkloadArgument, resolve_workload
+from repro.core.scheduler import ModelSchedule, WorkloadArgument
 from repro.nn.gemm_mapping import GemmShape
+from repro.serve.errors import InvalidRequest
+from repro.serve.protocol import (
+    Request,
+    Response,
+    coerce_request,
+    suite_requests,
+)
 
 #: Executor kinds accepted by :class:`SchedulingService`.
 EXECUTORS = ("thread", "process")
+
+#: Deprecated name of :class:`repro.serve.protocol.Request`, kept for one
+#: release so pre-daemon call sites keep importing; constructing one IS
+#: constructing a protocol Request (same class, keyword-only fields).
+ScheduleRequest = Request
 
 
 def default_max_workers(executor: str = "thread") -> int:
@@ -75,59 +98,16 @@ def default_max_workers(executor: str = "thread") -> int:
 
 
 @dataclass(frozen=True)
-class ScheduleRequest:
-    """One unit of serving work: schedule ``model`` on ``config``.
-
-    ``model`` accepts everything :func:`~repro.core.scheduler.
-    resolve_workload` does: a CNN layer table, any
-    :class:`~repro.workloads.base.Workload` object (transformer traces,
-    batch-scaled workloads), a :mod:`repro.workloads` registry name
-    (``"bert_base"``, ``"resnet34@bs8"``) or an explicit GEMM list.
-
-    ``conventional`` selects the fixed-pipeline baseline schedule instead
-    of the per-layer optimised ArrayFlex one (a comparison front-end
-    submits both and pairs the futures).  ``totals_only`` asks for a
-    :class:`~repro.backends.ModelTotals` instead of a full per-layer
-    :class:`~repro.core.scheduler.ModelSchedule` — same numbers, but
-    sweep-style aggregators skip materialising (and, on the process
-    executor, pickling) hundreds of layer objects they would immediately
-    collapse to two floats.
-
-    ``timeout`` bounds, in seconds, how long the blocking collection
-    helpers (:meth:`SchedulingService.schedule_all`,
-    :meth:`SchedulingService.compare_many`) wait for this request's
-    result; expiry yields a :class:`TimedOutRequest` marker instead of
-    hanging the caller.  It is *not* part of the request's dedup
-    identity — the same workload with a different deadline is still the
-    same computation.  The configured activity model, by contrast, *is*
-    part of the identity (via ``config.cache_key()``): schedules priced
-    under different activity models are different numbers.
-    """
-
-    model: WorkloadArgument | tuple[GemmShape, ...]
-    config: ArrayFlexConfig
-    conventional: bool = False
-    totals_only: bool = False
-    model_name: str | None = None
-    timeout: float | None = None
-
-    def resolve(self) -> tuple[list[GemmShape], str]:
-        model = self.model
-        if isinstance(model, tuple):
-            model = list(model)
-        return resolve_workload(model, self.model_name)
-
-
-@dataclass(frozen=True)
 class TimedOutRequest:
-    """Result marker for a request whose future missed its deadline.
+    """Legacy result marker for a request whose future missed its deadline.
 
-    Returned (in place of a schedule / totals object) by the blocking
-    collection helpers so one stuck request degrades into a reportable
-    row instead of hanging the whole batch.  ``cancelled`` records
-    whether the underlying computation was still queued and could be
-    cancelled outright; when False it kept running in the background and
-    only this *wait* was abandoned.
+    Returned (in place of a schedule / totals object) by the deprecated
+    blocking collection helpers (``schedule_all``/``compare_many``); the
+    protocol-typed API reports the same situation as a
+    ``status="timeout"`` :class:`~repro.serve.protocol.Response`.
+    ``cancelled`` records whether the underlying computation was still
+    queued and could be cancelled outright; when False it kept running in
+    the background and only this *wait* was abandoned.
     """
 
     model_name: str
@@ -187,8 +167,26 @@ class ServiceStats:
     timed_out: int = 0
 
 
+#: Aliases whose one-shot deprecation warning already fired (one warning
+#: per alias per process: loud enough to be seen, quiet enough that a
+#: sweep calling an alias ten thousand times stays readable).
+_WARNED_ALIASES: set[str] = set()
+
+
+def _warn_deprecated_alias(old: str, new: str) -> None:
+    if old in _WARNED_ALIASES:
+        return
+    _WARNED_ALIASES.add(old)
+    warnings.warn(
+        f"SchedulingService.{old}() is a deprecated alias and will be removed "
+        f"in the next release; use {new} (see docs/serve-api-migration.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class SchedulingService:
-    """Deduplicating, batching, future-returning scheduling front-end."""
+    """Deduplicating, batching, response-returning scheduling front-end."""
 
     def __init__(
         self,
@@ -200,11 +198,13 @@ class SchedulingService:
         dedup_size: int = 4096,
     ) -> None:
         if executor not in EXECUTORS:
-            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+            raise InvalidRequest(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         if max_workers is not None and max_workers < 1:
-            raise ValueError("max_workers must be at least 1")
+            raise InvalidRequest("max_workers must be at least 1")
         if dedup_size < 1:
-            raise ValueError("dedup_size must be at least 1")
+            raise InvalidRequest("dedup_size must be at least 1")
         if backend is None:
             backend = BatchedCachedBackend(cache_size=cache_size)
         self.backend = attach_store(create_backend(backend, default="batched"), cache_dir)
@@ -235,6 +235,10 @@ class SchedulingService:
         #: Entries are dropped by the future's done-callback.
         self._waiters: dict[int, int] = {}
         self._stats = ServiceStats()
+        #: Set by the first :meth:`close`; makes closing idempotent and
+        #: safe from a signal handler (an Event is set without taking any
+        #: lock another thread might hold across the interrupted frame).
+        self._closed = Event()
         if executor == "process":
             self._pool: ThreadPoolExecutor | ProcessPoolExecutor = ProcessPoolExecutor(
                 max_workers=self.max_workers,
@@ -248,31 +252,189 @@ class SchedulingService:
             )
 
     # ------------------------------------------------------------------ #
-    # The serving API
+    # The serving API: one submit(Request) -> Response core
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: Request | tuple[WorkloadArgument, ArrayFlexConfig],
+        timeout: float | None = None,
+    ) -> Response:
+        """Schedule one request and block for its typed :class:`Response`.
+
+        The single public core every other entry point adapts over.
+        Duplicate requests (across any entry point of this service) share
+        one underlying computation.  ``timeout`` (seconds) bounds the
+        wait; the request's own ``timeout`` field takes precedence.  A
+        missed deadline comes back as a ``status="timeout"`` response —
+        call :meth:`Response.unwrap` to raise it as a typed
+        :class:`~repro.serve.errors.RequestTimeout` instead.
+        """
+        return self.submit_many([request], timeout=timeout)[0]
+
+    def submit_many(
+        self,
+        requests: Iterable[Request | tuple[WorkloadArgument, ArrayFlexConfig]],
+        timeout: float | None = None,
+    ) -> list[Response]:
+        """Submit a stream of requests and block for all responses (in order).
+
+        Every request is submitted before any result is awaited, so a
+        batch runs with full executor concurrency regardless of
+        collection order.  ``timeout`` bounds the wait per request; a
+        request's own ``timeout`` field takes precedence over this
+        call-level default.  Requests that miss their deadline come back
+        as ``status="timeout"`` responses — the batch never hangs on one
+        stuck computation — and their dedup entry is dropped so a retry
+        resubmits instead of re-awaiting the stale future.
+        """
+        requests = [coerce_request(request) for request in requests]
+        keyed = [self._submit_keyed(request) for request in requests]
+        return [
+            self._collect(request, key, future, timeout, deduplicated)
+            for request, (key, future, deduplicated) in zip(requests, keyed)
+        ]
+
+    def submit_future(
+        self, request: Request | tuple[WorkloadArgument, ArrayFlexConfig]
+    ) -> Future[ModelSchedule | ModelTotals]:
+        """Submit one request without blocking; the raw shared future.
+
+        For callers that overlap their own work with collection.
+        Deduplicated requests return the *same* future object.  The
+        future resolves to the bare result (not a :class:`Response`);
+        deadline bookkeeping (dedup-entry cleanup, timeout accounting) is
+        the blocking API's job — ``future.result(timeout=...)`` here is
+        plain :mod:`concurrent.futures` behaviour.
+        """
+        return self._submit_keyed(coerce_request(request))[1]
+
+    def compare(
+        self,
+        workloads: Iterable[tuple[WorkloadArgument, ArrayFlexConfig]],
+        totals_only: bool = False,
+        timeout: float | None = None,
+    ) -> list[tuple[Response, Response]]:
+        """(ArrayFlex, conventional) response pairs, one per workload.
+
+        The comparison front-ends (CLI ``batch``, size sweeps, the
+        design-space explorer) all need both runs of every workload; this
+        encodes the submit/pair bookkeeping once so no caller hand-walks
+        an interleaved response list.  ``timeout`` bounds the wait per
+        request (see :meth:`submit_many`); a timed-out side of a pair is
+        a ``status="timeout"`` response.
+        """
+        workloads = list(workloads)
+        responses = self.submit_many(
+            (
+                request
+                for model, config in workloads
+                for request in Request(
+                    model=model, config=config, totals_only=totals_only
+                ).paired()
+            ),
+            timeout=timeout,
+        )
+        return [
+            (responses[2 * i], responses[2 * i + 1]) for i in range(len(workloads))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Deprecated pre-protocol aliases (one release of grace)
     # ------------------------------------------------------------------ #
     def schedule_many(
         self,
-        requests: Iterable[
-            ScheduleRequest | tuple[WorkloadArgument, ArrayFlexConfig]
-        ],
+        requests: Iterable[Request | tuple[WorkloadArgument, ArrayFlexConfig]],
     ) -> list[Future[ModelSchedule | ModelTotals]]:
-        """Submit a stream of requests; one future per request, in order.
+        """Deprecated: use :meth:`submit_future` (or :meth:`submit_many`).
 
-        Duplicate requests (also across earlier ``schedule_many`` calls on
-        this service) share a single underlying computation and therefore
-        the same future object.
+        One future per request, in order; duplicates share one future.
         """
-        return [self.submit(request) for request in requests]
+        _warn_deprecated_alias("schedule_many", "submit_future()/submit_many()")
+        return [self.submit_future(request) for request in requests]
 
-    def submit(self, request: ScheduleRequest) -> Future[ModelSchedule | ModelTotals]:
-        """Submit one request (deduplicated against everything in flight)."""
-        return self._submit_keyed(request)[1]
+    def schedule_all(
+        self,
+        requests: Iterable[Request | tuple[WorkloadArgument, ArrayFlexConfig]],
+        timeout: float | None = None,
+    ) -> list[ModelSchedule | ModelTotals | TimedOutRequest]:
+        """Deprecated: use :meth:`submit_many`.
 
+        Same blocking semantics, but bare results with
+        :class:`TimedOutRequest` markers instead of typed responses.
+        """
+        _warn_deprecated_alias("schedule_all", "submit_many()")
+        return [
+            self._legacy_result(response)
+            for response in self.submit_many(requests, timeout=timeout)
+        ]
+
+    def schedule_suite(
+        self,
+        suite: str,
+        config: ArrayFlexConfig,
+        batch: int = 1,
+        conventional: bool = False,
+        totals_only: bool = False,
+    ) -> list[Future[ModelSchedule | ModelTotals]]:
+        """Deprecated: use :func:`~repro.serve.protocol.suite_requests`
+        with :meth:`submit_many` (or :meth:`submit_future`)."""
+        _warn_deprecated_alias(
+            "schedule_suite", "suite_requests() + submit_many()"
+        )
+        return [
+            self.submit_future(request)
+            for request in suite_requests(
+                suite,
+                config,
+                batch=batch,
+                conventional=conventional,
+                totals_only=totals_only,
+            )
+        ]
+
+    def compare_many(
+        self,
+        workloads: Iterable[tuple[WorkloadArgument, ArrayFlexConfig]],
+        totals_only: bool = False,
+        timeout: float | None = None,
+    ) -> list[
+        tuple[
+            ModelSchedule | ModelTotals | TimedOutRequest,
+            ModelSchedule | ModelTotals | TimedOutRequest,
+        ]
+    ]:
+        """Deprecated: use :meth:`compare` (typed response pairs)."""
+        _warn_deprecated_alias("compare_many", "compare()")
+        return [
+            (self._legacy_result(arrayflex), self._legacy_result(conventional))
+            for arrayflex, conventional in self.compare(
+                workloads, totals_only=totals_only, timeout=timeout
+            )
+        ]
+
+    @staticmethod
+    def _legacy_result(
+        response: Response,
+    ) -> ModelSchedule | ModelTotals | TimedOutRequest:
+        """A typed response as the pre-protocol result-or-marker shape."""
+        if response.status == "timeout":
+            return TimedOutRequest(
+                model_name=response.model_name,
+                conventional=response.conventional,
+                totals_only=response.totals_only,
+                timeout_s=response.timeout_s if response.timeout_s is not None else 0.0,
+                cancelled=response.cancelled,
+            )
+        assert response.result is not None
+        return response.result
+
+    # ------------------------------------------------------------------ #
+    # Submission / collection internals
+    # ------------------------------------------------------------------ #
     def _submit_keyed(
-        self, request: ScheduleRequest
-    ) -> tuple[tuple, Future[ModelSchedule | ModelTotals]]:
-        """Submit and also return the dedup key (for deadline bookkeeping)."""
-        request = self._coerce(request)
+        self, request: Request
+    ) -> tuple[tuple, Future[ModelSchedule | ModelTotals], bool]:
+        """Submit one request; its dedup key, shared future and dedup flag."""
         gemms, name = request.resolve()
         dims = tuple((g.m, g.n, g.t) for g in gemms)
         key = (
@@ -293,7 +455,7 @@ class SchedulingService:
                     # done-callback already dropped it, and cancel() is a
                     # no-op) — re-inserting would leak an orphan entry.
                     self._waiters[id(future)] = self._waiters.get(id(future), 1) + 1
-                return key, future
+                return key, future, True
             self._stats.submitted += 1
             if self.executor_kind == "process":
                 future = self._pool.submit(
@@ -324,7 +486,7 @@ class SchedulingService:
             )
             if len(self._futures) > self.dedup_size:
                 self._evict_completed_locked()
-            return key, future
+            return key, future, False
 
     def _forget_failed(self, key: tuple, future: Future) -> None:
         """Drop a failed/cancelled future from the dedup map.
@@ -358,40 +520,21 @@ class SchedulingService:
             if self._futures[key].done():
                 del self._futures[key]
 
-    def schedule_all(
-        self,
-        requests: Iterable[ScheduleRequest | tuple[WorkloadArgument, ArrayFlexConfig]],
-        timeout: float | None = None,
-    ) -> list[ModelSchedule | ModelTotals | TimedOutRequest]:
-        """Submit a stream of requests and block for all results (in order).
-
-        ``timeout`` (seconds) bounds the wait per request; a request's own
-        ``timeout`` field takes precedence over this call-level default.
-        Requests that miss their deadline come back as
-        :class:`TimedOutRequest` markers — the batch never hangs on one
-        stuck computation — and their dedup entry is dropped so a retry
-        resubmits instead of re-awaiting the stale future.
-        """
-        requests = [self._coerce(request) for request in requests]
-        keyed = [self._submit_keyed(request) for request in requests]
-        return [
-            self._collect(request, key, future, timeout)
-            for request, (key, future) in zip(requests, keyed)
-        ]
-
     def _collect(
         self,
-        request: ScheduleRequest,
+        request: Request,
         key: tuple,
         future: Future[ModelSchedule | ModelTotals],
         default_timeout: float | None,
-    ) -> ModelSchedule | ModelTotals | TimedOutRequest:
-        """One result, bounded by the request's deadline when it has one."""
+        deduplicated: bool,
+    ) -> Response:
+        """One response, bounded by the request's deadline when it has one."""
         timeout = request.timeout if request.timeout is not None else default_timeout
         try:
             if timeout is None:
-                return future.result()
-            return future.result(timeout=timeout)
+                result = future.result()
+            else:
+                result = future.result(timeout=timeout)
         except (FutureTimeoutError, CancelledError) as exc:
             # Queued-but-not-started work is cancelled outright — but only
             # when this waiter holds the future's sole issued handle, so a
@@ -413,7 +556,8 @@ class SchedulingService:
                 self._stats.timed_out += 1
                 if self._futures.get(key) is future:
                     del self._futures[key]
-            return TimedOutRequest(
+            return Response(
+                status="timeout",
                 # The resolved name is the dedup key's first component; a
                 # failure path must not re-lower the whole workload.
                 model_name=key[0],
@@ -421,67 +565,16 @@ class SchedulingService:
                 totals_only=request.totals_only,
                 timeout_s=timeout if timeout is not None else 0.0,
                 cancelled=cancelled,
+                deduplicated=deduplicated,
             )
-
-    def schedule_suite(
-        self,
-        suite: str,
-        config: ArrayFlexConfig,
-        batch: int = 1,
-        conventional: bool = False,
-        totals_only: bool = False,
-    ) -> list[Future[ModelSchedule | ModelTotals]]:
-        """Submit every workload of a registry suite on one configuration.
-
-        Suite-level serving sugar over :func:`repro.workloads.get_suite`:
-        one future per workload, in the suite's (sorted-key) order.
-        """
-        from repro.workloads import get_suite
-
-        return self.schedule_many(
-            ScheduleRequest(
-                model=workload,
-                config=config,
-                conventional=conventional,
-                totals_only=totals_only,
-            )
-            for workload in get_suite(suite, batch=batch)
+        return Response(
+            status="ok",
+            model_name=key[0],
+            conventional=request.conventional,
+            totals_only=request.totals_only,
+            result=result,
+            deduplicated=deduplicated,
         )
-
-    def compare_many(
-        self,
-        workloads: Iterable[tuple[WorkloadArgument, ArrayFlexConfig]],
-        totals_only: bool = False,
-        timeout: float | None = None,
-    ) -> list[
-        tuple[
-            ModelSchedule | ModelTotals | TimedOutRequest,
-            ModelSchedule | ModelTotals | TimedOutRequest,
-        ]
-    ]:
-        """(ArrayFlex, conventional) result pairs, one per workload.
-
-        The comparison front-ends (CLI ``batch``, size sweeps, the
-        design-space explorer) all need both runs of every workload; this
-        encodes the submit/pair bookkeeping once so no caller hand-walks
-        an interleaved future list.  ``timeout`` bounds the wait per
-        request (see :meth:`schedule_all`); a timed-out side of a pair is
-        a :class:`TimedOutRequest` marker.
-        """
-        workloads = list(workloads)
-        results = self.schedule_all(
-            (
-                ScheduleRequest(
-                    model=model, config=config, conventional=conv, totals_only=totals_only
-                )
-                for model, config in workloads
-                for conv in (False, True)
-            ),
-            timeout=timeout,
-        )
-        return [
-            (results[2 * i], results[2 * i + 1]) for i in range(len(workloads))
-        ]
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -513,8 +606,20 @@ class SchedulingService:
             )
         return counters
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (or is running)."""
+        return self._closed.is_set()
+
     def close(self, wait: bool = True, cancel_futures: bool = False) -> None:
-        """Shut the executor down.
+        """Shut the executor down (idempotent; signal-handler safe).
+
+        Only the first call does anything — the daemon's graceful drain
+        may race a ``with``-block exit or a second signal, and a double
+        close must be a no-op, not an error.  The closed flag is a bare
+        :class:`threading.Event` set before any other work, so calling
+        this from a signal handler never blocks on a lock the interrupted
+        frame might hold.
 
         After timeouts, pass ``wait=False, cancel_futures=True``:
         ``wait=True`` (the context-manager default) would block on the
@@ -524,6 +629,9 @@ class SchedulingService:
         unbounded computation delays process exit either way; queued
         work, however, is cancelled outright.
         """
+        if self._closed.is_set():
+            return
+        self._closed.set()
         self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
         flush = getattr(self.backend, "flush_store", None)
         if flush is not None:
@@ -540,13 +648,7 @@ class SchedulingService:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _coerce(
-        request: ScheduleRequest | tuple[WorkloadArgument, ArrayFlexConfig],
-    ) -> ScheduleRequest:
-        if isinstance(request, ScheduleRequest):
-            return request
-        if isinstance(request, tuple) and len(request) == 2:
-            model, config = request
-            return ScheduleRequest(model=model, config=config)
-        raise TypeError(
-            "requests must be ScheduleRequest objects or (model, config) tuples"
-        )
+        request: Request | tuple[WorkloadArgument, ArrayFlexConfig],
+    ) -> Request:
+        """Deprecated internal shim; see :func:`protocol.coerce_request`."""
+        return coerce_request(request)

@@ -282,21 +282,25 @@ class TestBatchCommand:
 
     def test_batch_reports_timed_out_rows_and_exits_nonzero(self, capsys, monkeypatch):
         """The timed-out branch of the batch report, forced deterministically."""
-        from repro.serve import SchedulingService, TimedOutRequest
+        from repro.serve import Response, SchedulingService
 
-        def fake_compare_many(self, workloads, totals_only=False, timeout=None):
+        def fake_compare(self, workloads, totals_only=False, timeout=None):
             workloads = list(workloads)
             with self._lock:
                 self._stats.timed_out += 2 * len(workloads)
-            return [
-                (
-                    TimedOutRequest("ResNet-34", False, False, timeout or 0.0, True),
-                    TimedOutRequest("ResNet-34", True, False, timeout or 0.0, True),
-                )
-                for _ in workloads
-            ]
 
-        monkeypatch.setattr(SchedulingService, "compare_many", fake_compare_many)
+            def timed_out(conventional):
+                return Response(
+                    status="timeout",
+                    model_name="ResNet-34",
+                    conventional=conventional,
+                    timeout_s=timeout or 0.0,
+                    cancelled=True,
+                )
+
+            return [(timed_out(False), timed_out(True)) for _ in workloads]
+
+        monkeypatch.setattr(SchedulingService, "compare", fake_compare)
         code = main(
             [
                 "batch", "--no-cache", "--models", "resnet34",

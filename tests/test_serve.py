@@ -59,9 +59,15 @@ class TestConstruction:
             assert service.backend.store.directory == tmp_path
 
     def test_bad_request_type_rejected(self, config):
+        from repro.serve import InvalidRequest
+
         with SchedulingService() as service:
-            with pytest.raises(TypeError):
-                service.schedule_many([42])
+            with pytest.raises(InvalidRequest):
+                service.submit_many([42])
+            # The typed error is a ValueError, so pre-daemon call sites
+            # catching broadly keep working.
+            with pytest.raises(ValueError):
+                service.submit_many([42])
 
 
 class TestScheduleMany:
@@ -131,7 +137,7 @@ class TestBackendIdentityInDedupKeys:
     @staticmethod
     def _key(service, config):
         request = ScheduleRequest(model=resnet34(), config=config)
-        key, future = service._submit_keyed(request)
+        key, future, _ = service._submit_keyed(request)
         future.result()
         return key
 
@@ -468,6 +474,117 @@ class TestTimeouts:
             )
             assert futures[0] is futures[1]
             time.sleep(0)  # keep the futures referenced until both resolve
+
+
+class TestSubmitCore:
+    """The redesigned submit(Request) -> Response core and its adapters."""
+
+    def test_submit_returns_ok_response(self, config, reference):
+        from repro.serve import Request
+
+        with SchedulingService() as service:
+            response = service.submit(Request(model=resnet34(), config=config))
+        assert response.ok
+        assert response.status == "ok"
+        assert response.model_name == "ResNet-34"
+        assert response.unwrap().layers == reference[("ResNet-34", False)].layers
+
+    def test_submit_accepts_tuple_shorthand(self, config):
+        with SchedulingService() as service:
+            response = service.submit((resnet34(), config))
+        assert response.ok and response.model_name == "ResNet-34"
+
+    def test_submit_many_marks_deduplicated_responses(self, config):
+        with SchedulingService() as service:
+            responses = service.submit_many(
+                [(resnet34(), config), (resnet34(), config)]
+            )
+        assert [r.deduplicated for r in responses] == [False, True]
+        assert responses[0].unwrap().layers == responses[1].unwrap().layers
+
+    def test_compare_pairs_flex_and_conventional(self, config, reference):
+        with SchedulingService() as service:
+            [(arrayflex, conventional)] = service.compare([(resnet34(), config)])
+        assert arrayflex.conventional is False
+        assert conventional.conventional is True
+        assert arrayflex.unwrap().layers == reference[("ResNet-34", False)].layers
+        assert conventional.unwrap().layers == reference[("ResNet-34", True)].layers
+
+    def test_timeout_response_unwrap_raises_typed_error(self, config):
+        from repro.serve import RequestTimeout
+
+        gate = threading.Event()
+        with SchedulingService(backend=_StallingBackend(gate)) as service:
+            try:
+                response = service.submit((resnet34(), config), timeout=0.05)
+            finally:
+                gate.set()
+            assert not response.ok
+            assert response.status == "timeout"
+            with pytest.raises(RequestTimeout):
+                response.unwrap()
+
+    def test_legacy_aliases_agree_with_submit_core(self, config):
+        """One alias round-trip: same numbers through old and new surface."""
+        with SchedulingService() as service:
+            [legacy] = service.schedule_all([(resnet34(), config)])
+            response = service.submit((resnet34(), config))
+        assert legacy.layers == response.unwrap().layers
+
+
+class TestCloseLifecycle:
+    """close() is idempotent and safe around in-flight work (satellite of
+    the daemon's graceful-drain path, which may race a with-block exit
+    or a second signal)."""
+
+    def test_close_is_idempotent(self, config):
+        service = SchedulingService()
+        assert service.closed is False
+        service.close()
+        assert service.closed is True
+        service.close()  # second close: a no-op, not an error
+        service.close(wait=False, cancel_futures=True)
+        assert service.closed is True
+
+    def test_context_manager_exit_after_explicit_close(self, config):
+        with SchedulingService() as service:
+            service.submit((resnet34(), config))
+            service.close()
+        assert service.closed  # __exit__ double-closed without raising
+
+    def test_close_with_inflight_futures_waits_for_results(self, config):
+        """A default close joins in-flight work; its futures still resolve."""
+        gate = threading.Event()
+        service = SchedulingService(backend=_StallingBackend(gate), max_workers=1)
+        future = service.submit_future((resnet34(), config))
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        assert not future.done()  # close(wait=True) is blocked on the gate
+        gate.set()
+        closer.join(timeout=60)
+        assert not closer.is_alive()
+        assert future.result(timeout=60).model_name == "ResNet-34"
+
+    def test_double_close_with_inflight_from_second_thread(self, config):
+        """The drain/with-exit race: both closes return, nothing deadlocks."""
+        gate = threading.Event()
+        service = SchedulingService(backend=_StallingBackend(gate), max_workers=1)
+        future = service.submit_future((resnet34(), config))
+        gate.set()
+        threads = [threading.Thread(target=service.close) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert service.closed
+        assert future.result(timeout=60).model_name == "ResNet-34"
+
+    def test_submit_after_close_fails_cleanly(self, config):
+        service = SchedulingService()
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit_future((resnet34(), config))
 
 
 class TestFailureRecovery:
