@@ -37,6 +37,7 @@ from bench_scenarios import (  # noqa: E402
     STORE_WARM_ROWS,
     best_of as _best_of,
     build_columnar_store,
+    bypass_tracer,
     columnar_warm_load,
     daemon_bench_requests,
     design_space_sweep,
@@ -45,6 +46,7 @@ from bench_scenarios import (  # noqa: E402
     run_http_schedules,
     schedule_cnn_suite,
     schedule_transformer_suite,
+    sweep_under_tracer,
     write_json_v1_shard,
 )
 
@@ -59,6 +61,7 @@ from repro.backends import (  # noqa: E402
 from repro.core.config import ArrayFlexConfig  # noqa: E402
 from repro.core.design_space import DesignSpaceExplorer  # noqa: E402
 from repro.nn.models import model_zoo, resnet34  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
 from repro.serve import DaemonClient, SchedulerDaemon, SchedulingService  # noqa: E402
 
 
@@ -157,6 +160,18 @@ def collect(rounds: int = 3) -> dict:
         lambda: design_space_sweep(activity_model=UtilizationActivity()), rounds
     )
 
+    # Observability overhead: the same sweep under the bypass / disabled /
+    # enabled tracer regimes (the test_bench_obs.py scenario).
+    timings_ms["design_space_obs_bypass"] = 1e3 * _best_of(
+        lambda: sweep_under_tracer(bypass_tracer()), rounds
+    )
+    timings_ms["design_space_obs_disabled"] = 1e3 * _best_of(
+        lambda: sweep_under_tracer(Tracer(enabled=False)), rounds
+    )
+    timings_ms["design_space_obs_enabled"] = 1e3 * _best_of(
+        lambda: sweep_under_tracer(Tracer(enabled=True)), rounds
+    )
+
     # Sampled vs exact cycle backend on the batched CNN suite (the
     # test_bench_sampled.py scenario): cold runs, fresh backends per
     # round.  The timed rounds double as the accuracy inputs — the cycle
@@ -236,6 +251,14 @@ def collect(rounds: int = 3) -> dict:
         "utilization_activity_overhead": (
             timings_ms["design_space_utilization_activity"]
             / timings_ms["design_space_constant_activity"]
+        ),
+        "obs_disabled_overhead": (
+            timings_ms["design_space_obs_disabled"]
+            / timings_ms["design_space_obs_bypass"]
+        ),
+        "obs_tracing_overhead": (
+            timings_ms["design_space_obs_enabled"]
+            / timings_ms["design_space_obs_disabled"]
         ),
         "batched_vs_analytical": (
             timings_ms["design_space_analytical"] / timings_ms["design_space_batched"]

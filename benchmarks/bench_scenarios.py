@@ -112,6 +112,41 @@ def design_space_sweep(activity_model=None, backend=None):
     return explorer.explore(DESIGN_POINTS)
 
 
+#: The observability-overhead scenario (``test_bench_obs.py`` and the
+#: ``BENCH_<sha>.json`` artifact): the design-space sweep under three
+#: tracer regimes.  The *bypass* tracer's ``span()`` returns the shared
+#: null span unconditionally — as close to "instrumentation compiled
+#: out" as Python allows, so it stands in for the pre-instrumentation
+#: baseline.  The real tracer *disabled* (the production default, one
+#: attribute check per site) must stay within ``OBS_DISABLED_STRICT`` of
+#: the bypass; *enabled* (every span allocated and recorded) within
+#: ``OBS_ENABLED_STRICT`` of disabled.
+OBS_DISABLED_STRICT = 1.05
+OBS_ENABLED_STRICT = 1.15
+
+
+def bypass_tracer():
+    """A tracer whose ``span()`` skips even the enabled check."""
+    from repro.obs.trace import _NULL, Tracer
+
+    class _BypassTracer(Tracer):
+        def span(self, name, trace_id=None, **attributes):
+            return _NULL
+
+    return _BypassTracer()
+
+
+def sweep_under_tracer(tracer):
+    """One design-space sweep with ``tracer`` installed as the global."""
+    from repro.obs.trace import set_tracer
+
+    previous = set_tracer(tracer)
+    try:
+        return design_space_sweep()
+    finally:
+        set_tracer(previous)
+
+
 #: The store-warm-load scenario (``test_bench_store.py`` and the
 #: ``BENCH_<sha>.json`` artifact): one >= 10k-decision shard, loaded warm
 #: by a fresh process the way every pool worker of a sweep does.  The

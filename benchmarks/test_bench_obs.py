@@ -1,0 +1,76 @@
+"""Benchmark: the observability layer's overhead on the design-space sweep.
+
+Not a paper figure: this pins the cost of the tracing instrumentation
+threaded through the service, backends, store and engine.  Three tracer
+regimes run the same sweep: a *bypass* stub whose ``span()`` returns the
+shared null span unconditionally (the stand-in for code with no
+instrumentation at all), the real tracer *disabled* (the production
+default — one ``enabled`` attribute check per site, no allocation), and
+the real tracer *enabled* (every span allocated, timed and recorded).
+
+Pinned: disabled <= 5% over bypass — the fast path must never grow an
+allocation, a lock, or an ambient-context read — and enabled <= 15%
+over disabled.  Also pinned: tracing never changes results (the traced
+sweep is object-identical to the untraced one), and the enabled run
+actually records the sweep's span hierarchy.
+"""
+
+import time
+
+from bench_scenarios import (
+    OBS_DISABLED_STRICT,
+    OBS_ENABLED_STRICT,
+    bypass_tracer,
+    overhead_ceiling,
+    sweep_under_tracer,
+)
+
+from repro.obs.trace import Tracer
+
+
+def test_obs_overhead(benchmark):
+    """Tracing costs <= 5% disabled and <= 15% enabled on the sweep."""
+    bypass = bypass_tracer()
+    disabled = Tracer(enabled=False)
+    enabled = Tracer(enabled=True)
+
+    reference = sweep_under_tracer(bypass)
+    assert sweep_under_tracer(disabled) == reference
+    assert sweep_under_tracer(enabled) == reference  # tracing never changes results
+    names = {span.name for span in enabled.drain()}
+    assert "explorer.explore" in names and "backend.model_totals" in names, names
+
+    # Interleaved best-of-N: machine-load drift hits every regime
+    # symmetrically instead of biasing whichever ran last.
+    bypass_s = disabled_s = enabled_s = float("inf")
+    for _ in range(7):
+        start = time.perf_counter()
+        sweep_under_tracer(bypass)
+        bypass_s = min(bypass_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        sweep_under_tracer(disabled)
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        sweep_under_tracer(enabled)
+        enabled_s = min(enabled_s, time.perf_counter() - start)
+        enabled.clear()
+    disabled_ratio = disabled_s / bypass_s
+    enabled_ratio = enabled_s / disabled_s
+    print(
+        f"\nbypass {bypass_s * 1e3:.1f} ms  disabled {disabled_s * 1e3:.1f} ms "
+        f"({disabled_ratio:.2f}x)  enabled {enabled_s * 1e3:.1f} ms "
+        f"({enabled_ratio:.2f}x)"
+    )
+    disabled_ceiling = overhead_ceiling(OBS_DISABLED_STRICT)
+    assert disabled_ratio <= disabled_ceiling, (
+        f"disabled tracer: expected <= {disabled_ceiling:.2f}x over the bypass "
+        f"stub, measured {disabled_ratio:.2f}x"
+    )
+    enabled_ceiling = overhead_ceiling(OBS_ENABLED_STRICT)
+    assert enabled_ratio <= enabled_ceiling, (
+        f"enabled tracer: expected <= {enabled_ceiling:.2f}x over disabled, "
+        f"measured {enabled_ratio:.2f}x"
+    )
+
+    # Track the production posture (tracer disabled) in the trajectory.
+    benchmark(sweep_under_tracer, Tracer(enabled=False))

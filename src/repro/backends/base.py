@@ -47,6 +47,7 @@ from repro.core.metrics import (
 )
 from repro.core.optimizer import PipelineOptimizer
 from repro.nn.gemm_mapping import GemmShape
+from repro.obs.trace import get_tracer
 
 #: The per-layer result type shared by every backend.  A backend's
 #: ``schedule_layer`` returns exactly what the scheduler records for a
@@ -201,8 +202,11 @@ class ExecutionBackend(abc.ABC):
             rows=config.rows,
             cols=config.cols,
         )
-        for index, gemm in enumerate(gemms, start=1):
-            schedule.layers.append(self.schedule_layer(gemm, config, index=index))
+        with get_tracer().span(
+            "backend.schedule_model", backend=self.name, model=name, layers=len(gemms)
+        ):
+            for index, gemm in enumerate(gemms, start=1):
+                schedule.layers.append(self.schedule_layer(gemm, config, index=index))
         return schedule
 
     def schedule_model_totals(
@@ -266,10 +270,17 @@ class ExecutionBackend(abc.ABC):
             rows=config.rows,
             cols=config.cols,
         )
-        for index, gemm in enumerate(gemms, start=1):
-            schedule.layers.append(
-                self.schedule_layer_conventional(gemm, config, index=index)
-            )
+        with get_tracer().span(
+            "backend.schedule_model",
+            backend=self.name,
+            model=name,
+            layers=len(gemms),
+            conventional=True,
+        ):
+            for index, gemm in enumerate(gemms, start=1):
+                schedule.layers.append(
+                    self.schedule_layer_conventional(gemm, config, index=index)
+                )
         return schedule
 
     # ------------------------------------------------------------------ #

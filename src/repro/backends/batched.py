@@ -61,6 +61,8 @@ from repro.core.metrics import (
     resolve_workload,
 )
 from repro.nn.gemm_mapping import GemmShape
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.timing.area_model import AreaModel
 from repro.timing.power_model import ArrayPowerBreakdown, PowerModel
 
@@ -240,9 +242,17 @@ class BatchedCachedBackend(ExecutionBackend):
         #: Optional disk persistence layer; see :mod:`repro.backends.store`.
         self.store = store
         self._cache: OrderedDict[tuple, _Decision] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._store_hits = 0
+        #: The cache counters live as instruments on this registry (the
+        #: serving layer attaches it to its own, so ``/metrics`` reads
+        #: them merged); ``cache_info()`` keeps the historical dict shape.
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("backend_cache_hits_total", backend=self.name)
+        self._misses = self.metrics.counter(
+            "backend_cache_misses_total", backend=self.name
+        )
+        self._store_hits = self.metrics.counter(
+            "backend_cache_store_hits_total", backend=self.name
+        )
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -273,15 +283,18 @@ class BatchedCachedBackend(ExecutionBackend):
         model_name: str | None = None,
     ) -> ModelSchedule:
         gemms, name = resolve_workload(model, model_name)
-        decisions = self._decide_batch(gemms, config)
-        schedule = ModelSchedule(
-            model_name=name,
-            accelerator="ArrayFlex",
-            rows=config.rows,
-            cols=config.cols,
-        )
-        for index, (gemm, decision) in enumerate(zip(gemms, decisions), start=1):
-            schedule.layers.append(self._to_layer(index, gemm, decision))
+        with get_tracer().span(
+            "backend.schedule_model", backend=self.name, model=name, layers=len(gemms)
+        ):
+            decisions = self._decide_batch(gemms, config)
+            schedule = ModelSchedule(
+                model_name=name,
+                accelerator="ArrayFlex",
+                rows=config.rows,
+                cols=config.cols,
+            )
+            for index, (gemm, decision) in enumerate(zip(gemms, decisions), start=1):
+                schedule.layers.append(self._to_layer(index, gemm, decision))
         return schedule
 
     def schedule_model_conventional(
@@ -301,6 +314,19 @@ class BatchedCachedBackend(ExecutionBackend):
         component arithmetic per layer).
         """
         gemms, name = resolve_workload(model, model_name)
+        span = get_tracer().span(
+            "backend.schedule_model",
+            backend=self.name,
+            model=name,
+            layers=len(gemms),
+            conventional=True,
+        )
+        with span:
+            return self._schedule_conventional(gemms, name, config)
+
+    def _schedule_conventional(
+        self, gemms: list[GemmShape], name: str, config: ArrayFlexConfig
+    ) -> ModelSchedule:
         parts = self.components(config)
         rows, cols = config.rows, config.cols
         period_ns = parts.clock.conventional_period_ns()
@@ -362,7 +388,20 @@ class BatchedCachedBackend(ExecutionBackend):
         activity/power pass, so it too matches the per-layer path under
         any activity model.
         """
-        gemms, _ = resolve_workload(model, model_name)
+        gemms, name = resolve_workload(model, model_name)
+        span = get_tracer().span(
+            "backend.model_totals",
+            backend=self.name,
+            model=name,
+            layers=len(gemms),
+            conventional=conventional,
+        )
+        with span:
+            return self._totals(gemms, config, conventional)
+
+    def _totals(
+        self, gemms: list[GemmShape], config: ArrayFlexConfig, conventional: bool
+    ) -> ModelTotals:
         time_ns = 0.0
         energy_nj = 0.0
         if conventional:
@@ -404,9 +443,9 @@ class BatchedCachedBackend(ExecutionBackend):
         in one cold batch each count even though they share one solve.
         """
         return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "store_hits": self._store_hits,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "store_hits": self._store_hits.value,
             "size": len(self._cache),
             "max_size": self.cache_size,
         }
@@ -415,9 +454,9 @@ class BatchedCachedBackend(ExecutionBackend):
         """Drop the in-memory cache and counters (the disk store persists)."""
         with self._lock:
             self._cache.clear()
-            self._hits = 0
-            self._misses = 0
-            self._store_hits = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._store_hits.reset()
 
     @staticmethod
     def _config_key(config: ArrayFlexConfig) -> tuple:
@@ -449,7 +488,7 @@ class BatchedCachedBackend(ExecutionBackend):
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._cache.move_to_end(key)
-                    self._hits += 1
+                    self._hits.inc()
                     decisions[i] = cached
                     continue
                 if stored is not None:
@@ -457,10 +496,10 @@ class BatchedCachedBackend(ExecutionBackend):
                     if row is not None:
                         cached = _decision_from_row(row)
                         self._cache[key] = cached
-                        self._store_hits += 1
+                        self._store_hits.inc()
                         decisions[i] = cached
                         continue
-                self._misses += 1
+                self._misses.inc()
                 missing.append(i)
                 if key not in unique_keys:
                     unique_keys[key] = len(unique_gemms)
@@ -470,7 +509,10 @@ class BatchedCachedBackend(ExecutionBackend):
                 self._cache.popitem(last=False)
 
         if missing:
-            fresh = self._solve_vectorised(unique_gemms, config)
+            with get_tracer().span(
+                "backend.mode_search", backend=self.name, layers=len(unique_gemms)
+            ):
+                fresh = self._solve_vectorised(unique_gemms, config)
             if self.store is not None:
                 self.store.put_many(
                     config_key,

@@ -35,6 +35,7 @@ from repro.core.config import ArrayFlexConfig
 from repro.core.metrics import LayerMetrics
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.workloads import random_int_matrices
+from repro.obs.trace import get_tracer
 from repro.sim.systolic_sim import CycleAccurateSystolicArray
 
 
@@ -120,7 +121,15 @@ class CycleAccurateBackend(ExecutionBackend):
         a_tile, b_tile = random_int_matrices(
             t_rows, config.rows, config.cols, seed=self.measurement_seed
         )
-        result = array.simulate_tile(a_tile, b_tile)
+        with get_tracer().span(
+            "engine.measure_tile",
+            backend=self.name,
+            rows=config.rows,
+            cols=config.cols,
+            t=t_rows,
+            depth=collapse_depth,
+        ):
+            result = array.simulate_tile(a_tile, b_tile)
         if not np.array_equal(result.output, a_tile @ b_tile):
             raise RuntimeError(
                 f"cycle-accurate simulation produced a wrong product for "

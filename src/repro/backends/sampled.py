@@ -88,6 +88,8 @@ from repro.backends.store import DecisionStore
 from repro.core.config import ArrayFlexConfig
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.workloads import random_int_matrices
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.sim.systolic_sim import CycleAccurateSystolicArray
 from repro.sim.tiling import TilingPlan
 
@@ -175,9 +177,16 @@ class SampledSimBackend(ExecutionBackend):
         #: Optional disk persistence layer; see :mod:`repro.backends.store`.
         self.store = store
         self._cache: OrderedDict[tuple, Decision] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._store_hits = 0
+        #: The cache counters as registry instruments (same surface as
+        #: the batched backend; the serving layer attaches this registry).
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("backend_cache_hits_total", backend=self.name)
+        self._misses = self.metrics.counter(
+            "backend_cache_misses_total", backend=self.name
+        )
+        self._store_hits = self.metrics.counter(
+            "backend_cache_store_hits_total", backend=self.name
+        )
         self._lock = threading.RLock()
         self._tile_cycles: OrderedDict[tuple, int] = OrderedDict()
         self._measure_lock = threading.RLock()
@@ -242,7 +251,7 @@ class SampledSimBackend(ExecutionBackend):
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return cached
         if self.store is not None:
             row = self.store.get(config_key, gemm.m, gemm.n, gemm.t)
@@ -285,15 +294,21 @@ class SampledSimBackend(ExecutionBackend):
     def _remember(self, key: tuple, decision: Decision, from_store: bool) -> None:
         with self._lock:
             if from_store:
-                self._store_hits += 1
+                self._store_hits.inc()
             else:
-                self._misses += 1
+                self._misses.inc()
             self._cache[key] = decision
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
 
     def _solve(self, gemm: GemmShape, config: ArrayFlexConfig) -> Decision:
         """Estimate one layer: Eq. (6) mode policy + sampled measurement."""
+        with get_tracer().span(
+            "backend.solve_layer", backend=self.name, gemm=gemm.name or repr(gemm)
+        ):
+            return self._solve_traced(gemm, config)
+
+    def _solve_traced(self, gemm: GemmShape, config: ArrayFlexConfig) -> Decision:
         parts = self.components(config)
         mode = parts.optimizer.best_depth(gemm)
         depth = mode.collapse_depth
@@ -389,12 +404,19 @@ class SampledSimBackend(ExecutionBackend):
         sampled: int,
     ) -> StratumEstimate:
         n_size, m_size = shape
-        cycles = [
-            self._tile_cycles_at(
-                config, collapse_depth, t_rows, n_size, m_size, index
-            )
-            for index in range(sampled)
-        ]
+        with get_tracer().span(
+            "sampled.measure_stratum",
+            backend=self.name,
+            tile=f"{n_size}x{m_size}",
+            sampled=sampled,
+            population=population,
+        ):
+            cycles = [
+                self._tile_cycles_at(
+                    config, collapse_depth, t_rows, n_size, m_size, index
+                )
+                for index in range(sampled)
+            ]
         mean = sum(cycles) / len(cycles)
         if len(cycles) > 1:
             variance = sum((c - mean) ** 2 for c in cycles) / (len(cycles) - 1)
@@ -489,9 +511,15 @@ class SampledSimBackend(ExecutionBackend):
         """
         cap = self.max_probe_t
         low, mid, high = cap, cap + (cap + 1) // 2, 2 * cap
-        cycles_low = self._simulate(config, collapse_depth, low, n_size, m_size, 0)
-        cycles_mid = self._simulate(config, collapse_depth, mid, n_size, m_size, 0)
-        cycles_high = self._simulate(config, collapse_depth, high, n_size, m_size, 0)
+        with get_tracer().span(
+            "sampled.calibrate",
+            backend=self.name,
+            tile=f"{n_size}x{m_size}",
+            depth=collapse_depth,
+        ):
+            cycles_low = self._simulate(config, collapse_depth, low, n_size, m_size, 0)
+            cycles_mid = self._simulate(config, collapse_depth, mid, n_size, m_size, 0)
+            cycles_high = self._simulate(config, collapse_depth, high, n_size, m_size, 0)
         collinear = (cycles_mid - cycles_low) * (high - low) == (
             cycles_high - cycles_low
         ) * (mid - low)
@@ -570,9 +598,9 @@ class SampledSimBackend(ExecutionBackend):
         decisions that went through a fresh sampled estimate.
         """
         return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "store_hits": self._store_hits,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "store_hits": self._store_hits.value,
             "size": len(self._cache),
             "max_size": self.cache_size,
             "tile_measurements": len(self._tile_cycles),
@@ -582,8 +610,8 @@ class SampledSimBackend(ExecutionBackend):
         """Drop decisions, measurements and counters (the disk store persists)."""
         with self._lock:
             self._cache.clear()
-            self._hits = 0
-            self._misses = 0
-            self._store_hits = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._store_hits.reset()
         with self._measure_lock:
             self._tile_cycles.clear()

@@ -82,6 +82,8 @@ from repro.backends.decisions import (
     records_index,
     rows_to_records,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 
 #: Bump when the on-disk shard layout changes.  v2: JSON payloads replaced
 #: by memory-mapped columnar ``.npy`` structured arrays with a JSON
@@ -253,12 +255,22 @@ class DecisionStore:
         #: Write buffer: digest -> (config_key, {gemm_key: row}).
         self._pending: dict[str, tuple[tuple, dict[tuple, list]]] = {}
         self._pending_rows = 0
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """The activity counters, as instruments on this store's registry.
+
+        The serving layer attaches :attr:`metrics` to its own registry so
+        ``/metrics`` reads them merged; :meth:`counters` keeps the
+        historical dict shape over the same instruments.
+        """
+        self.metrics = MetricsRegistry()
         #: Unreadable shards encountered by this instance's loads.
-        self._corrupt_loads = 0
+        self._corrupt_loads = self.metrics.counter("store_corrupt_loads_total")
         #: Cheap in-process activity counters (see :meth:`counters`).
-        self._shard_loads = 0
-        self._merges = 0
-        self._rows_merged = 0
+        self._shard_loads = self.metrics.counter("store_shard_loads_total")
+        self._merges = self.metrics.counter("store_merges_total")
+        self._rows_merged = self.metrics.counter("store_rows_merged_total")
 
     # ------------------------------------------------------------------ #
     # Pickling (process-pool workers reopen the same directory)
@@ -283,10 +295,7 @@ class DecisionStore:
         self._shards = {}
         self._pending = {}
         self._pending_rows = 0
-        self._corrupt_loads = 0
-        self._shard_loads = 0
-        self._merges = 0
-        self._rows_merged = 0
+        self._init_metrics()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DecisionStore({str(self.directory)!r}, version={self.version!r})"
@@ -327,9 +336,11 @@ class DecisionStore:
         with self._lock:
             view = self._shards.get(digest)
             if view is None:
-                view = self._read_shard(digest, config_key)
+                with get_tracer().span("store.load", shard=digest) as span:
+                    view = self._read_shard(digest, config_key)
+                    span.set(rows=len(view))
                 self._shards[digest] = view
-                self._shard_loads += 1
+                self._shard_loads.inc()
                 if len(view):
                     self._count_shard_use(digest)
             return view
@@ -395,7 +406,7 @@ class DecisionStore:
         return view
 
     def _note_corrupt(self, path: Path, error: Exception) -> None:
-        self._corrupt_loads += 1
+        self._corrupt_loads.inc()
         warnings.warn(
             f"DecisionStore: skipping corrupt shard file {path} ({error}); "
             f"its decisions will be re-derived and the file overwritten on "
@@ -490,8 +501,14 @@ class DecisionStore:
             self._merge_locked(digest, config_key, decisions)
 
     def _merge_locked(self, digest: str, config_key: tuple, decisions: dict) -> None:
-        self._merges += 1
-        self._rows_merged += len(decisions)
+        with get_tracer().span("store.merge", shard=digest, rows=len(decisions)):
+            self._merge_locked_traced(digest, config_key, decisions)
+
+    def _merge_locked_traced(
+        self, digest: str, config_key: tuple, decisions: dict
+    ) -> None:
+        self._merges.inc()
+        self._rows_merged.inc(len(decisions))
         self._ensure_directory()
         fresh = rows_to_records(decisions)
         # Merge with concurrent writers' flushes before replacing: re-read
@@ -705,11 +722,11 @@ class DecisionStore:
         """
         with self._lock:
             return {
-                "shard_loads": self._shard_loads,
-                "merges": self._merges,
-                "rows_merged": self._rows_merged,
+                "shard_loads": self._shard_loads.value,
+                "merges": self._merges.value,
+                "rows_merged": self._rows_merged.value,
                 "pending_rows": self._pending_rows,
-                "corrupt_loads": self._corrupt_loads,
+                "corrupt_loads": self._corrupt_loads.value,
             }
 
     def stats(self) -> dict[str, int]:
@@ -750,5 +767,5 @@ class DecisionStore:
                 "entries": entries,
                 "total_bytes": total_bytes,
                 "hits": hits,
-                "corrupt_shards": corrupt + self._corrupt_loads,
+                "corrupt_shards": corrupt + self._corrupt_loads.value,
             }

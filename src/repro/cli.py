@@ -35,6 +35,18 @@ Commands
                 ``transformers`` suite / ``activity`` sensitivity /
                 ``sampled`` backend-accuracy tables and print it.
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
+``trace``       Hierarchical tracing (:mod:`repro.obs`): ``trace
+                schedule`` runs one workload comparison with tracing
+                enabled and writes Chrome trace-event JSON (open it in
+                Perfetto or ``chrome://tracing``); ``trace summary``
+                aggregates a written trace file per span name.
+
+The global ``--log-level``/``--log-json`` flags (before the command)
+configure structured logging on the ``repro`` logger — ``--log-json``
+switches to JSON-lines records carrying per-request correlation IDs.
+The daemon also honours the ``REPRO_LOG_LEVEL`` environment variable::
+
+    python -m repro --log-level debug --log-json serve
 
 Workloads are resolved by name through the :mod:`repro.workloads`
 registry (``python -m repro workloads`` lists them); ``--suite`` selects
@@ -76,6 +88,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 
@@ -206,6 +219,23 @@ def build_parser() -> argparse.ArgumentParser:
             "sampled backend only: seed of the deterministic stratified "
             "tile sample (default: 0); the same seed reproduces bit-"
             "identical estimates"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help=(
+            "configure logging on the 'repro' logger at this level "
+            "(debug/info/warning/...); default: logging stays unconfigured "
+            "(or follows the REPRO_LOG_LEVEL environment variable)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit JSON-lines log records (one object per line, with "
+            "per-request correlation IDs) instead of plain text"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -459,6 +489,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--output", default="EXPERIMENTS.md", help="output path (default: EXPERIMENTS.md)"
     )
+
+    trace = subparsers.add_parser(
+        "trace", help="run with hierarchical tracing and export Chrome trace JSON"
+    )
+    trace_actions = trace.add_subparsers(dest="trace_action", required=True)
+    trace_schedule = trace_actions.add_parser(
+        "schedule",
+        help=(
+            "schedule one workload (ArrayFlex vs conventional) with tracing "
+            "on and write the spans as Chrome trace-event JSON"
+        ),
+    )
+    _add_array_arguments(trace_schedule)
+    trace_schedule.add_argument(
+        "--model",
+        default="resnet34",
+        help="registry workload name, e.g. resnet34 or bert_base@bs4",
+    )
+    trace_schedule.add_argument(
+        "--output",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    trace_summary = trace_actions.add_parser(
+        "summary", help="aggregate a written Chrome trace file per span name"
+    )
+    trace_summary.add_argument("path", help="trace JSON file written by 'trace schedule'")
     return parser
 
 
@@ -956,6 +1013,51 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one workload comparison, or summarise a written trace file."""
+    if args.trace_action == "summary":
+        _reject_cache_dir(args)
+        _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+        with open(args.path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        events = payload.get("traceEvents", [])
+        if not events:
+            print(f"{args.path}: no trace events")
+            return 1
+        by_name: dict[str, list[int]] = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(int(event.get("dur", 0)))
+        print(f"{args.path}: {len(events)} spans, {len(by_name)} distinct names")
+        print(f"{'span':28s} {'count':>7s} {'total ms':>10s} {'mean ms':>9s} {'max ms':>9s}")
+        for name, durations in sorted(
+            by_name.items(), key=lambda item: -sum(item[1])
+        ):
+            total = sum(durations)
+            print(
+                f"{name:28s} {len(durations):7d} {total / 1e3:10.3f} "
+                f"{total / len(durations) / 1e3:9.3f} {max(durations) / 1e3:9.3f}"
+            )
+        return 0
+
+    from repro.obs.trace import configure_tracing, get_tracer
+
+    tracer = configure_tracing(True)
+    tracer.clear()
+    accel = _build_accelerator(args)
+    model = get_workload(args.model)
+    report = accel.compare_with_conventional(model)
+    count = get_tracer().export_chrome(args.output)
+    print(
+        f"{model.name} on {args.rows}x{args.cols} ({accel.backend.name} backend): "
+        f"{format_percent(report.latency_saving)} latency saving"
+    )
+    print(
+        f"wrote {count} spans to {args.output} — open in Perfetto "
+        f"(https://ui.perfetto.dev) or chrome://tracing"
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     _reject_cache_dir(args)
     _resolve_backend(args)  # rejects stray sampling flags, never a no-op
@@ -977,6 +1079,7 @@ _HANDLERS = {
     "cache": _cmd_cache,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "trace": _cmd_trace,
 }
 
 
@@ -987,6 +1090,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args.backend_explicit = args.backend is not None
     if args.backend is None:
         args.backend = "analytical"
+    # One configuration point for the 'repro' logger (idempotent: the
+    # daemon's REPRO_LOG_LEVEL hook replaces, never stacks, the handler).
+    level = args.log_level or os.environ.get("REPRO_LOG_LEVEL")
+    if level or args.log_json:
+        from repro.obs.logs import configure_logging
+
+        configure_logging(level=level or "INFO", json_lines=args.log_json)
     return _HANDLERS[args.command](args)
 
 

@@ -218,6 +218,8 @@ class DesignSpaceExplorer:
         CPU — the production posture for genuinely large sweeps, where
         the per-worker spawn/import cost amortises.
         """
+        from repro.obs.trace import get_tracer
+
         if not points:
             raise ValueError("no design points to explore")
         workers = max_workers if max_workers is not None else self.max_workers
@@ -227,9 +229,16 @@ class DesignSpaceExplorer:
             and self._auto_parallel_safe()
         ):
             workers = os.cpu_count() or 1
-        if workers is not None and workers > 1 and len(points) > 1:
-            return self._explore_parallel(points, workers)
-        return [self.evaluate_point(point) for point in points]
+        parallel = workers is not None and workers > 1 and len(points) > 1
+        with get_tracer().span(
+            "explorer.explore",
+            points=len(points),
+            models=len(self.models),
+            parallel=parallel,
+        ):
+            if parallel:
+                return self._explore_parallel(points, workers)
+            return [self.evaluate_point(point) for point in points]
 
     def _auto_parallel_safe(self) -> bool:
         """Whether the *implicit* process-pool fan-out may kick in.

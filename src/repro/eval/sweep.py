@@ -98,6 +98,7 @@ def array_size_sweep(
     ``max_workers`` sets its thread fan-out (default: one worker — the
     grid is dominated by cache hits, not compute).
     """
+    from repro.obs.trace import get_tracer
     from repro.serve import SchedulingService
 
     resolved = create_backend(attach_store(backend, cache_dir), default="batched")
@@ -108,7 +109,9 @@ def array_size_sweep(
     ]
     with SchedulingService(
         backend=resolved, executor="thread", max_workers=max_workers or 1
-    ) as service:
+    ) as service, get_tracer().span(
+        "sweep.array_size", models=len(models), sizes=len(sizes)
+    ):
         pairs = service.compare((model, config) for config, model in grid)
         points = []
         for (config, model), (flex_response, conv_response) in zip(grid, pairs):

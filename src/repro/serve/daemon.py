@@ -20,7 +20,10 @@ Endpoints
                        [[flex, conv], ...]}``.
 ``GET /metrics``       request/outcome/rejection counters, per-backend
                        latency histograms, the service's dedup counters
-                       and the decision store's hit/flush counters.
+                       and the decision store's hit/flush counters —
+                       all read from one unified metrics registry; with
+                       ``Accept: text/plain`` the same registry is served
+                       as Prometheus text exposition instead of JSON.
 ``GET /healthz``       liveness: status (``ok``/``draining``), uptime,
                        in-flight depth.
 
@@ -48,12 +51,18 @@ idempotent ``close()``, then lets the process exit 0.
 from __future__ import annotations
 
 import json
+import logging
+import os
 import signal
 import threading
 import time
+import uuid
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.logs import bind_request_id, configure_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.serve.errors import (
     AdmissionRejected,
     InvalidRequest,
@@ -80,6 +89,10 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_BATCH_REQUESTS = 4096
 
 _POST_ROUTES = ("/v1/schedule", "/v1/batch", "/v1/compare")
+
+#: Structured access log (opt-in: silent unless a handler is configured
+#: at DEBUG, e.g. via ``--log-level debug`` or ``REPRO_LOG_LEVEL``).
+_ACCESS_LOG = logging.getLogger("repro.serve.access")
 
 
 class SchedulerDaemon:
@@ -126,6 +139,16 @@ class SchedulerDaemon:
         self.gate = AdmissionGate(max_inflight)
         self.limiter = TokenBucket(rate_limit, rate_burst)
         self.metrics = DaemonMetrics()
+        #: The unified registry behind ``/metrics``: the daemon's own
+        #: middleware counters plus the service's (which in turn carries
+        #: the backend's cache counters and the decision store's) — one
+        #: merged read, no component knowing about any other.
+        self.registry = MetricsRegistry()
+        self.registry.attach(self.metrics.registry)
+        self.registry.attach(self.service.registry)
+        level = os.environ.get("REPRO_LOG_LEVEL")
+        if level:
+            configure_logging(level=level, json_lines=True)
         self.default_timeout = default_timeout
         self.drain_timeout = drain_timeout
         self._started = time.monotonic()
@@ -251,6 +274,13 @@ class SchedulerDaemon:
             payload["store"] = counters()
         return payload
 
+    def prometheus_payload(self) -> str:
+        """``/metrics`` as Prometheus text exposition, from the unified
+        registry (served on ``Accept: text/plain`` content negotiation)."""
+        self.registry.gauge("daemon_inflight").set(self.gate.depth)
+        self.registry.gauge("daemon_uptime_seconds").set(round(self.uptime_s(), 3))
+        return self.registry.to_prometheus()
+
 
 def _hit_rates(stats: dict) -> dict:
     """Dedup / decision-cache / disk-store hit rates from raw counters."""
@@ -279,57 +309,105 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve"
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
-        pass  # request logging belongs to /metrics, not stderr
+        """Structured access log (DEBUG on ``repro.serve.access``).
+
+        Fires from the stdlib's ``log_request`` when a response status
+        goes out; silent (one level check) unless logging was configured
+        at DEBUG, so the production default still writes nothing.
+        """
+        if not _ACCESS_LOG.isEnabledFor(logging.DEBUG):
+            return
+        started = getattr(self, "_started", None)
+        _ACCESS_LOG.debug(
+            format % args if args else format,
+            extra={
+                "method": getattr(self, "command", None),
+                "path": getattr(self, "path", None),
+                "status": getattr(self, "_status", None),
+                "duration_ms": (
+                    round(1e3 * (time.perf_counter() - started), 3)
+                    if started is not None
+                    else None
+                ),
+            },
+        )
+
+    def _begin_request(self) -> str:
+        """Assign the request's correlation ID and start its clock."""
+        self._started = time.perf_counter()
+        rid = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:16]
+        self._request_id = rid
+        return rid
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
-        if self.path == "/healthz":
-            self._send_json(200, self.daemon.healthz_payload())
-        elif self.path == "/metrics":
-            self._send_json(200, self.daemon.metrics_payload())
-        else:
-            self._send_error_body(404, "not_found", f"no such endpoint: {self.path}")
+        with bind_request_id(self._begin_request()):
+            if self.path == "/healthz":
+                self._send_json(200, self.daemon.healthz_payload())
+            elif self.path == "/metrics":
+                accept = self.headers.get("Accept", "")
+                if "text/plain" in accept:
+                    self._send_text(200, self.daemon.prometheus_payload())
+                else:
+                    self._send_json(200, self.daemon.metrics_payload())
+            else:
+                self._send_error_body(
+                    404, "not_found", f"no such endpoint: {self.path}"
+                )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        rid = self._begin_request()
         endpoint = self.path
         if endpoint not in _POST_ROUTES:
-            self._send_error_body(404, "not_found", f"no such endpoint: {endpoint}")
+            with bind_request_id(rid):
+                self._send_error_body(404, "not_found", f"no such endpoint: {endpoint}")
             return
         daemon = self.daemon
         client = self.headers.get("X-Client-Id") or self.client_address[0]
-        started = time.perf_counter()
-        try:
-            if daemon.draining:
-                raise AdmissionRejected("daemon is draining", retry_after_s=None)
-            daemon.limiter.admit(client)
-            with daemon.gate.admit():
-                payload = self._read_json()
-                if endpoint == "/v1/schedule":
-                    body, outcome = self._handle_schedule(payload)
-                elif endpoint == "/v1/batch":
-                    body, outcome = self._handle_batch(payload)
-                else:
-                    body, outcome = self._handle_compare(payload)
-            latency_ms = 1e3 * (time.perf_counter() - started)
-            daemon.metrics.observe(
-                endpoint,
-                outcome,
-                getattr(daemon.service.backend, "name", "unknown"),
-                latency_ms,
-            )
-            if outcome == "timeout" and endpoint == "/v1/schedule":
-                # The single-request endpoint surfaces its deadline as a
-                # typed 504; batch/compare report per item instead.
-                raise RequestTimeout(
-                    f"request missed its deadline after {latency_ms / 1e3:.3f}s"
+        started = self._started
+        # The request ID doubles as the trace ID, so every span a request
+        # opens — here, in the service, in a pool worker — and every log
+        # record it emits carry the same correlation ID.
+        with bind_request_id(rid), get_tracer().span(
+            "daemon.request", trace_id=rid, endpoint=endpoint, client=client
+        ) as span:
+            try:
+                if daemon.draining:
+                    raise AdmissionRejected("daemon is draining", retry_after_s=None)
+                daemon.limiter.admit(client)
+                with daemon.gate.admit():
+                    payload = self._read_json()
+                    if endpoint == "/v1/schedule":
+                        body, outcome = self._handle_schedule(payload)
+                    elif endpoint == "/v1/batch":
+                        body, outcome = self._handle_batch(payload)
+                    else:
+                        body, outcome = self._handle_compare(payload)
+                latency_ms = 1e3 * (time.perf_counter() - started)
+                daemon.metrics.observe(
+                    endpoint,
+                    outcome,
+                    getattr(daemon.service.backend, "name", "unknown"),
+                    latency_ms,
                 )
-            self._send_json(200, body)
-        except ServeError as exc:
-            daemon.metrics.reject(endpoint, exc.code)
-            self._send_serve_error(exc)
-        except Exception as exc:  # pragma: no cover - defensive catch-all
-            daemon.metrics.reject(endpoint, "internal_error")
-            self._send_error_body(500, "internal_error", f"{type(exc).__name__}: {exc}")
+                span.set(outcome=outcome)
+                if outcome == "timeout" and endpoint == "/v1/schedule":
+                    # The single-request endpoint surfaces its deadline as a
+                    # typed 504; batch/compare report per item instead.
+                    raise RequestTimeout(
+                        f"request missed its deadline after {latency_ms / 1e3:.3f}s"
+                    )
+                self._send_json(200, body)
+            except ServeError as exc:
+                daemon.metrics.reject(endpoint, exc.code)
+                span.set(outcome=exc.code)
+                self._send_serve_error(exc)
+            except Exception as exc:  # pragma: no cover - defensive catch-all
+                daemon.metrics.reject(endpoint, "internal_error")
+                span.set(outcome="internal_error")
+                self._send_error_body(
+                    500, "internal_error", f"{type(exc).__name__}: {exc}"
+                )
 
     # ------------------------------------------------------------------ #
     def _handle_schedule(self, payload: object) -> tuple[dict, str]:
@@ -418,10 +496,27 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, payload: dict, headers: dict[str, str] | None = None
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json", headers
+        )
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_body(status, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -472,11 +567,17 @@ class DaemonClient:
         port: int = 8537,
         timeout: float = 120.0,
         client_id: str | None = None,
+        request_id: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.client_id = client_id
+        #: Sent as ``X-Request-Id`` on every call when set; the daemon
+        #: otherwise assigns one.  Either way the ID the daemon used
+        #: comes back in :attr:`last_request_id` after each call.
+        self.request_id = request_id
+        self.last_request_id: str | None = None
 
     # ------------------------------------------------------------------ #
     def healthz(self) -> dict:
@@ -513,9 +614,12 @@ class DaemonClient:
             headers = {"Content-Type": "application/json"}
             if self.client_id:
                 headers["X-Client-Id"] = self.client_id
+            if self.request_id:
+                headers["X-Request-Id"] = self.request_id
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
             connection.request(method, path, body=body, headers=headers)
             http_response = connection.getresponse()
+            self.last_request_id = http_response.getheader("X-Request-Id")
             raw = http_response.read()
             try:
                 decoded = json.loads(raw) if raw else {}

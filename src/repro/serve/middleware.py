@@ -22,7 +22,10 @@ and :class:`~repro.serve.service.SchedulingService`:
   counters: per-endpoint request/outcome counts, rejection counts, and
   per-backend latency histograms over log-spaced buckets (fixed bucket
   edges keep the histogram mergeable across scrapes — no quantile state
-  to decay).
+  to decay).  Since the unified observability layer, both are thin
+  views over :class:`repro.obs.MetricsRegistry` instruments — the
+  snapshot shapes are unchanged, but the daemon can now merge these
+  counters with the service's and store's through one registry.
 
 Everything takes an injectable clock so the tests never sleep to move
 time forward.
@@ -33,9 +36,9 @@ from __future__ import annotations
 import math
 import threading
 import time
-from bisect import bisect_left
 from collections.abc import Callable
 
+from repro.obs.metrics import DEFAULT_BUCKETS_MS, Histogram, MetricsRegistry
 from repro.serve.errors import AdmissionRejected, InvalidRequest, RateLimited
 
 __all__ = [
@@ -161,45 +164,44 @@ class TokenBucket:
             return len(self._buckets)
 
 
+def _histogram_snapshot(histogram: Histogram) -> dict:
+    """The daemon's historical histogram read shape, from an instrument."""
+    cumulative = {
+        ("+Inf" if edge == "+Inf" else f"{edge:g}"): count
+        for edge, count in histogram.cumulative().items()
+    }
+    total = histogram.count
+    sum_ms = histogram.sum
+    return {
+        "count": total,
+        "sum_ms": round(sum_ms, 4),
+        "mean_ms": round(sum_ms / total, 4) if total else 0.0,
+        "buckets_le_ms": cumulative,
+    }
+
+
 class LatencyHistogram:
-    """Cumulative latency histogram over fixed log-spaced millisecond buckets."""
+    """Cumulative latency histogram over fixed log-spaced millisecond buckets.
+
+    A view over one :class:`repro.obs.Histogram` instrument; standalone
+    construction (no registry) keeps the historical API for direct
+    users, while :class:`DaemonMetrics` builds them on its registry.
+    """
 
     #: Upper bucket edges in milliseconds (the last bucket is +inf).
-    BUCKETS_MS = (
-        0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
-    )
+    BUCKETS_MS = DEFAULT_BUCKETS_MS
 
-    def __init__(self) -> None:
-        self._counts = [0] * (len(self.BUCKETS_MS) + 1)
-        self._sum_ms = 0.0
-        self._count = 0
-        self._lock = threading.Lock()
+    def __init__(self, instrument: Histogram | None = None) -> None:
+        self._instrument = instrument or Histogram(
+            "latency_ms", {}, buckets=self.BUCKETS_MS
+        )
 
     def observe(self, latency_ms: float) -> None:
-        index = bisect_left(self.BUCKETS_MS, latency_ms)
-        with self._lock:
-            self._counts[index] += 1
-            self._sum_ms += latency_ms
-            self._count += 1
+        self._instrument.observe(latency_ms)
 
     def snapshot(self) -> dict:
         """count / sum / mean plus cumulative ``le`` bucket counts."""
-        with self._lock:
-            counts = list(self._counts)
-            total = self._count
-            sum_ms = self._sum_ms
-        cumulative: dict[str, int] = {}
-        running = 0
-        for edge, count in zip(self.BUCKETS_MS, counts):
-            running += count
-            cumulative[f"{edge:g}"] = running
-        cumulative["+Inf"] = running + counts[-1]
-        return {
-            "count": total,
-            "sum_ms": round(sum_ms, 4),
-            "mean_ms": round(sum_ms / total, 4) if total else 0.0,
-            "buckets_le_ms": cumulative,
-        }
+        return _histogram_snapshot(self._instrument)
 
 
 class DaemonMetrics:
@@ -210,40 +212,55 @@ class DaemonMetrics:
     recorded by ``reject(endpoint, code)``.  ``snapshot()`` returns one
     JSON-ready dict; the daemon merges it with the service's serving and
     store counters.
+
+    Every count lives on :attr:`registry` (one
+    :class:`repro.obs.MetricsRegistry`, injectable so the daemon can
+    attach it to its root): ``daemon_requests_total{endpoint}``,
+    ``daemon_outcomes_total{endpoint,outcome}``,
+    ``daemon_rejections_total{endpoint,code}`` and the per-backend
+    ``daemon_latency_ms{backend}`` histograms.  ``snapshot()`` rebuilds
+    the historical JSON shape from those instruments, bit-identically.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._requests: dict[str, int] = {}
-        self._outcomes: dict[str, int] = {}
-        self._rejections: dict[str, int] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def observe(
         self, endpoint: str, outcome: str, backend: str, latency_ms: float
     ) -> None:
-        with self._lock:
-            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
-            key = f"{endpoint}:{outcome}"
-            self._outcomes[key] = self._outcomes.get(key, 0) + 1
-            histogram = self._histograms.get(backend)
-            if histogram is None:
-                histogram = self._histograms[backend] = LatencyHistogram()
-        histogram.observe(latency_ms)
+        self.registry.counter("daemon_requests_total", endpoint=endpoint).inc()
+        self.registry.counter(
+            "daemon_outcomes_total", endpoint=endpoint, outcome=outcome
+        ).inc()
+        self.registry.histogram(
+            "daemon_latency_ms", buckets=LatencyHistogram.BUCKETS_MS, backend=backend
+        ).observe(latency_ms)
 
     def reject(self, endpoint: str, code: str) -> None:
-        with self._lock:
-            key = f"{endpoint}:{code}"
-            self._rejections[key] = self._rejections.get(key, 0) + 1
+        self.registry.counter(
+            "daemon_rejections_total", endpoint=endpoint, code=code
+        ).inc()
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "requests": dict(sorted(self._requests.items())),
-                "outcomes": dict(sorted(self._outcomes.items())),
-                "rejections": dict(sorted(self._rejections.items())),
-                "latency_ms_by_backend": {
-                    backend: histogram.snapshot()
-                    for backend, histogram in sorted(self._histograms.items())
-                },
-            }
+        requests = {
+            inst.labels["endpoint"]: inst.value
+            for inst in self.registry.family("daemon_requests_total")
+        }
+        outcomes = {
+            f"{inst.labels['endpoint']}:{inst.labels['outcome']}": inst.value
+            for inst in self.registry.family("daemon_outcomes_total")
+        }
+        rejections = {
+            f"{inst.labels['endpoint']}:{inst.labels['code']}": inst.value
+            for inst in self.registry.family("daemon_rejections_total")
+        }
+        histograms = {
+            inst.labels["backend"]: _histogram_snapshot(inst)
+            for inst in self.registry.family("daemon_latency_ms")
+        }
+        return {
+            "requests": dict(sorted(requests.items())),
+            "outcomes": dict(sorted(outcomes.items())),
+            "rejections": dict(sorted(rejections.items())),
+            "latency_ms_by_backend": dict(sorted(histograms.items())),
+        }

@@ -45,6 +45,7 @@ share warmth through the disk store).  ``max_workers`` is auto-sized from
 
 from __future__ import annotations
 
+import contextvars
 import os
 import warnings
 from collections.abc import Iterable
@@ -57,6 +58,9 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from threading import Event, RLock
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, call_with_context, get_tracer
 
 from repro.backends import (
     BatchedCachedBackend,
@@ -159,12 +163,60 @@ def _worker_schedule(
 
 @dataclass
 class ServiceStats:
-    """Serving counters (dedup effectiveness and submission volume)."""
+    """Serving counters (dedup effectiveness and submission volume).
+
+    Kept as the read *shape* of the service's counters; since the
+    unified observability layer the live counts are
+    ``service_*_total`` instruments on the service's
+    :class:`~repro.obs.MetricsRegistry` and this dataclass is what
+    :meth:`SchedulingService.stats` folds them back into.
+    """
 
     requests: int = 0
     submitted: int = 0
     deduplicated: int = 0
     timed_out: int = 0
+
+
+class _SpanRelayFuture(Future):
+    """A future that unwraps a worker's ``(result, spans)`` pair.
+
+    Process-pool tasks submitted under an enabled tracer run through
+    :func:`repro.obs.call_with_context` and resolve to their result
+    *plus* the spans the worker recorded.  This wrapper is what callers
+    (and the dedup map) hold instead: on inner completion it merges the
+    spans into the submitting process's tracer and completes itself with
+    the bare result, so every consumer — ``result()``, done-callbacks,
+    ``Response`` construction — sees exactly what an untraced future
+    would have carried.
+
+    Only the relay callback ever transitions this future's state
+    (``cancel()`` merely forwards to the inner pool future), so the
+    inner future's single done-callback fire is the single source of
+    truth and no state race exists.
+    """
+
+    def __init__(self, inner: Future, tracer: Tracer) -> None:
+        super().__init__()
+        self._inner = inner
+        self._tracer = tracer
+        inner.add_done_callback(self._relay)
+
+    def cancel(self) -> bool:
+        return self._inner.cancel()
+
+    def _relay(self, inner: Future) -> None:
+        if inner.cancelled():
+            super().cancel()
+            self.set_running_or_notify_cancel()
+            return
+        exc = inner.exception()
+        if exc is not None:
+            self.set_exception(exc)
+            return
+        result, spans = inner.result()
+        self._tracer.extend(spans)
+        self.set_result(result)
 
 
 #: Aliases whose one-shot deprecation warning already fired (one warning
@@ -234,7 +286,21 @@ class SchedulingService:
         #: waiter never cancels a computation other callers still await.
         #: Entries are dropped by the future's done-callback.
         self._waiters: dict[int, int] = {}
-        self._stats = ServiceStats()
+        #: One registry carrying the serving counters, with the backend's
+        #: and store's own registries attached — the daemon attaches this
+        #: in turn, making ``/metrics`` a single merged read.
+        self.registry = MetricsRegistry()
+        self._ctr_requests = self.registry.counter("service_requests_total")
+        self._ctr_submitted = self.registry.counter("service_submitted_total")
+        self._ctr_deduplicated = self.registry.counter("service_deduplicated_total")
+        self._ctr_timed_out = self.registry.counter("service_timed_out_total")
+        backend_registry = getattr(self.backend, "metrics", None)
+        if isinstance(backend_registry, MetricsRegistry):
+            self.registry.attach(backend_registry)
+        backend_store = getattr(self.backend, "store", None)
+        store_registry = getattr(backend_store, "metrics", None)
+        if isinstance(store_registry, MetricsRegistry):
+            self.registry.attach(store_registry)
         #: Set by the first :meth:`close`; makes closing idempotent and
         #: safe from a signal handler (an Event is set without taking any
         #: lock another thread might hold across the interrupted frame).
@@ -446,24 +512,24 @@ class SchedulingService:
             self._backend_identity,
         )
         with self._lock:
-            self._stats.requests += 1
+            self._ctr_requests.inc()
             future = self._futures.get(key)
             if future is not None:
-                self._stats.deduplicated += 1
+                self._ctr_deduplicated.inc()
                 if not future.done():
                     # Completed futures need no waiter bookkeeping (their
                     # done-callback already dropped it, and cancel() is a
                     # no-op) — re-inserting would leak an orphan entry.
                     self._waiters[id(future)] = self._waiters.get(id(future), 1) + 1
                 return key, future, True
-            self._stats.submitted += 1
+            self._ctr_submitted.inc()
             if self.executor_kind == "process":
-                future = self._pool.submit(
-                    _worker_schedule, tuple(gemms), name, request.config,
+                future = self._submit_process(
+                    tuple(gemms), name, request.config,
                     request.conventional, request.totals_only,
                 )
             elif request.totals_only:
-                future = self._pool.submit(
+                future = self._submit_traced(
                     _compute_totals, self.backend, gemms, name, request.config,
                     request.conventional,
                 )
@@ -473,7 +539,7 @@ class SchedulingService:
                     if request.conventional
                     else self.backend.schedule_model
                 )
-                future = self._pool.submit(
+                future = self._submit_traced(
                     scheduler, gemms, request.config, model_name=name
                 )
             self._futures[key] = future
@@ -487,6 +553,46 @@ class SchedulingService:
             if len(self._futures) > self.dedup_size:
                 self._evict_completed_locked()
             return key, future, False
+
+    def _submit_traced(self, fn, /, *args, **kwargs) -> Future:
+        """Submit to the thread pool, carrying the caller's span context.
+
+        With tracing enabled the task runs inside a copy of the
+        submitting context, so spans the worker thread opens nest under
+        the submitting request's span (the daemon's ``daemon.request``).
+        Disabled tracing takes the bare-submit fast path.
+        """
+        if get_tracer().enabled:
+            context = contextvars.copy_context()
+            return self._pool.submit(context.run, fn, *args, **kwargs)
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def _submit_process(
+        self,
+        gemms: tuple[GemmShape, ...],
+        name: str,
+        config: ArrayFlexConfig,
+        conventional: bool,
+        totals_only: bool,
+    ) -> Future:
+        """Submit to the process pool, shipping the span context along.
+
+        Context variables don't cross processes, so with tracing enabled
+        the task wraps in :func:`repro.obs.call_with_context`: the
+        picklable span context travels with the arguments, the worker
+        records its spans on a local tracer, and the returned
+        ``(result, spans)`` pair comes back through a
+        :class:`_SpanRelayFuture` that re-parents the spans here and
+        resolves to the bare result.
+        """
+        tracer = get_tracer()
+        args = (gemms, name, config, conventional, totals_only)
+        if tracer.enabled:
+            inner = self._pool.submit(
+                call_with_context, tracer.current_context(), _worker_schedule, *args
+            )
+            return _SpanRelayFuture(inner, tracer)
+        return self._pool.submit(_worker_schedule, *args)
 
     def _forget_failed(self, key: tuple, future: Future) -> None:
         """Drop a failed/cancelled future from the dedup map.
@@ -531,10 +637,13 @@ class SchedulingService:
         """One response, bounded by the request's deadline when it has one."""
         timeout = request.timeout if request.timeout is not None else default_timeout
         try:
-            if timeout is None:
-                result = future.result()
-            else:
-                result = future.result(timeout=timeout)
+            with get_tracer().span(
+                "service.wait", model=key[0], deduplicated=deduplicated
+            ):
+                if timeout is None:
+                    result = future.result()
+                else:
+                    result = future.result(timeout=timeout)
         except (FutureTimeoutError, CancelledError) as exc:
             # Queued-but-not-started work is cancelled outright — but only
             # when this waiter holds the future's sole issued handle, so a
@@ -553,7 +662,7 @@ class SchedulingService:
                         # This waiter walks away; a later sole survivor's
                         # deadline may still cancel the queued work.
                         self._waiters[handle] -= 1
-                self._stats.timed_out += 1
+                self._ctr_timed_out.inc()
                 if self._futures.get(key) is future:
                     del self._futures[key]
             return Response(
@@ -585,10 +694,10 @@ class SchedulingService:
             counters: dict[str, int | str] = {
                 "executor": self.executor_kind,
                 "max_workers": self.max_workers,
-                "requests": self._stats.requests,
-                "submitted": self._stats.submitted,
-                "deduplicated": self._stats.deduplicated,
-                "timed_out": self._stats.timed_out,
+                "requests": self._ctr_requests.value,
+                "submitted": self._ctr_submitted.value,
+                "deduplicated": self._ctr_deduplicated.value,
+                "timed_out": self._ctr_timed_out.value,
             }
         cache_info = getattr(self.backend, "cache_info", None)
         if cache_info is not None and self.executor_kind == "thread":

@@ -14,6 +14,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
 from repro.sim.stats import SimulationStats
 from repro.sim.systolic_sim import CycleAccurateSystolicArray
 from repro.sim.tiling import TilingPlan
@@ -91,22 +92,39 @@ class SimulationEngine:
         stats = SimulationStats()
         k = self.collapse_depth
 
-        for tile_index, spec in enumerate(plan.tiles()):
-            a_tile = a_matrix[:, spec.n_start : spec.n_stop]
-            b_tile = b_matrix[spec.n_start : spec.n_stop, spec.m_start : spec.m_stop]
-            result = self.array.simulate_tile(a_tile, b_tile)
-            output[:, spec.m_start : spec.m_stop] += result.output
-            stats.merge(result.stats)
+        with get_tracer().span(
+            "engine.run_gemm",
+            rows=self.rows,
+            cols=self.cols,
+            depth=k,
+            tiles=plan.total_tiles,
+        ):
+            for tile_index, spec in enumerate(plan.tiles()):
+                a_tile = a_matrix[:, spec.n_start : spec.n_stop]
+                b_tile = b_matrix[spec.n_start : spec.n_stop, spec.m_start : spec.m_stop]
+                with get_tracer().span("engine.tile", tile=tile_index) as span:
+                    result = self.array.simulate_tile(a_tile, b_tile)
+                output[:, spec.m_start : spec.m_stop] += result.output
+                stats.merge(result.stats)
 
-            # Split the measured compute cycles into the streaming window
-            # (first to last west-edge injection) and the drain tail.
-            stream_cycles = t_rows + self.rows // k - 1
-            drain_cycles = result.stats.compute_cycles - stream_cycles
-            self._record_phase(
-                tile_index, SimulationPhase.WEIGHT_LOAD, result.stats.weight_load_cycles
-            )
-            self._record_phase(tile_index, SimulationPhase.STREAM, stream_cycles)
-            self._record_phase(tile_index, SimulationPhase.DRAIN, max(drain_cycles, 0))
+                # Split the measured compute cycles into the streaming window
+                # (first to last west-edge injection) and the drain tail.
+                stream_cycles = t_rows + self.rows // k - 1
+                drain_cycles = result.stats.compute_cycles - stream_cycles
+                span.set(
+                    weight_load_cycles=result.stats.weight_load_cycles,
+                    stream_cycles=stream_cycles,
+                    drain_cycles=max(drain_cycles, 0),
+                )
+                self._record_phase(
+                    tile_index,
+                    SimulationPhase.WEIGHT_LOAD,
+                    result.stats.weight_load_cycles,
+                )
+                self._record_phase(tile_index, SimulationPhase.STREAM, stream_cycles)
+                self._record_phase(
+                    tile_index, SimulationPhase.DRAIN, max(drain_cycles, 0)
+                )
 
         return output, stats
 

@@ -286,8 +286,7 @@ class TestBatchCommand:
 
         def fake_compare(self, workloads, totals_only=False, timeout=None):
             workloads = list(workloads)
-            with self._lock:
-                self._stats.timed_out += 2 * len(workloads)
+            self._ctr_timed_out.inc(2 * len(workloads))
 
             def timed_out(conventional):
                 return Response(
