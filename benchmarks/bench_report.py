@@ -41,9 +41,13 @@ from bench_scenarios import (  # noqa: E402
     columnar_warm_load,
     daemon_bench_requests,
     design_space_sweep,
+    engine_array,
+    engine_tile_operands,
     json_v1_warm_load,
+    run_batched_tiles,
     run_direct_schedules,
     run_http_schedules,
+    run_scalar_tiles,
     schedule_cnn_suite,
     schedule_transformer_suite,
     sweep_under_tracer,
@@ -193,6 +197,17 @@ def collect(rounds: int = 3) -> dict:
             sampled_schedule.max_error_bound() * exact_schedule.total_cycles + 1e-9
         ), "sampled estimate outside its error bound"
 
+    # Batched tile engine vs the scalar stepping loop on the same tiles
+    # (the test_bench_engine.py scenario).
+    engine = engine_array()
+    a_tiles, b_tiles = engine_tile_operands()
+    timings_ms["engine_tiles_scalar"] = 1e3 * _best_of(
+        lambda: run_scalar_tiles(engine, a_tiles, b_tiles), rounds
+    )
+    timings_ms["engine_tiles_batched"] = 1e3 * _best_of(
+        lambda: run_batched_tiles(engine, a_tiles, b_tiles), rounds
+    )
+
     # Store warm load: a fresh handle mmap-loading one >= 10k-decision
     # columnar shard vs parsing the same decisions from the v1 JSON
     # format (the test_bench_store.py scenario).
@@ -247,6 +262,9 @@ def collect(rounds: int = 3) -> dict:
         ),
         "sampled_vs_cycle": (
             timings_ms["cnn_suite_bs4_cycle"] / timings_ms["cnn_suite_bs4_sampled"]
+        ),
+        "engine_batched_speedup": (
+            timings_ms["engine_tiles_scalar"] / timings_ms["engine_tiles_batched"]
         ),
         "utilization_activity_overhead": (
             timings_ms["design_space_utilization_activity"]

@@ -8,9 +8,10 @@ simulations dominate).
 
 Pinned conclusions:
 
-* a cold sampled run of the scenario is at least 5x faster than a cold
+* a cold sampled run of the scenario is at least 10x faster than a cold
   cycle-accurate run (both backends start with empty measurement memos —
-  what a fresh process, CI job or pool worker sees);
+  what a fresh process, CI job or pool worker sees), even though the
+  cycle backend itself now rides the batched ``simulate_tiles`` engine;
 * every per-layer cycle estimate is within its self-reported
   ``error_bound`` of the exact cycle result, and within 10% absolutely;
 * the whole-suite totals agree with the exact backend within the worst
@@ -23,7 +24,7 @@ from repro.backends import CycleAccurateBackend, SampledSimBackend
 
 
 def test_sampled_backend_speeds_up_cnn_suite_within_error_bounds(benchmark):
-    """>=5x over the cycle backend; every layer inside its error bound."""
+    """>=10x over the cycle backend; every layer inside its error bound."""
     exact_schedules = schedule_cnn_suite(CycleAccurateBackend())
     sampled_schedules = schedule_cnn_suite(SampledSimBackend())
 
@@ -56,7 +57,7 @@ def test_sampled_backend_speeds_up_cnn_suite_within_error_bounds(benchmark):
         f"\ncycle {cycle_s * 1e3:.0f} ms  sampled {sampled_s * 1e3:.0f} ms  "
         f"speedup {speedup:.1f}x"
     )
-    floor = speedup_floor(5.0)
+    floor = speedup_floor(10.0)
     assert speedup >= floor, f"expected >= {floor:.1f}x, measured {speedup:.2f}x"
 
     # Track the sampled path in the perf trajectory.

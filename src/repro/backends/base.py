@@ -67,10 +67,15 @@ class ModelTotals:
     materialising per-layer :class:`LayerResult` objects.  Totals are
     bit-identical to summing the corresponding :class:`ModelSchedule`
     properties: same values, same left-to-right summation order.
+
+    ``error_bound`` is the combined model-level relative error bound of
+    an *estimating* backend (the sampled backend's time-weighted
+    per-layer bound); exact backends leave it ``None``.
     """
 
     time_ns: float
     energy_nj: float
+    error_bound: float | None = None
 
     @property
     def average_power_mw(self) -> float:

@@ -17,10 +17,13 @@ cycle-exact with respect to Eq. (3) (property-tested in
 backend; the value of this path is that the agreement is *established by
 measurement*, and that it keeps holding if either side changes.
 
-Measurements are memoised per ``(rows, cols, T, k)``, so a whole CNN
-costs one simulation per distinct (T, mode) pair rather than one per
-layer.  Still orders of magnitude slower than the other backends — use
-it for validation, not for sweeps.
+Measurements run through the batched
+:meth:`~repro.sim.systolic_sim.CycleAccurateSystolicArray.simulate_tiles`
+path (bit-identical to the scalar register-stepping reference,
+property-tested in ``tests/test_sim_batched.py``) and are memoised per
+``(rows, cols, T, k)``, so a whole CNN costs one simulation per distinct
+(T, mode) pair rather than one per layer.  Still the slowest backend —
+use it for validation, not for sweeps.
 """
 
 from __future__ import annotations
@@ -129,7 +132,7 @@ class CycleAccurateBackend(ExecutionBackend):
             t=t_rows,
             depth=collapse_depth,
         ):
-            result = array.simulate_tile(a_tile, b_tile)
+            result = array.simulate_tiles([a_tile], [b_tile])[0]
         if not np.array_equal(result.output, a_tile @ b_tile):
             raise RuntimeError(
                 f"cycle-accurate simulation produced a wrong product for "

@@ -17,24 +17,37 @@ How one layer is estimated
    tiles, grouped into *strata* by distinct tile shape ``(N', M')`` — the
    full interior tiles plus up to three partially-filled edge/corner
    shapes.
-2. **Stratified sampling.**  Each stratum of ``P`` tiles contributes
-   ``n = min(P, max(min_tiles_per_shape, ceil(sample_fraction * P)))``
-   sampled tiles (partial samples are forced to ``n >= 2`` so the sample
-   variance is estimable).  Sampled tile operands are synthesised from
-   ``sample_seed`` and the sample index — the same synthetic-measurement
-   convention as the cycle backend — which makes every measurement a pure
-   function of ``(geometry, mode, T, tile shape, seed, index)`` and
-   therefore reusable across layers and shareable through the memo.
+2. **Stratified sampling with Neyman allocation.**  The layer's tile
+   budget is ``sum_s min(P_s, max(min_tiles_per_shape, ceil(
+   sample_fraction * P_s)))`` — the same total as uniform per-stratum
+   allocation.  It is spent in two phases: a small seeded *pilot* of
+   ``min(P_s, max(2, min_tiles_per_shape))`` tiles per stratum
+   estimates each stratum's cycle variance, then the remaining budget is
+   split across non-exhaustive strata in proportion to
+   ``P_s * sqrt(var_s)`` (the Neyman-optimal split, largest-remainder
+   rounded, clamped to each population).  When the pilot variances are
+   all equal — including the all-zero case this engine's
+   data-independent timing produces — the allocation degenerates to
+   exactly the uniform per-stratum sizes, so the exact-engine numbers
+   are unchanged by the two-phase machinery.  Sampled tile operands are
+   synthesised from ``sample_seed`` and the sample index — the same
+   synthetic-measurement convention as the cycle backend — which makes
+   every measurement a pure function of ``(geometry, mode, T, tile
+   shape, seed, index)`` and therefore reusable across layers and
+   shareable through the memo.
 3. **Calibrated streaming probes.**  Simulating a tile costs time
    proportional to its streamed dimension T.  For large T the backend
-   calibrates the stratum's T-response once — three truncated probes
+   calibrates each stratum's T-response once — three truncated probes
    (``max_probe_t``, 1.5x and 2x that) that must be exactly collinear
    with an integer slope, because the hardware's tile latency is affine
    in T (Eqs. (1)/(3)); a non-affine measurement *fails loudly* instead
    of extrapolating a wrong model.  Each sampled tile is then measured
    at the base probe length only and extrapolated with the calibrated
-   slope.  Every simulation also verifies the functional product against
-   NumPy.
+   slope.  All measurements — probes and samples alike — run through
+   the batched :meth:`~repro.sim.systolic_sim
+   .CycleAccurateSystolicArray.simulate_tiles` engine path, grouped
+   across strata per streamed depth, and every simulation verifies the
+   functional product against NumPy.
 4. **Extrapolate with an error bound.**  The layer estimate is the
    stratified-sampling estimator ``sum_s P_s * mean_s`` and the reported
    :attr:`~repro.core.metrics.LayerMetrics.error_bound` is the relative
@@ -54,6 +67,8 @@ How one layer is estimated
 allocation the per-stratum samples keep doubling (deterministically —
 growing a sample extends the same seeded sequence) until the estimated
 relative error falls below the target or the sample is exhaustive.
+Cycles measured in earlier rounds are kept within the call, so each
+doubling round only simulates the *new* sample indices.
 
 Mode selection still uses the Eq. (6) discrete search and the power/time
 figures still come from the shared operating-point and energy models —
@@ -72,12 +87,12 @@ from __future__ import annotations
 
 import math
 import threading
-from collections import Counter, OrderedDict
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backends.base import ExecutionBackend, LayerResult
+from repro.backends.base import ExecutionBackend, LayerResult, ModelTotals
 from repro.backends.decisions import (
     Decision,
     decision_from_row,
@@ -86,6 +101,7 @@ from repro.backends.decisions import (
 )
 from repro.backends.store import DecisionStore
 from repro.core.config import ArrayFlexConfig
+from repro.core.metrics import WorkloadArgument, resolve_workload
 from repro.nn.gemm_mapping import GemmShape
 from repro.nn.workloads import random_int_matrices
 from repro.obs.metrics import MetricsRegistry
@@ -291,6 +307,53 @@ class SampledSimBackend(ExecutionBackend):
         self.flush_store()
         return schedule
 
+    def schedule_model_totals(
+        self,
+        model: WorkloadArgument,
+        config: ArrayFlexConfig,
+        model_name: str | None = None,
+        conventional: bool = False,
+    ) -> ModelTotals:
+        """Totals without materialising per-layer schedule objects.
+
+        Mirrors the batched backend's fast path: sweeps aggregate nothing
+        but total time and energy, so this accumulates the cached
+        per-layer decisions directly — same values, same left-to-right
+        summation order as the :class:`~repro.core.metrics.ModelSchedule`
+        property sums — and additionally carries a combined model-level
+        ``error_bound``: the execution-time-weighted mean of the
+        per-layer relative bounds, which bounds the relative error of the
+        total time (each layer's time is within its own bound, so the
+        total is within their time-weighted combination).  The
+        conventional baseline involves no sampling, so it delegates to
+        the generic exact path.
+        """
+        if conventional:
+            return super().schedule_model_totals(
+                model, config, model_name=model_name, conventional=True
+            )
+        gemms, name = resolve_workload(model, model_name)
+        with get_tracer().span(
+            "backend.model_totals",
+            backend=self.name,
+            model=name,
+            layers=len(gemms),
+        ):
+            time_ns = 0.0
+            energy_nj = 0.0
+            weighted_bound = 0.0
+            for gemm in gemms:
+                decision = self._decide(gemm, config)
+                layer_time = decision.execution_time_ns
+                time_ns += layer_time
+                energy_nj += decision.power_mw * layer_time / 1000.0
+                weighted_bound += (decision.error_bound or 0.0) * layer_time
+            self.flush_store()
+        bound = weighted_bound / time_ns if time_ns > 0.0 else 0.0
+        return ModelTotals(
+            time_ns=time_ns, energy_nj=energy_nj, error_bound=bound
+        )
+
     def _remember(self, key: tuple, decision: Decision, from_store: bool) -> None:
         with self._lock:
             if from_store:
@@ -349,24 +412,81 @@ class SampledSimBackend(ExecutionBackend):
     def estimate_layer_cycles(
         self, config: ArrayFlexConfig, gemm: GemmShape, collapse_depth: int
     ) -> LayerCycleEstimate:
-        """Stratified sampled-simulation estimate of one layer's cycles."""
+        """Stratified sampled-simulation estimate of one layer's cycles.
+
+        Measurement is batched: all strata of one round are measured at
+        the same effective streamed depth, so their new sample indices go
+        through the cycle engine in one batched call.  Cycles measured in
+        earlier rounds (the pilot, earlier ``error_target`` doublings)
+        are kept in a per-call table, so each round only simulates the
+        extension of the seeded sequence.
+        """
         plan = TilingPlan(
             n_dim=gemm.n, m_dim=gemm.m, rows=config.rows, cols=config.cols
         )
-        populations = Counter(
-            (spec.n_size, spec.m_size) for spec in plan.tiles()
-        )
+        populations = plan.shape_populations()
         # Deterministic stratum order (largest shapes first), independent
         # of tile execution order.
         shapes = sorted(populations, reverse=True)
-        sizes = {
+        t_rows = gemm.t
+        cap = self.max_probe_t
+        capped = cap is not None and t_rows > 2 * cap
+        slopes = (
+            self._calibrate_slopes(config, collapse_depth, shapes)
+            if capped
+            else {}
+        )
+        base_t = cap if capped else t_rows
+
+        measured: dict[tuple[int, int], list[int]] = {
+            shape: [] for shape in shapes
+        }
+
+        def extend_to(targets: dict[tuple[int, int], int]) -> None:
+            items: list[tuple[int, int, int]] = []
+            owners: list[tuple[int, int]] = []
+            for shape in shapes:
+                for index in range(len(measured[shape]), targets[shape]):
+                    items.append((shape[0], shape[1], index))
+                    owners.append(shape)
+            if not items:
+                return
+            for shape, cycles in zip(
+                owners,
+                self._simulate_batch(config, collapse_depth, base_t, items),
+            ):
+                if capped:
+                    cycles += slopes[shape] * (t_rows - base_t)
+                measured[shape].append(cycles)
+
+        # Phase 1: the seeded pilot, enough to estimate each stratum's
+        # variance; phase 2: Neyman split of the remaining budget.
+        uniform = {
             shape: self._allocation(populations[shape]) for shape in shapes
         }
+        pilots = {
+            shape: min(
+                uniform[shape],
+                max(2, self.min_tiles_per_shape),
+                populations[shape],
+            )
+            for shape in shapes
+        }
+        extend_to(pilots)
+        variances = {
+            shape: self._sample_variance(measured[shape][: pilots[shape]])
+            for shape in shapes
+        }
+        sizes = self._neyman_allocation(
+            shapes, populations, pilots, variances, sum(uniform.values())
+        )
         while True:
+            extend_to(sizes)
             strata = tuple(
-                self._measure_stratum(
-                    config, collapse_depth, gemm.t, shape, populations[shape],
-                    sizes[shape],
+                self._stratum_estimate(
+                    shape,
+                    populations[shape],
+                    measured[shape][: sizes[shape]],
                 )
                 for shape in shapes
             )
@@ -382,7 +502,11 @@ class SampledSimBackend(ExecutionBackend):
                     sizes[shape] = min(populations[shape], 2 * sizes[shape])
 
     def _allocation(self, population: int) -> int:
-        """Initial per-stratum sample size of the calibration knobs."""
+        """Uniform per-stratum sample size of the calibration knobs.
+
+        Also the per-stratum term of the layer's total tile budget: the
+        Neyman split redistributes the sum of these, it never changes it.
+        """
         size = max(
             self.min_tiles_per_shape,
             math.ceil(self.sample_fraction * population),
@@ -394,39 +518,101 @@ class SampledSimBackend(ExecutionBackend):
             size = min(population, max(size, 2))
         return size
 
-    def _measure_stratum(
+    def _neyman_allocation(
         self,
-        config: ArrayFlexConfig,
-        collapse_depth: int,
-        t_rows: int,
+        shapes: list[tuple[int, int]],
+        populations: dict[tuple[int, int], int],
+        pilots: dict[tuple[int, int], int],
+        variances: dict[tuple[int, int], float],
+        budget: int,
+    ) -> dict[tuple[int, int], int]:
+        """Split the layer's tile budget across strata by pilot variance.
+
+        The Neyman-optimal allocation puts sampling effort where it
+        shrinks the bound fastest: in proportion to ``P_s * sqrt(var_s)``.
+        The remaining budget (total minus pilots) is apportioned by
+        largest remainder, clamped to each stratum's population, with any
+        clamped-off surplus redistributed to strata that still have
+        capacity (largest weight first) — all deterministic.
+
+        Degenerate cases return the uniform :meth:`_allocation` sizes
+        unchanged: every stratum exhaustive at its pilot, or all pilot
+        variances equal (the observed case for this engine, whose timing
+        is data-independent — so the exact-engine numbers never move).
+        """
+        partial = [
+            shape for shape in shapes if pilots[shape] < populations[shape]
+        ]
+        uniform = {
+            shape: self._allocation(populations[shape]) for shape in shapes
+        }
+        if not partial:
+            return uniform
+        if len({variances[shape] for shape in partial}) <= 1:
+            return uniform
+        weights = {
+            shape: populations[shape] * math.sqrt(max(variances[shape], 0.0))
+            for shape in partial
+        }
+        total_weight = sum(weights.values())
+        if total_weight <= 0.0:
+            return uniform
+        remaining = budget - sum(pilots.values())
+        shares = {
+            shape: remaining * weights[shape] / total_weight
+            for shape in partial
+        }
+        extras = {shape: math.floor(shares[shape]) for shape in partial}
+        leftover = remaining - sum(extras.values())
+        by_remainder = sorted(
+            partial, key=lambda shape: (shares[shape] - extras[shape], shape),
+            reverse=True,
+        )
+        for shape in by_remainder[:leftover]:
+            extras[shape] += 1
+
+        sizes = dict(pilots)
+        overflow = 0
+        for shape in partial:
+            sizes[shape] = pilots[shape] + extras[shape]
+            if sizes[shape] > populations[shape]:
+                overflow += sizes[shape] - populations[shape]
+                sizes[shape] = populations[shape]
+        if overflow:
+            by_weight = sorted(
+                partial, key=lambda shape: (weights[shape], shape), reverse=True
+            )
+            for shape in by_weight:
+                if overflow <= 0:
+                    break
+                capacity = populations[shape] - sizes[shape]
+                grant = min(capacity, overflow)
+                sizes[shape] += grant
+                overflow -= grant
+        return sizes
+
+    @staticmethod
+    def _sample_variance(cycles: list[int]) -> float:
+        # A single observation carries no sampling error estimate
+        # (exhaustive single-tile strata report zero variance).
+        if len(cycles) <= 1:
+            return 0.0
+        mean = sum(cycles) / len(cycles)
+        return sum((c - mean) ** 2 for c in cycles) / (len(cycles) - 1)
+
+    def _stratum_estimate(
+        self,
         shape: tuple[int, int],
         population: int,
-        sampled: int,
+        cycles: list[int],
     ) -> StratumEstimate:
-        n_size, m_size = shape
-        with get_tracer().span(
-            "sampled.measure_stratum",
-            backend=self.name,
-            tile=f"{n_size}x{m_size}",
-            sampled=sampled,
-            population=population,
-        ):
-            cycles = [
-                self._tile_cycles_at(
-                    config, collapse_depth, t_rows, n_size, m_size, index
-                )
-                for index in range(sampled)
-            ]
         mean = sum(cycles) / len(cycles)
-        if len(cycles) > 1:
-            variance = sum((c - mean) ** 2 for c in cycles) / (len(cycles) - 1)
-        else:
-            variance = 0.0  # exhaustive single-tile stratum: no sampling error
+        variance = self._sample_variance(cycles)
         return StratumEstimate(
-            n_size=n_size,
-            m_size=m_size,
+            n_size=shape[0],
+            m_size=shape[1],
             population=population,
-            sampled=sampled,
+            sampled=len(cycles),
             mean_cycles=mean,
             cycle_variance=variance,
         )
@@ -468,80 +654,74 @@ class SampledSimBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # Tile measurement (calibrated streaming probes + memo)
     # ------------------------------------------------------------------ #
-    def _tile_cycles_at(
+    def _calibrate_slopes(
         self,
         config: ArrayFlexConfig,
         collapse_depth: int,
-        t_rows: int,
-        n_size: int,
-        m_size: int,
-        sample_index: int,
-    ) -> int:
-        """Measured (or probe-extrapolated) cycles of one sampled tile.
+        shapes: list[tuple[int, int]],
+    ) -> dict[tuple[int, int], int]:
+        """Cycles-per-streamed-row slope of every stratum, measured.
 
-        Small-T tiles are simulated outright.  Large-T tiles are measured
-        at the base probe length and extrapolated along T with the
-        stratum's calibrated slope — calibration (three probes, exact
-        collinearity required) runs once per (geometry, mode, tile shape)
-        on the first sample, so every further sampled tile costs a single
-        short simulation instead of a full-T one.
-        """
-        cap = self.max_probe_t
-        if cap is None or t_rows <= 2 * cap:
-            return self._simulate(
-                config, collapse_depth, t_rows, n_size, m_size, sample_index
-            )
-        slope = self._calibrated_slope(config, collapse_depth, n_size, m_size)
-        cycles_low = self._simulate(
-            config, collapse_depth, cap, n_size, m_size, sample_index
-        )
-        return cycles_low + slope * (t_rows - cap)
-
-    def _calibrated_slope(
-        self, config: ArrayFlexConfig, collapse_depth: int, n_size: int, m_size: int
-    ) -> int:
-        """Cycles-per-streamed-row slope of one stratum, measured.
-
-        Three probe simulations of the stratum's first sampled tile; the
-        tile latency must be affine in T (Eqs. (1)/(3)), so the probes
-        have to be exactly collinear with an integer slope — otherwise
-        the extrapolation model is wrong and we refuse to use it.  The
-        probe measurements are memoised, so re-deriving the slope for
-        every sampled tile of the stratum costs three memo lookups.
+        Three probe simulations per stratum, batched *across strata* per
+        probe depth (all strata's low probes run in one engine call, then
+        all mid probes, then all high).  The tile latency must be affine
+        in T (Eqs. (1)/(3)), so each stratum's probes have to be exactly
+        collinear with an integer slope — otherwise the extrapolation
+        model is wrong and we refuse to use it.  Probe measurements share
+        the memo, so re-calibrating a shape another layer already probed
+        costs three memo lookups.
         """
         cap = self.max_probe_t
         low, mid, high = cap, cap + (cap + 1) // 2, 2 * cap
         with get_tracer().span(
             "sampled.calibrate",
             backend=self.name,
-            tile=f"{n_size}x{m_size}",
+            tiles=len(shapes),
             depth=collapse_depth,
         ):
-            cycles_low = self._simulate(config, collapse_depth, low, n_size, m_size, 0)
-            cycles_mid = self._simulate(config, collapse_depth, mid, n_size, m_size, 0)
-            cycles_high = self._simulate(config, collapse_depth, high, n_size, m_size, 0)
-        collinear = (cycles_mid - cycles_low) * (high - low) == (
-            cycles_high - cycles_low
-        ) * (mid - low)
-        if not collinear or (cycles_high - cycles_low) % (high - low) != 0:
-            raise RuntimeError(
-                f"streaming-probe calibration failed: tile cycles are not "
-                f"affine in T at probes {(low, mid, high)} for tile "
-                f"(rows={config.rows}, cols={config.cols}, N'={n_size}, "
-                f"M'={m_size}, k={collapse_depth}); refusing to extrapolate"
-            )
-        return (cycles_high - cycles_low) // (high - low)
+            probes = {
+                t: self._simulate_batch(
+                    config,
+                    collapse_depth,
+                    t,
+                    [(n_size, m_size, 0) for n_size, m_size in shapes],
+                )
+                for t in (low, mid, high)
+            }
+        slopes: dict[tuple[int, int], int] = {}
+        for position, (n_size, m_size) in enumerate(shapes):
+            cycles_low = probes[low][position]
+            cycles_mid = probes[mid][position]
+            cycles_high = probes[high][position]
+            collinear = (cycles_mid - cycles_low) * (high - low) == (
+                cycles_high - cycles_low
+            ) * (mid - low)
+            if not collinear or (cycles_high - cycles_low) % (high - low) != 0:
+                raise RuntimeError(
+                    f"streaming-probe calibration failed: tile cycles are not "
+                    f"affine in T at probes {(low, mid, high)} for tile "
+                    f"(rows={config.rows}, cols={config.cols}, N'={n_size}, "
+                    f"M'={m_size}, k={collapse_depth}); refusing to extrapolate"
+                )
+            slopes[(n_size, m_size)] = (cycles_high - cycles_low) // (high - low)
+        return slopes
 
-    def _simulate(
+    def _simulate_batch(
         self,
         config: ArrayFlexConfig,
         collapse_depth: int,
         t_rows: int,
-        n_size: int,
-        m_size: int,
-        sample_index: int,
-    ) -> int:
-        """One memoised cycle-engine run of one sampled tile.
+        items: list[tuple[int, int, int]],
+    ) -> list[int]:
+        """Memoised cycle-engine runs of sampled tiles, batched.
+
+        ``items`` holds ``(n_size, m_size, sample_index)`` triples that
+        all stream the same depth; the returned cycle counts are in item
+        order.  Memo misses — tiles of *different shapes* are fine, only
+        T must agree — run through one batched
+        :meth:`~repro.sim.systolic_sim.CycleAccurateSystolicArray
+        .simulate_tiles` call per :meth:`max_batch_tiles` chunk, each
+        verified against the NumPy product.
 
         The memo key deliberately omits the layer dimensions: a
         measurement is a pure function of the geometry, mode, streamed
@@ -549,43 +729,81 @@ class SampledSimBackend(ExecutionBackend):
         coincide (ubiquitous in CNN suites) share measurements — the same
         economics that make the cycle backend's per-(T, k) memo work.
         """
-        key = (
-            config.rows, config.cols, collapse_depth, t_rows, n_size, m_size,
-            sample_index,
-        )
-        with self._measure_lock:
-            cached = self._tile_cycles.get(key)
-            if cached is not None:
-                self._tile_cycles.move_to_end(key)
-                return cached
-        array = CycleAccurateSystolicArray(
-            rows=config.rows,
-            cols=config.cols,
-            collapse_depth=collapse_depth,
-            configurable=True,
-        )
-        a_tile, b_tile = random_int_matrices(
-            t_rows,
-            n_size,
-            m_size,
-            # Sequence seeds are deterministic across runs, threads and
-            # process pools; the sample index (not the tile coordinate)
-            # varies the operands, which is what keeps measurements
-            # shareable across layers.
-            seed=[self.sample_seed, sample_index, t_rows, n_size, m_size],
-        )
-        result = array.simulate_tile(a_tile, b_tile)
-        if not np.array_equal(result.output, a_tile @ b_tile):
-            raise RuntimeError(
-                f"sampled simulation produced a wrong product for tile "
-                f"(rows={config.rows}, cols={config.cols}, N'={n_size}, "
-                f"M'={m_size}, T={t_rows}, k={collapse_depth})"
+        keys = [
+            (
+                config.rows, config.cols, collapse_depth, t_rows, n_size,
+                m_size, sample_index,
             )
+            for n_size, m_size, sample_index in items
+        ]
+        cycles: dict[tuple, int] = {}
         with self._measure_lock:
-            self._tile_cycles[key] = result.total_cycles
-            while len(self._tile_cycles) > self.MAX_TILE_MEASUREMENTS:
-                self._tile_cycles.popitem(last=False)
-        return result.total_cycles
+            for key in keys:
+                cached = self._tile_cycles.get(key)
+                if cached is not None:
+                    self._tile_cycles.move_to_end(key)
+                    cycles[key] = cached
+        todo: list[tuple[tuple, tuple[int, int, int]]] = []
+        queued: set[tuple] = set()
+        for key, item in zip(keys, items):
+            if key not in cycles and key not in queued:
+                queued.add(key)
+                todo.append((key, item))
+        if todo:
+            array = CycleAccurateSystolicArray(
+                rows=config.rows,
+                cols=config.cols,
+                collapse_depth=collapse_depth,
+                configurable=True,
+            )
+            with get_tracer().span(
+                "sampled.measure_batch",
+                backend=self.name,
+                t=t_rows,
+                tiles=len(items),
+                simulated=len(todo),
+            ):
+                chunk = array.max_batch_tiles(t_rows)
+                for start in range(0, len(todo), chunk):
+                    part = todo[start : start + chunk]
+                    a_tiles = []
+                    b_tiles = []
+                    for _, (n_size, m_size, sample_index) in part:
+                        a_tile, b_tile = random_int_matrices(
+                            t_rows,
+                            n_size,
+                            m_size,
+                            # Sequence seeds are deterministic across
+                            # runs, threads and process pools; the sample
+                            # index (not the tile coordinate) varies the
+                            # operands, which is what keeps measurements
+                            # shareable across layers.
+                            seed=[
+                                self.sample_seed, sample_index, t_rows,
+                                n_size, m_size,
+                            ],
+                        )
+                        a_tiles.append(a_tile)
+                        b_tiles.append(b_tile)
+                    results = array.simulate_tiles(a_tiles, b_tiles)
+                    for (key, item), a_tile, b_tile, result in zip(
+                        part, a_tiles, b_tiles, results
+                    ):
+                        if not np.array_equal(result.output, a_tile @ b_tile):
+                            n_size, m_size, _ = item
+                            raise RuntimeError(
+                                f"sampled simulation produced a wrong product "
+                                f"for tile (rows={config.rows}, "
+                                f"cols={config.cols}, N'={n_size}, "
+                                f"M'={m_size}, T={t_rows}, k={collapse_depth})"
+                            )
+                        cycles[key] = result.total_cycles
+            with self._measure_lock:
+                for key, _ in todo:
+                    self._tile_cycles[key] = cycles[key]
+                while len(self._tile_cycles) > self.MAX_TILE_MEASUREMENTS:
+                    self._tile_cycles.popitem(last=False)
+        return [cycles[key] for key in keys]
 
     # ------------------------------------------------------------------ #
     # Cache bookkeeping (same counters surface as the batched backend)

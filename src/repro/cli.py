@@ -61,11 +61,14 @@ the command) selects the execution backend: the closed-form reference,
 the vectorised/cached fast path (same numbers), the cycle-accurate
 measured path (slow; for validation), or the calibrated
 sampled-simulation path (measured cycle-level estimates with per-layer
-statistical error bounds, tuned by ``--sample-fraction`` and
-``--sample-seed``)::
+statistical error bounds, tuned by ``--sample-fraction``,
+``--sample-seed``, ``--min-tiles-per-shape`` and — for auto mode, which
+extends each layer's sample until its bound meets the target —
+``--error-target``)::
 
     python -m repro --backend batched compare --model resnet34
     python -m repro --backend sampled --sample-fraction 0.1 compare --model resnet34
+    python -m repro --backend sampled --error-target 0.02 compare --model resnet34
 
 The global ``--cache-dir`` flag points the batched backend's decision
 cache at a persistent directory (default for ``batch``: the user cache
@@ -219,6 +222,28 @@ def build_parser() -> argparse.ArgumentParser:
             "sampled backend only: seed of the deterministic stratified "
             "tile sample (default: 0); the same seed reproduces bit-"
             "identical estimates"
+        ),
+    )
+    parser.add_argument(
+        "--error-target",
+        type=float,
+        default=None,
+        help=(
+            "sampled backend only: auto mode — keep extending each "
+            "layer's seeded sample (doubling partial strata, new indices "
+            "only) until the self-reported relative error bound drops to "
+            "this value or the sample is exhaustive (default: off; the "
+            "fixed --sample-fraction budget decides)"
+        ),
+    )
+    parser.add_argument(
+        "--min-tiles-per-shape",
+        type=int,
+        default=None,
+        help=(
+            "sampled backend only: minimum simulated tiles per distinct "
+            "tile shape of a layer (default: 2); also sizes the variance "
+            "pilot of the Neyman allocation"
         ),
     )
     parser.add_argument(
@@ -535,6 +560,8 @@ def _resolve_backend(args: argparse.Namespace):
         for flag, value in (
             ("--sample-fraction", args.sample_fraction),
             ("--sample-seed", args.sample_seed),
+            ("--error-target", args.error_target),
+            ("--min-tiles-per-shape", args.min_tiles_per_shape),
         )
         if value is not None
     ]
@@ -552,6 +579,10 @@ def _resolve_backend(args: argparse.Namespace):
         kwargs["sample_fraction"] = args.sample_fraction
     if args.sample_seed is not None:
         kwargs["sample_seed"] = args.sample_seed
+    if args.error_target is not None:
+        kwargs["error_target"] = args.error_target
+    if args.min_tiles_per_shape is not None:
+        kwargs["min_tiles_per_shape"] = args.min_tiles_per_shape
     return SampledSimBackend(**kwargs)
 
 

@@ -333,13 +333,18 @@ def result_to_wire(result: ModelSchedule | ModelTotals) -> dict:
     :class:`SchedulingService` calls is exact, not approximate.
     """
     if isinstance(result, ModelTotals):
-        return {
+        payload = {
             "kind": "totals",
             "time_ns": result.time_ns,
             "energy_nj": result.energy_nj,
             "average_power_mw": result.average_power_mw,
             "energy_delay_product": result.energy_delay_product,
         }
+        # Same convention as the schedule payload's max_error_bound: an
+        # exact result (None or 0.0) keeps the legacy shape.
+        if result.error_bound:
+            payload["error_bound"] = result.error_bound
+        return payload
     payload = {
         "kind": "schedule",
         "model_name": result.model_name,

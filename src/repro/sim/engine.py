@@ -92,6 +92,8 @@ class SimulationEngine:
         stats = SimulationStats()
         k = self.collapse_depth
 
+        specs = plan.tiles()
+        chunk = self.array.max_batch_tiles(t_rows)
         with get_tracer().span(
             "engine.run_gemm",
             rows=self.rows,
@@ -99,32 +101,44 @@ class SimulationEngine:
             depth=k,
             tiles=plan.total_tiles,
         ):
-            for tile_index, spec in enumerate(plan.tiles()):
-                a_tile = a_matrix[:, spec.n_start : spec.n_stop]
-                b_tile = b_matrix[spec.n_start : spec.n_stop, spec.m_start : spec.m_stop]
-                with get_tracer().span("engine.tile", tile=tile_index) as span:
-                    result = self.array.simulate_tile(a_tile, b_tile)
-                output[:, spec.m_start : spec.m_stop] += result.output
-                stats.merge(result.stats)
+            for start in range(0, len(specs), chunk):
+                batch = specs[start : start + chunk]
+                a_tiles = [a_matrix[:, s.n_start : s.n_stop] for s in batch]
+                b_tiles = [
+                    b_matrix[s.n_start : s.n_stop, s.m_start : s.m_stop]
+                    for s in batch
+                ]
+                with get_tracer().span(
+                    "engine.tile_batch", first_tile=start, tiles=len(batch)
+                ) as span:
+                    results = self.array.simulate_tiles(a_tiles, b_tiles)
 
                 # Split the measured compute cycles into the streaming window
-                # (first to last west-edge injection) and the drain tail.
+                # (first to last west-edge injection) and the drain tail;
+                # every tile of the batch streams the same T, so the split
+                # is shared.
                 stream_cycles = t_rows + self.rows // k - 1
-                drain_cycles = result.stats.compute_cycles - stream_cycles
+                drain_cycles = results[0].stats.compute_cycles - stream_cycles
                 span.set(
-                    weight_load_cycles=result.stats.weight_load_cycles,
+                    weight_load_cycles=results[0].stats.weight_load_cycles,
                     stream_cycles=stream_cycles,
                     drain_cycles=max(drain_cycles, 0),
                 )
-                self._record_phase(
-                    tile_index,
-                    SimulationPhase.WEIGHT_LOAD,
-                    result.stats.weight_load_cycles,
-                )
-                self._record_phase(tile_index, SimulationPhase.STREAM, stream_cycles)
-                self._record_phase(
-                    tile_index, SimulationPhase.DRAIN, max(drain_cycles, 0)
-                )
+                for offset, (spec, result) in enumerate(zip(batch, results)):
+                    tile_index = start + offset
+                    output[:, spec.m_start : spec.m_stop] += result.output
+                    stats.merge(result.stats)
+                    self._record_phase(
+                        tile_index,
+                        SimulationPhase.WEIGHT_LOAD,
+                        result.stats.weight_load_cycles,
+                    )
+                    self._record_phase(
+                        tile_index, SimulationPhase.STREAM, stream_cycles
+                    )
+                    self._record_phase(
+                        tile_index, SimulationPhase.DRAIN, max(drain_cycles, 0)
+                    )
 
         return output, stats
 

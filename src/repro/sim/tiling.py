@@ -8,7 +8,8 @@ array.  The number of tiles is ``ceil(N / R) × ceil(M / C)`` and the total
 cycle count is the per-tile latency times that number (Eqs. 2 and 4).
 
 This module provides the tiling plan, a tiled execution driver running the
-cycle-accurate simulator per tile, and the resulting aggregate statistics.
+cycle-accurate simulator over batches of tiles, and the resulting
+aggregate statistics.
 """
 
 from __future__ import annotations
@@ -66,6 +67,27 @@ class TilingPlan:
     def total_tiles(self) -> int:
         """Total tile count of Eq. (2)/(4): ceil(N/R) x ceil(M/C)."""
         return self.n_tiles_vertical * self.n_tiles_horizontal
+
+    def shape_populations(self) -> dict[tuple[int, int], int]:
+        """Tile counts per ``(n_size, m_size)`` shape, in closed form.
+
+        Equals ``Counter((s.n_size, s.m_size) for s in plan.tiles())``
+        without materialising the specs — the sampled backend's strata
+        only need the counts, not the tile coordinates.
+        """
+
+        def axis(dim: int, step: int) -> dict[int, int]:
+            full, edge = divmod(dim, step)
+            counts = {step: full} if full else {}
+            if edge:
+                counts[edge] = 1
+            return counts
+
+        return {
+            (n_size, m_size): n_count * m_count
+            for n_size, n_count in axis(self.n_dim, self.rows).items()
+            for m_size, m_count in axis(self.m_dim, self.cols).items()
+        }
 
     def tiles(self) -> list[TileSpec]:
         """All tiles in execution order (M-major, then N)."""
@@ -131,12 +153,17 @@ def run_tiled_gemm(
     accumulators = AccumulatorBank(cols=m_dim, t_rows=t_rows)
     stats = SimulationStats()
 
-    for spec in plan.tiles():
-        a_tile = a_matrix[:, spec.n_start : spec.n_stop]
-        b_tile = b_matrix[spec.n_start : spec.n_stop, spec.m_start : spec.m_stop]
-        result = array.simulate_tile(a_tile, b_tile)
-        accumulators.accumulate_block(result.output, col_offset=spec.m_start)
-        stats.merge(result.stats)
+    specs = plan.tiles()
+    chunk = array.max_batch_tiles(t_rows)
+    for start in range(0, len(specs), chunk):
+        batch = specs[start : start + chunk]
+        a_tiles = [a_matrix[:, s.n_start : s.n_stop] for s in batch]
+        b_tiles = [
+            b_matrix[s.n_start : s.n_stop, s.m_start : s.m_stop] for s in batch
+        ]
+        for spec, result in zip(batch, array.simulate_tiles(a_tiles, b_tiles)):
+            accumulators.accumulate_block(result.output, col_offset=spec.m_start)
+            stats.merge(result.stats)
 
     return TiledGemmResult(
         output=accumulators.read_result(),

@@ -258,12 +258,137 @@ class TestErrorBoundAndEstimates:
         backend = SampledSimBackend()
         gemm = GemmShape(m=8, n=8, t=500, name="tall")
 
-        def quadratic(config, depth, t_rows, n_size, m_size, index):
-            return t_rows * t_rows  # not affine in T
+        def quadratic(config, depth, t_rows, items):
+            return [t_rows * t_rows for _ in items]  # not affine in T
 
-        monkeypatch.setattr(backend, "_simulate", quadratic)
+        monkeypatch.setattr(backend, "_simulate_batch", quadratic)
         with pytest.raises(RuntimeError, match="calibration failed"):
             backend.schedule_layer(gemm, config)
+
+
+class TestNeymanAllocation:
+    def test_equal_pilot_variances_degenerate_to_uniform_sizes(self, config):
+        """The real engine's timing is data-independent, so every pilot
+        variance is equal and the allocation must be exactly the uniform
+        ``_allocation`` sizes — the exact-engine numbers never move."""
+        backend = SampledSimBackend()
+        gemm = GemmShape(m=170, n=200, t=24, name="multi-strata")
+        estimate = backend.layer_estimate(gemm, config)
+        for stratum in estimate.strata:
+            assert stratum.sampled == backend._allocation(stratum.population)
+
+    def test_unequal_variances_shift_budget_not_total(self):
+        backend = SampledSimBackend(sample_fraction=0.1)
+        shapes = [(16, 16), (16, 10), (10, 16)]
+        populations = {(16, 16): 100, (16, 10): 50, (10, 16): 50}
+        pilots = {shape: 2 for shape in shapes}
+        variances = {(16, 16): 900.0, (16, 10): 0.0, (10, 16): 0.0}
+        budget = sum(
+            backend._allocation(populations[shape]) for shape in shapes
+        )
+        sizes = backend._neyman_allocation(
+            shapes, populations, pilots, variances, budget
+        )
+        assert sum(sizes.values()) == budget
+        assert all(
+            pilots[shape] <= sizes[shape] <= populations[shape]
+            for shape in shapes
+        )
+        # All spare budget flows to the only stratum with variance.
+        assert sizes[(16, 10)] == sizes[(10, 16)] == 2
+        assert sizes[(16, 16)] == budget - 4
+
+    def test_overflow_past_a_small_population_is_redistributed(self):
+        backend = SampledSimBackend(sample_fraction=0.5)
+        shapes = [(16, 16), (16, 10)]
+        populations = {(16, 16): 4, (16, 10): 100}
+        pilots = {(16, 16): 2, (16, 10): 2}
+        # The tiny stratum's huge variance wants more samples than it has
+        # tiles; the clamped-off surplus must land on the other stratum.
+        variances = {(16, 16): 1e9, (16, 10): 1.0}
+        budget = sum(
+            backend._allocation(populations[shape]) for shape in shapes
+        )
+        sizes = backend._neyman_allocation(
+            shapes, populations, pilots, variances, budget
+        )
+        assert sizes[(16, 16)] == populations[(16, 16)]
+        assert sum(sizes.values()) == budget
+
+    def test_bound_never_regresses_vs_uniform_at_equal_budget(
+        self, config, monkeypatch
+    ):
+        """With a genuinely heteroscedastic engine, the Neyman split's
+        finite-population bound is at most the uniform split's."""
+        gemm = GemmShape(m=410, n=410, t=20, name="hetero")
+
+        def synthetic(config, depth, t_rows, items):
+            # One high-variance stratum, the rest deterministic.
+            return [
+                1_000 * n + 10 * m + ((index % 5) * 40 if n == m == 16 else 0)
+                for n, m, index in items
+            ]
+
+        neyman = SampledSimBackend(sample_fraction=0.1)
+        monkeypatch.setattr(neyman, "_simulate_batch", synthetic)
+        uniform = SampledSimBackend(sample_fraction=0.1)
+        monkeypatch.setattr(uniform, "_simulate_batch", synthetic)
+        monkeypatch.setattr(
+            uniform,
+            "_neyman_allocation",
+            lambda shapes, populations, pilots, variances, budget: {
+                shape: uniform._allocation(populations[shape])
+                for shape in shapes
+            },
+        )
+
+        from_neyman = neyman.estimate_layer_cycles(config, gemm, 1)
+        from_uniform = uniform.estimate_layer_cycles(config, gemm, 1)
+        assert from_neyman.simulated_tiles == from_uniform.simulated_tiles
+        assert from_neyman.error_bound <= from_uniform.error_bound + 1e-12
+
+
+class TestModelTotals:
+    def test_totals_match_schedule_sums(self, config):
+        totals = SampledSimBackend(sample_seed=4).schedule_model_totals(
+            MIXED, config, model_name="mixed"
+        )
+        schedule = SampledSimBackend(sample_seed=4).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        assert totals.time_ns == schedule.total_time_ns
+        assert totals.energy_nj == schedule.total_energy_nj
+
+    def test_totals_carry_time_weighted_error_bound(self, config):
+        backend = SampledSimBackend(sample_seed=4)
+        totals = backend.schedule_model_totals(MIXED, config, model_name="mixed")
+        schedule = SampledSimBackend(sample_seed=4).schedule_model(
+            MIXED, config, model_name="mixed"
+        )
+        weighted = 0.0
+        for layer in schedule.layers:
+            weighted += (layer.error_bound or 0.0) * layer.execution_time_ns
+        assert totals.error_bound == pytest.approx(
+            weighted / schedule.total_time_ns, rel=1e-12
+        )
+
+    def test_exhaustive_totals_report_zero_bound(self, config):
+        totals = SampledSimBackend(sample_fraction=1.0).schedule_model_totals(
+            MIXED, config, model_name="mixed"
+        )
+        assert totals.error_bound == 0.0
+
+    def test_conventional_totals_delegate_to_exact_path(self, config):
+        backend = SampledSimBackend()
+        totals = backend.schedule_model_totals(
+            MIXED, config, model_name="mixed", conventional=True
+        )
+        schedule = backend.schedule_model_conventional(
+            MIXED, config, model_name="mixed"
+        )
+        assert totals.error_bound is None
+        assert totals.time_ns == schedule.total_time_ns
+        assert totals.energy_nj == schedule.total_energy_nj
 
 
 class TestFacadeAndExplorerWiring:

@@ -163,12 +163,46 @@ class TestBackendFlag:
         assert backend.sample_fraction == 0.5
         assert backend.sample_seed == 3
 
+    def test_error_target_and_min_tiles_flags_configure_the_backend(self):
+        from repro.cli import _resolve_backend
+
+        args = build_parser().parse_args(
+            ["--backend", "sampled", "--error-target", "0.02",
+             "--min-tiles-per-shape", "4", "info"]
+        )
+        backend = _resolve_backend(args)
+        assert backend.error_target == 0.02
+        assert backend.min_tiles_per_shape == 4
+
+    def test_error_target_auto_mode_runs_end_to_end(self, capsys):
+        assert (
+            main(
+                [
+                    "--backend", "sampled",
+                    "--error-target", "0.05",
+                    "compare",
+                    "--rows", "16",
+                    "--cols", "16",
+                    "--model", "mobilenet_v1",
+                ]
+            )
+            == 0
+        )
+        assert "sampled backend" in capsys.readouterr().out
+
     def test_sampling_flags_require_sampled_backend(self):
         with pytest.raises(ValueError, match="requires --backend sampled"):
             main(["--sample-seed", "3", "compare", "--model", "resnet34"])
         with pytest.raises(ValueError, match="requires --backend sampled"):
             main(
                 ["--backend", "batched", "--sample-fraction", "0.5",
+                 "compare", "--model", "resnet34"]
+            )
+        with pytest.raises(ValueError, match="requires --backend sampled"):
+            main(["--error-target", "0.05", "compare", "--model", "resnet34"])
+        with pytest.raises(ValueError, match="requires --backend sampled"):
+            main(
+                ["--backend", "cycle", "--min-tiles-per-shape", "4",
                  "compare", "--model", "resnet34"]
             )
 

@@ -148,6 +148,24 @@ class TestWireCodecs:
         wire = result_to_wire(response.unwrap())
         assert wire["kind"] == "totals"
         assert wire["time_ns"] == response.unwrap().time_ns
+        # Exact backends carry no estimate bound, and the legacy wire
+        # shape stays exactly as it was.
+        assert "error_bound" not in wire
+
+    def test_totals_error_bound_rides_the_wire_when_present(self, config):
+        from repro.backends import SampledSimBackend
+        from repro.serve import SchedulingService as Service
+
+        with Service(backend=SampledSimBackend()) as service:
+            response = service.submit(
+                Request(model="resnet34", config=config, totals_only=True)
+            )
+        totals = response.unwrap()
+        wire = json.loads(json.dumps(result_to_wire(totals)))
+        if totals.error_bound:
+            assert wire["error_bound"] == totals.error_bound
+        else:
+            assert "error_bound" not in wire
 
     def test_timeout_response_to_wire(self):
         wire = response_to_wire(
