@@ -44,6 +44,7 @@ from bench_scenarios import (  # noqa: E402
     engine_array,
     engine_tile_operands,
     json_v1_warm_load,
+    run_ablation_sweep,
     run_batched_tiles,
     run_direct_schedules,
     run_http_schedules,
@@ -196,6 +197,16 @@ def collect(rounds: int = 3) -> dict:
         assert drift <= (
             sampled_schedule.max_error_bound() * exact_schedule.total_cycles + 1e-9
         ), "sampled estimate outside its error bound"
+
+    # Ablation importance sweep: the default three-component study fanned
+    # out through one SchedulingService.submit_many batch (the
+    # test_bench_ablations.py ablation_sweep scenario).
+    ablation_results: list = []
+    timings_ms["ablation_sweep"] = 1e3 * _best_of(
+        lambda: ablation_results.append(run_ablation_sweep()), rounds=min(rounds, 2)
+    )
+    assert ablation_results[0].ranking, "ablation sweep produced no ranking"
+    assert all(run.ok for run in ablation_results[0].runs), "ablation run failed"
 
     # Batched tile engine vs the scalar stepping loop on the same tiles
     # (the test_bench_engine.py scenario).

@@ -170,6 +170,41 @@ def design_space_sweep(activity_model=None, backend=None):
     return explorer.explore(DESIGN_POINTS)
 
 
+#: The ablation-sweep scenario (``test_bench_ablations.py`` and the
+#: ``BENCH_<sha>.json`` artifact): one importance study — the default
+#: three components (activity model, geometry, collapse-depth menu) on
+#: the ``cnn`` registry suite — fanned out through one
+#: ``SchedulingService.submit_many`` batch.  A small baseline geometry
+#: keeps the scenario bench-sized while still paying the real engine
+#: cost: run generation, service fan-out, ranking.
+ABLATION_SUITE = "cnn"
+ABLATION_SIZE = 64
+
+
+def ablation_study(executor: str = "thread"):
+    """A fresh study object of the ablation-sweep scenario."""
+    from repro.eval.ablation import AblationStudy, Component
+
+    return AblationStudy(
+        components=[
+            Component("activity_model", "constant", ("utilization",)),
+            Component(
+                "geometry",
+                (ABLATION_SIZE, ABLATION_SIZE),
+                ((2 * ABLATION_SIZE, 2 * ABLATION_SIZE),),
+            ),
+            Component("depths", (1, 2, 4), ((1, 2),)),
+        ],
+        fixed={"suite": ABLATION_SUITE},
+        executor=executor,
+    )
+
+
+def run_ablation_sweep(executor: str = "thread"):
+    """Run the ablation-sweep scenario once; returns the StudyResult."""
+    return ablation_study(executor=executor).run()
+
+
 #: The observability-overhead scenario (``test_bench_obs.py`` and the
 #: ``BENCH_<sha>.json`` artifact): the design-space sweep under three
 #: tracer regimes.  The *bypass* tracer's ``span()`` returns the shared

@@ -1,6 +1,6 @@
 """Ablation benchmarks for the design choices DESIGN.md calls out.
 
-Two ablations:
+Three ablations:
 
 * ``abl_csa`` -- Section III-B inserts a 3:2 carry-save adder per PE so a
   collapsed column accumulates in carry-save form; without it, every
@@ -10,7 +10,15 @@ Two ablations:
 * ``abl_dirs`` -- the paper collapses both the vertical (reduction) and the
   horizontal (broadcast) pipelines; the benchmark isolates each direction's
   contribution to the cycle reduction.
+* ``ablation_sweep`` -- the declarative importance harness: the default
+  three-component study (activity model, geometry, collapse-depth menu)
+  fanned out through one ``SchedulingService.submit_many`` batch.  The
+  qualitative assertions pin the facts the harness exists to surface:
+  every run schedules, the ranking covers every component, and with an
+  exact backend every nonzero delta is significant (zero-width bounds).
 """
+
+from bench_scenarios import ablation_study
 
 from repro.eval import CsaAblationExperiment, DirectionAblationExperiment
 
@@ -54,3 +62,25 @@ def test_direction_ablation(benchmark):
         # For a square array both single-direction variants save the same
         # number of cycles (symmetric R/k and C/k terms).
         assert entry.cycles_vertical_only == entry.cycles_horizontal_only
+
+
+def test_ablation_sweep(benchmark):
+    study = ablation_study()
+    result = benchmark(study.run)
+
+    print()
+    print(result.render())
+
+    assert all(run.ok for run in result.runs)
+    assert {entry.component for entry in result.ranking} == {
+        component.name for component in study.components
+    }
+    assert [entry.rank for entry in result.ranking] == [1, 2, 3]
+    scores = [entry.score for entry in result.ranking]
+    assert scores == sorted(scores, reverse=True)
+
+    # Exact backend: every delta carries a zero-width bound, so any
+    # component that moved the metric at all must rank as significant.
+    for entry in result.ranking:
+        if entry.score > 0.0:
+            assert entry.significant(study.metric)

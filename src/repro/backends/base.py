@@ -227,12 +227,19 @@ class ExecutionBackend(abc.ABC):
         it; backends that can produce totals without building per-layer
         objects (the batched backend) override this.  Either way the
         numbers equal the :class:`~repro.core.scheduler.ModelSchedule`
-        property sums bit-for-bit.
+        property sums bit-for-bit, and ``error_bound`` is the schedule's
+        :meth:`~repro.core.metrics.ModelSchedule.combined_error_bound`
+        (``None`` for exact backends), so the generic path and the
+        estimating backends' fast paths report the same bound for the
+        same run — including runs mixing exhaustively-sampled (zero
+        bound) and sampled (nonzero bound) strata.
         """
         scheduler = self.schedule_model_conventional if conventional else self.schedule_model
         schedule = scheduler(model, config, model_name=model_name)
         return ModelTotals(
-            time_ns=schedule.total_time_ns, energy_nj=schedule.total_energy_nj
+            time_ns=schedule.total_time_ns,
+            energy_nj=schedule.total_energy_nj,
+            error_bound=schedule.combined_error_bound(),
         )
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,12 @@ Commands
                 fig9, eq7, clock, abl_csa, abl_dirs) or the beyond-paper
                 ``transformers`` suite / ``activity`` sensitivity /
                 ``sampled`` backend-accuracy tables and print it.
+``ablate``      Run a declarative ablation study over the design-space
+                knobs (activity model, geometry, depths, backend,
+                sampling parameters, workloads, batch): baseline plus
+                one-off runs fan out through the batch front-end and a
+                per-component importance ranking is printed (or emitted
+                as ``--json``).
 ``report``      Regenerate the EXPERIMENTS.md measured-vs-paper report.
 ``trace``       Hierarchical tracing (:mod:`repro.obs`): ``trace
                 schedule`` runs one workload comparison with tracing
@@ -102,6 +108,7 @@ from repro.core.config import ArrayFlexConfig
 from repro.core.metrics import ModelSchedule
 from repro.timing.power_model import ArrayPowerBreakdown
 from repro.eval.experiments import (
+    AblationExperiment,
     ActivitySensitivityExperiment,
     ClockFrequencyExperiment,
     CsaAblationExperiment,
@@ -134,6 +141,7 @@ EXPERIMENT_FACTORIES = {
     "transformers": lambda backend=None: [TransformerSuiteExperiment(backend=backend)],
     "activity": lambda backend=None: [ActivitySensitivityExperiment(backend=backend)],
     "sampled": lambda backend=None: [SampledAccuracyExperiment(backend=backend)],
+    "ablation": lambda backend=None: [AblationExperiment(backend=backend)],
 }
 
 
@@ -510,6 +518,102 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=sorted(EXPERIMENT_FACTORIES), help="experiment id")
     _add_backend_argument(experiment)
 
+    ablate = subparsers.add_parser(
+        "ablate",
+        help=(
+            "run a declarative ablation study (baseline plus one-off runs "
+            "over design knobs) and print the per-component importance ranking"
+        ),
+    )
+    ablate.add_argument(
+        "--component",
+        action="append",
+        default=None,
+        metavar="KNOB=BASELINE:ALT[,ALT...]",
+        help=(
+            "one knob under ablation, repeatable: its baseline value, a colon, "
+            "then comma-separated alternatives — e.g. "
+            "'activity_model=constant:utilization', 'geometry=128x128:256x256', "
+            "'depths=1+2+4:1+2,1+4' (default: the stock activity-model/"
+            "geometry/depths study)"
+        ),
+    )
+    ablate.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help=(
+            "registry workload names every run schedules (see the 'workloads' "
+            "command); overrides --suite"
+        ),
+    )
+    ablate.add_argument(
+        "--suite",
+        default=None,
+        help="registry suite every run schedules (default: cnn)",
+    )
+    ablate.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="map the workloads to batched inference (T x batch; default: 1)",
+    )
+    ablate.add_argument(
+        "--rows", type=int, default=128, help="baseline array rows (default: 128)"
+    )
+    ablate.add_argument(
+        "--cols", type=int, default=128, help="baseline array columns (default: 128)"
+    )
+    ablate.add_argument(
+        "--depths",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="baseline supported collapse depths (default: 1 2 4)",
+    )
+    ablate.add_argument(
+        "--pairwise",
+        action="store_true",
+        help=(
+            "also run the cross grid of every component pair's alternatives "
+            "and report interactions (combined delta minus the sum of parts)"
+        ),
+    )
+    ablate.add_argument(
+        "--metric",
+        choices=["latency", "energy", "edp"],
+        default="edp",
+        help="primary importance-ranking metric (default: edp)",
+    )
+    ablate.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="service executor the runs fan out on (default: thread)",
+    )
+    ablate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="service worker count (default: auto from CPU count)",
+    )
+    ablate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-run result deadline in seconds; timed-out runs are reported "
+            "and excluded from the ranking (default: wait forever)"
+        ),
+    )
+    ablate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full study result as JSON instead of tables",
+    )
+    _add_backend_argument(ablate)
+    _add_activity_model_argument(ablate)
+
     report = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument(
         "--output", default="EXPERIMENTS.md", help="output path (default: EXPERIMENTS.md)"
@@ -873,12 +977,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve import DaemonClient, Request, ServeError
 
     _reject_cache_dir(args)
-    if args.backend_explicit:
-        raise ValueError(
-            "the 'client' command talks to a running daemon (whose backend "
-            "was chosen by 'serve'); --backend is not supported here"
-        )
-    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    _reject_backend(
+        args,
+        "talks to a running daemon (whose backend was chosen by 'serve')",
+    )
     client = DaemonClient(
         host=args.host,
         port=args.port,
@@ -947,7 +1049,7 @@ def _print_client_result(body: dict) -> None:
 def _cmd_workloads(args: argparse.Namespace) -> int:
     """List the workload registry, grouped by suite."""
     _reject_cache_dir(args)
-    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    _reject_backend(args, "only lists the registry, it schedules nothing")
     suites = list_suites()
     if args.suite is not None:
         if args.suite not in suites:
@@ -995,6 +1097,96 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_component(text: str):
+    """One ``--component KNOB=BASELINE:ALT[,ALT...]`` declaration."""
+    from repro.eval.ablation import Component
+
+    knob, equals, values = text.partition("=")
+    baseline, colon, alternatives = values.partition(":")
+    if not equals or not colon or not knob.strip() or not baseline.strip():
+        raise ValueError(
+            f"--component must look like KNOB=BASELINE:ALT[,ALT...], got {text!r}"
+        )
+    return Component(
+        knob.strip().replace("-", "_"),
+        baseline.strip(),
+        tuple(part.strip() for part in alternatives.split(",") if part.strip()),
+    )
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """Run a declarative ablation study and print the importance ranking."""
+    from repro.eval.ablation import AblationStudy, Component
+
+    _reject_cache_dir(args)
+    backend = _resolve_backend(args)
+    if args.batch_size < 1:
+        raise ValueError("--batch-size must be at least 1")
+    if args.component:
+        components = [_parse_component(text) for text in args.component]
+    else:
+        # The stock study anchored at the baseline flags: flip the
+        # activity model, double the array, drop the deepest mode.
+        depths = tuple(args.depths)
+        components = [
+            Component("activity_model", "constant", ("utilization",)),
+            Component(
+                "geometry",
+                (args.rows, args.cols),
+                ((args.rows * 2, args.cols * 2),),
+            ),
+        ]
+        if len(depths) > 1:
+            components.append(
+                Component("depths", depths, (tuple(sorted(depths)[:-1]),))
+            )
+    names = {component.name for component in components}
+    fixed: dict[str, object] = {}
+    if "backend" in names:
+        if args.backend_explicit:
+            raise ValueError(
+                "--backend fixes the backend for every run; drop it when "
+                "'backend' is itself an ablated component"
+            )
+    else:
+        fixed["backend"] = backend
+    if "activity_model" not in names:
+        fixed["activity_model"] = args.activity_model
+    if "geometry" not in names:
+        fixed["geometry"] = (args.rows, args.cols)
+    if "depths" not in names:
+        fixed["depths"] = tuple(args.depths)
+    if "batch" not in names:
+        fixed["batch"] = args.batch_size
+    if "workloads" not in names and "suite" not in names:
+        if args.models:
+            fixed["workloads"] = tuple(args.models)
+        else:
+            fixed["suite"] = args.suite or "cnn"
+    study = AblationStudy(
+        components=components,
+        fixed=fixed,
+        pairwise=args.pairwise,
+        metric=args.metric,
+        executor=args.executor,
+        max_workers=args.workers,
+        timeout=args.timeout,
+    )
+    result = study.run()
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    timed_out = [run for run in result.runs if not run.ok]
+    if timed_out:
+        print(
+            f"WARNING: {len(timed_out)} runs timed out after {args.timeout}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _reject_cache_dir(args: argparse.Namespace) -> None:
     """--cache-dir must never be a silent no-op: commands that do not
     route through the batched decision cache refuse it outright.  The
@@ -1007,6 +1199,25 @@ def _reject_cache_dir(args: argparse.Namespace) -> None:
         )
 
 
+def _reject_backend(args: argparse.Namespace, reason: str) -> None:
+    """Refuse ``--backend`` (and the sampling flags) on commands that
+    never execute a backend.
+
+    A ``--backend`` these commands would discard must be an error, never
+    a silent no-op — otherwise ``--backend sampled --sample-fraction
+    0.1 workloads`` "succeeds" while sampling nothing.  ``reason`` says
+    why the command has no backend, in the command's own words; the
+    stray-sampling-flag check still runs for the (default-backend) case
+    so bare sampling flags fail with their own message everywhere.
+    """
+    if args.backend_explicit:
+        raise ValueError(
+            f"the {args.command!r} command {reason}; "
+            f"--backend is not supported here"
+        )
+    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or prune the disk-persistent decision cache.
 
@@ -1015,12 +1226,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     no-op.  ``--cache-dir`` selects the directory; the default is the
     same user cache directory the ``batch`` command persists into.
     """
-    if args.backend_explicit:
-        raise ValueError(
-            "the 'cache' command only touches the on-disk store; "
-            "--backend is not supported here"
-        )
-    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    _reject_backend(args, "only touches the on-disk store")
     from repro.backends import DecisionStore
 
     directory = args.cache_dir or default_cache_dir()
@@ -1048,7 +1254,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace one workload comparison, or summarise a written trace file."""
     if args.trace_action == "summary":
         _reject_cache_dir(args)
-        _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+        _reject_backend(
+            args, "summarises an already-written trace file, it runs nothing"
+        )
         with open(args.path, encoding="utf-8") as handle:
             payload = json.load(handle)
         events = payload.get("traceEvents", [])
@@ -1091,7 +1299,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     _reject_cache_dir(args)
-    _resolve_backend(args)  # rejects stray sampling flags, never a no-op
+    _reject_backend(
+        args, "regenerates EXPERIMENTS.md with each experiment's own backend"
+    )
     from repro.eval.paper_report import write_experiments_markdown
 
     content = write_experiments_markdown(args.output)
@@ -1109,6 +1319,7 @@ _HANDLERS = {
     "workloads": _cmd_workloads,
     "cache": _cmd_cache,
     "experiment": _cmd_experiment,
+    "ablate": _cmd_ablate,
     "report": _cmd_report,
     "trace": _cmd_trace,
 }

@@ -230,6 +230,32 @@ class ModelSchedule:
             (layer.error_bound or 0.0 for layer in self.layers), default=0.0
         )
 
+    def combined_error_bound(self) -> float | None:
+        """Model-level relative error bound: time-weighted per-layer mean.
+
+        Each layer's time is within its own relative bound, so the total
+        time is within the execution-time-weighted combination — the same
+        statistic the sampled backend's ``schedule_model_totals`` fast
+        path reports, computed here from a materialised schedule.  Exact
+        strata mix correctly with sampled ones: a layer with
+        ``error_bound=None`` (exact backend) or ``0.0`` (exhaustively
+        sampled) contributes zero width at its time weight.  ``None``
+        when *every* layer is exact, matching the fast paths' convention
+        that only estimating runs carry a bound.
+        """
+        if all(layer.error_bound is None for layer in self.layers):
+            return None
+        total = self.total_time_ns
+        if total == 0:
+            return 0.0
+        return (
+            sum(
+                (layer.error_bound or 0.0) * layer.execution_time_ns
+                for layer in self.layers
+            )
+            / total
+        )
+
     def _time_weighted(self, attribute: str) -> float:
         total = self.total_time_ns
         if total == 0:

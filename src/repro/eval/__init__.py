@@ -22,7 +22,14 @@ Experiment       Paper artifact
 ===============  ========================================================
 """
 
+from repro.eval.ablation import (
+    AblationStudy,
+    Component,
+    StudyResult,
+    default_study,
+)
 from repro.eval.experiments import (
+    AblationExperiment,
     ClockFrequencyExperiment,
     CsaAblationExperiment,
     DirectionAblationExperiment,
@@ -47,6 +54,11 @@ __all__ = [
     "ClockFrequencyExperiment",
     "CsaAblationExperiment",
     "DirectionAblationExperiment",
+    "AblationExperiment",
+    "AblationStudy",
+    "Component",
+    "StudyResult",
+    "default_study",
     "all_experiments",
     "format_table",
     "format_ratio",

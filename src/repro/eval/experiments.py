@@ -750,25 +750,56 @@ class ActivitySensitivityExperiment:
         self.backend = create_backend(backend, default="batched")
 
     def run(self) -> ActivitySensitivityResult:
-        from repro.core.activity import UtilizationActivity
+        """Tabulate both activity models at every size via an ablation study.
 
+        Declared on the :class:`~repro.eval.ablation.AblationStudy`
+        engine: the activity model and the array geometry are the two
+        components, ``pairwise=True`` fills in the full (model x size)
+        grid, and ``conventional=True`` pairs every run with its
+        fixed-pipeline baseline.  The entries (and the rendered tables)
+        are bit-identical to the pre-engine hand-written loop — same
+        backend calls, same schedules, same division order.
+        """
+        from repro.eval.ablation import AblationStudy, Component
+
+        base = self.sizes[0]
+        components = [Component("activity_model", "constant", ("utilization",))]
+        if len(self.sizes) > 1:
+            components.append(
+                Component(
+                    "geometry",
+                    (base, base),
+                    tuple((size, size) for size in self.sizes[1:]),
+                )
+            )
+        study = AblationStudy(
+            components=components,
+            fixed={
+                "backend": self.backend,
+                "workloads": tuple(self.workloads),
+                "technology": self.technology,
+            },
+            pairwise=True,
+            totals_only=False,
+            conventional=True,
+        )
+        outcome = study.run()
+        by_key = {
+            (
+                run.settings["activity_model"],
+                run.settings["geometry"],
+            ): run
+            for run in outcome.runs
+        }
         entries = []
         for size in self.sizes:
-            constant_config = ArrayFlexConfig(
-                rows=size, cols=size, technology=self.technology
-            )
-            utilization_config = constant_config.with_activity_model(
-                UtilizationActivity()
-            )
-            for workload in self.workloads:
-                constant = self.backend.schedule_model(workload, constant_config)
-                derated = self.backend.schedule_model(workload, utilization_config)
-                constant_conv = self.backend.schedule_model_conventional(
-                    workload, constant_config
-                )
-                derated_conv = self.backend.schedule_model_conventional(
-                    workload, utilization_config
-                )
+            constant_run = by_key[("constant", (size, size))]
+            derated_run = by_key[("utilization", (size, size))]
+            for index in range(len(self.workloads)):
+                constant = constant_run.workloads[index].result
+                derated = derated_run.workloads[index].result
+                constant_conv = constant_run.workloads[index].conventional
+                derated_conv = derated_run.workloads[index].conventional
                 entries.append(
                     ActivitySensitivityEntry(
                         workload_name=constant.model_name,
@@ -1358,6 +1389,47 @@ class DirectionAblationExperiment:
 
 
 # ---------------------------------------------------------------------- #
+# Beyond the paper: declarative knob-importance study over the design space
+# ---------------------------------------------------------------------- #
+class AblationExperiment:
+    """Which design knob mattered?  The stock declarative ablation study.
+
+    A thin experiment wrapper over :class:`~repro.eval.ablation.
+    AblationStudy`: runs the baseline-plus-one-off set of the given (or
+    default) study through :class:`~repro.serve.SchedulingService` and
+    renders the per-component importance ranking.  Declare a custom
+    study for any other "did my knob matter" question; this instance
+    exists so the ranking shows up in ``python -m repro experiment
+    ablation`` and EXPERIMENTS.md.
+    """
+
+    experiment_id = "ablation"
+    paper_reference = {
+        "claim": (
+            "beyond the paper: rank every design knob (activity model, "
+            "array geometry, collapse-depth set) by the latency/energy/EDP "
+            "delta its one-off flip causes against the paper baseline"
+        )
+    }
+
+    def __init__(self, study=None, backend: ExecutionBackend | str | None = None):
+        from repro.eval.ablation import default_study
+
+        if study is None:
+            study = default_study(
+                backend=create_backend(backend, default="batched")
+            )
+        self.study = study
+
+    def run(self):
+        return self.study.run()
+
+    def render(self, result=None) -> str:
+        result = result or self.run()
+        return result.render()
+
+
+# ---------------------------------------------------------------------- #
 def all_experiments() -> list[object]:
     """Default instances of every experiment (used by docs and smoke tests)."""
     return [
@@ -1369,6 +1441,7 @@ def all_experiments() -> list[object]:
         Fig9Experiment(),
         TransformerSuiteExperiment(),
         ActivitySensitivityExperiment(),
+        AblationExperiment(),
         Eq7ValidationExperiment(),
         ClockFrequencyExperiment(),
         CsaAblationExperiment(),

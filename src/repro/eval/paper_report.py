@@ -333,6 +333,50 @@ def _ablation_section() -> list[str]:
     return lines
 
 
+def _importance_section() -> list[str]:
+    from repro.eval.ablation import _format_delta, default_study, format_value
+
+    study = default_study()
+    result = study.run()
+    lines = [
+        "## Which knob mattered — design-space importance",
+        "",
+        "* The declarative ablation harness (`python -m repro ablate`, "
+        "`docs/ablation.md`) flips one design knob at a time off a pinned "
+        "baseline and ranks each component by its worst-case EDP delta; a "
+        "delta only counts as *significant* when it clears the combined "
+        "sampling error bound of the two runs it compares (zero-width for "
+        "the exact backends used here).  Baseline: the paper's "
+        f"{format_value('geometry', study.baseline_settings()['geometry'])} "
+        "array, constant activity, depth menu "
+        f"{format_value('depths', study.baseline_settings()['depths'])}, "
+        "CNN suite, batched backend.",
+        "",
+        "| rank | component | flip | EDP delta | latency delta | energy delta | significant |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for entry in result.ranking:
+        driver = entry.driver
+        if driver is None:
+            lines.append(f"| {entry.rank} | {entry.component} | — | — | — | — | no |")
+            continue
+        lines.append(
+            f"| {entry.rank} | {entry.component} | {driver.run_id} | "
+            f"{_format_delta(driver.deltas['edp'])} | "
+            f"{_format_delta(driver.deltas['latency'])} | "
+            f"{_format_delta(driver.deltas['energy'])} | "
+            f"{'yes' if entry.significant(study.metric) else 'no'} |"
+        )
+    lines += [
+        "",
+        "The ranking is deterministic (same study + seed → the same table, "
+        "whatever the executor or submission order) and regenerates with "
+        "`python -m repro experiment ablation` or `python -m repro ablate`.",
+        "",
+    ]
+    return lines
+
+
 def generate_experiments_markdown() -> str:
     """Build the full EXPERIMENTS.md content from the experiment harness."""
     header = [
@@ -363,6 +407,7 @@ def generate_experiments_markdown() -> str:
         + _sampled_section()
         + _eq7_section()
         + _ablation_section()
+        + _importance_section()
     )
     return "\n".join(sections).rstrip() + "\n"
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENT_FACTORIES, build_parser, main
@@ -211,11 +213,45 @@ class TestBackendFlag:
             main(["--sample-seed", "3", "batch", "--models", "resnet34",
                   "--sizes", "64x64", "--no-cache"])
 
-    @pytest.mark.parametrize("command", [["workloads"], ["report"]])
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["info"],
+            ["decide", "--m", "64", "--n", "64", "--t", "8"],
+            ["compare", "--model", "resnet34"],
+            ["batch", "--models", "resnet34", "--sizes", "64x64", "--no-cache"],
+            ["serve", "--port", "0"],
+            ["client", "healthz"],
+            ["workloads"],
+            ["cache", "stats"],
+            ["experiment", "fig6"],
+            ["ablate", "--models", "mobilenet_v1"],
+            ["report"],
+            ["trace", "summary", "does-not-exist.trace"],
+        ],
+        ids=lambda command: command[0],
+    )
     def test_every_command_rejects_stray_sampling_flags(self, command):
-        """No command may silently ignore the sampling flags."""
+        """No command may silently ignore the sampling flags — including the
+        ones that never build a scheduling backend at all (workloads, cache,
+        client, trace summary), which used to accept and discard them."""
         with pytest.raises(ValueError, match="requires --backend sampled"):
             main(["--sample-seed", "3", *command])
+
+    @pytest.mark.parametrize(
+        "command, reason",
+        [
+            (["workloads"], "lists the registry"),
+            (["report"], "regenerates EXPERIMENTS.md"),
+            (["trace", "summary", "does-not-exist.trace"], "summarises"),
+        ],
+        ids=lambda value: value[0] if isinstance(value, list) else "reason",
+    )
+    def test_non_scheduling_commands_reject_explicit_backend(self, command, reason):
+        """Commands that schedule nothing must say so instead of silently
+        building (then discarding) the requested backend."""
+        with pytest.raises(ValueError, match=reason):
+            main(["--backend", "sampled", *command])
 
     def test_experiment_sampled_registered(self):
         from repro.cli import EXPERIMENT_FACTORIES
@@ -477,3 +513,77 @@ class TestCacheCommand:
     def test_cache_rejects_stray_sampling_flags(self, tmp_path):
         with pytest.raises(ValueError):
             main(["--sample-fraction", "0.1", "--cache-dir", str(tmp_path), "cache", "stats"])
+
+
+class TestAblateCommand:
+    FAST = ["ablate", "--models", "mobilenet_v1", "--rows", "16", "--cols", "16"]
+
+    def test_default_components_run_end_to_end(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Component importance" in out
+        assert "activity_model" in out
+        assert "geometry" in out
+        assert "depths" in out
+
+    def test_explicit_components_and_metric(self, capsys):
+        assert main(
+            [
+                *self.FAST,
+                "--component", "activity_model=constant:utilization",
+                "--metric", "latency",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "activity_model=utilization" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(
+            [
+                *self.FAST,
+                "--component", "activity_model=constant:utilization",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"]["run_id"] == "baseline"
+        assert [entry["component"] for entry in payload["ranking"]] == [
+            "activity_model"
+        ]
+
+    def test_component_spellings_with_dashes(self, capsys):
+        assert main(
+            [*self.FAST, "--component", "activity-model=constant:utilization"]
+        ) == 0
+        assert "activity_model=utilization" in capsys.readouterr().out
+
+    def test_malformed_component_rejected(self):
+        with pytest.raises(ValueError, match="KNOB=BASELINE:ALT"):
+            main([*self.FAST, "--component", "activity_model"])
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown ablation knob"):
+            main([*self.FAST, "--component", "voltage=1:2"])
+
+    def test_backend_component_conflicts_with_backend_flag(self):
+        with pytest.raises(ValueError, match="--backend"):
+            main(
+                [
+                    "--backend", "batched", *self.FAST,
+                    "--component", "backend=batched:analytical",
+                ]
+            )
+
+    def test_sampling_component_runs_with_sampled_backend(self, capsys):
+        assert main(
+            [
+                "--backend", "sampled", "--sample-fraction", "0.25", *self.FAST,
+                "--component", "sample_seed=0:1",
+            ]
+        ) == 0
+        assert "sample_seed=1" in capsys.readouterr().out
+
+    def test_rejects_cache_dir(self, tmp_path):
+        with pytest.raises(ValueError, match="cache"):
+            main(["--cache-dir", str(tmp_path), *self.FAST])

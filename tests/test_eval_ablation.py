@@ -1,0 +1,475 @@
+"""Tests of the declarative ablation/importance harness.
+
+Covers the four pillars the harness promises:
+
+* run-set generation is a pure, validated function of the declaration
+  (baseline plus one-off, optional pairwise grid, stable run ids);
+* execution fans out through :class:`~repro.serve.SchedulingService`
+  with results identical to direct backend calls, under either executor
+  kind and any submission order (determinism), and without tripping the
+  deprecated serve aliases (``-W error::DeprecationWarning`` clean);
+* importance/significance math: per-component deltas, error-bound-aware
+  significance, EDP's doubled bound weight;
+* ``ModelTotals.error_bound`` aggregation when a run mixes sampled and
+  exact strata — the generic schedule path, the sampled fast path and
+  the run-level aggregate must all report the same time-weighted bound.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.backends import ModelTotals, SampledSimBackend
+from repro.backends.base import ExecutionBackend
+from repro.core.config import ArrayFlexConfig
+from repro.eval.ablation import (
+    METRICS,
+    AblationStudy,
+    Component,
+    RunResult,
+    RunSpec,
+    WorkloadRun,
+    _delta,
+    default_study,
+    format_value,
+)
+from repro.nn.gemm_mapping import GemmShape
+
+
+def tiny_study(**overrides) -> AblationStudy:
+    """A fast two-component study over one small workload."""
+    kwargs = dict(
+        components=[
+            Component("activity_model", "constant", ("utilization",)),
+            Component("geometry", (16, 16), ((32, 32),)),
+        ],
+        fixed={"workloads": ("mobilenet_v1",), "depths": (1, 2, 4)},
+    )
+    kwargs.update(overrides)
+    return AblationStudy(**kwargs)
+
+
+class TestDeclaration:
+    def test_run_set_is_baseline_plus_one_off(self):
+        study = tiny_study()
+        ids = [spec.run_id for spec in study.generate_runs()]
+        assert ids == [
+            "baseline",
+            "activity_model=utilization",
+            "geometry=32x32",
+        ]
+
+    def test_pairwise_adds_the_cross_grid(self):
+        study = tiny_study(pairwise=True)
+        ids = [spec.run_id for spec in study.generate_runs()]
+        assert ids == [
+            "baseline",
+            "activity_model=utilization",
+            "geometry=32x32",
+            "activity_model=utilization|geometry=32x32",
+        ]
+
+    def test_one_run_per_alternative(self):
+        study = AblationStudy(
+            components=[Component("depths", (1, 2, 4), ((1, 2), (1, 4)))],
+        )
+        ids = [spec.run_id for spec in study.generate_runs()]
+        assert ids == ["baseline", "depths=1+2", "depths=1+4"]
+
+    def test_settings_for_overrides_only_the_flipped_knob(self):
+        study = tiny_study()
+        specs = study.generate_runs()
+        baseline = study.settings_for(specs[0])
+        flipped = study.settings_for(specs[2])
+        assert baseline["geometry"] == (16, 16)
+        assert flipped["geometry"] == (32, 32)
+        assert flipped["activity_model"] == baseline["activity_model"]
+
+    def test_string_spellings_normalised(self):
+        component = Component("geometry", "16x16", ("32x32",))
+        assert component.baseline == (16, 16)
+        assert component.alternatives == ((32, 32),)
+        depths = Component("depths", "1+2+4", ("1+2",))
+        assert depths.baseline == (1, 2, 4)
+        assert format_value("depths", depths.alternatives[0]) == "1+2"
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown ablation knob"):
+            Component("voltage", 1.0, (0.9,))
+
+    def test_component_needs_alternatives(self):
+        with pytest.raises(ValueError, match="at least one alternative"):
+            Component("batch", 1, ())
+
+    def test_baseline_cannot_be_an_alternative(self):
+        with pytest.raises(ValueError, match="baseline as an alternative"):
+            Component("batch", 1, (2, 1))
+
+    def test_duplicate_component_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate component names"):
+            AblationStudy(
+                components=[
+                    Component("batch", 1, (2,)),
+                    Component("batch", 1, (4,)),
+                ]
+            )
+
+    def test_fixed_and_ablated_knob_collision_rejected(self):
+        with pytest.raises(ValueError, match="both fixed and ablated"):
+            AblationStudy(
+                components=[Component("batch", 1, (2,))],
+                fixed={"batch": 8},
+            )
+
+    def test_unknown_metric_and_executor_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            tiny_study(metric="throughput")
+        with pytest.raises(ValueError, match="executor"):
+            tiny_study(executor="fleet")
+
+    def test_sampling_knob_requires_sampled_backend(self):
+        study = AblationStudy(
+            components=[Component("sample_seed", 0, (1,))],
+            fixed={"workloads": ("mobilenet_v1",), "backend": "batched"},
+        )
+        with pytest.raises(ValueError, match="requires the 'sampled' backend"):
+            study.run()
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return tiny_study().run()
+
+    def test_metrics_match_direct_backend_totals(self, outcome):
+        from repro.backends import create_backend, model_totals
+
+        backend = create_backend("batched")
+        for geometry, run_id in (((16, 16), "baseline"), ((32, 32), "geometry=32x32")):
+            config = ArrayFlexConfig(
+                rows=geometry[0], cols=geometry[1], activity_model="constant"
+            )
+            direct = model_totals(backend, "mobilenet_v1", config)
+            run = outcome.run(run_id)
+            assert run.time_ns == direct.time_ns
+            assert run.energy_nj == direct.energy_nj
+            assert run.metric("edp") == direct.energy_nj * direct.time_ns
+
+    def test_ranking_is_sorted_and_ranked(self, outcome):
+        scores = [entry.score for entry in outcome.ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert [entry.rank for entry in outcome.ranking] == [1, 2]
+
+    def test_exact_backend_deltas_are_significant(self, outcome):
+        # Zero sampling noise: any nonzero delta clears the zero-width bound.
+        entry = next(e for e in outcome.ranking if e.component == "geometry")
+        assert entry.score > 0.0
+        assert entry.significant("edp")
+
+    def test_render_mentions_every_run_and_component(self, outcome):
+        text = outcome.render()
+        assert "Component importance" in text
+        assert "activity_model=utilization" in text
+        assert "geometry=32x32" in text
+
+    def test_to_json_is_serialisable_and_complete(self, outcome):
+        payload = json.loads(json.dumps(outcome.to_json(), sort_keys=True))
+        assert payload["metric"] == "edp"
+        assert payload["baseline"]["run_id"] == "baseline"
+        assert {run["run_id"] for run in payload["runs"]} == {
+            "activity_model=utilization",
+            "geometry=32x32",
+        }
+        assert {entry["component"] for entry in payload["ranking"]} == {
+            "activity_model",
+            "geometry",
+        }
+
+    def test_pairwise_interaction_reported(self):
+        outcome = tiny_study(pairwise=True).run()
+        pair = outcome.pairwise[0]
+        assert pair.run_id == "activity_model=utilization|geometry=32x32"
+        # interaction = combined delta - sum of one-off deltas
+        combined = outcome.deltas[pair.run_id].deltas["edp"]
+        parts = (
+            outcome.deltas["activity_model=utilization"].deltas["edp"]
+            + outcome.deltas["geometry=32x32"].deltas["edp"]
+        )
+        assert outcome.interaction(pair) == pytest.approx(combined - parts)
+        assert "interaction" in outcome.render()
+
+    def test_no_deprecated_alias_fires(self):
+        """The fan-out must only speak the typed submit_many surface."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            tiny_study().run()
+
+
+class TestDeterminism:
+    def test_same_study_twice_is_identical(self):
+        first = tiny_study().run().to_json()
+        second = tiny_study().run().to_json()
+        assert first == second
+
+    def test_executor_kind_does_not_change_the_report(self):
+        thread = tiny_study(executor="thread").run().to_json()
+        process = tiny_study(executor="process").run().to_json()
+        assert thread == process
+
+    def test_submission_order_does_not_change_the_report(self):
+        study = tiny_study(pairwise=True)
+        canonical = study.run().to_json()
+        ids = [spec.run_id for spec in study.generate_runs()]
+        shuffled = study.run(order=list(reversed(ids))).to_json()
+        assert canonical == shuffled
+
+    def test_order_must_be_a_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            tiny_study().run(order=["baseline"])
+
+    def test_sampled_study_reproduces_bit_identically(self):
+        study = AblationStudy(
+            components=[Component("sample_seed", 0, (3,))],
+            fixed={
+                "workloads": ("mobilenet_v1",),
+                "geometry": (16, 16),
+                "backend": "sampled",
+                "sample_fraction": 0.25,
+            },
+        )
+        assert study.run().to_json() == study.run().to_json()
+
+
+class TestImportanceMath:
+    def totals_run(self, run_id, time_ns, energy_nj, bound=None, overrides=()):
+        return RunResult(
+            spec=RunSpec(run_id=run_id, overrides=tuple(overrides)),
+            settings={},
+            workloads=[
+                WorkloadRun(
+                    name="w",
+                    result=ModelTotals(
+                        time_ns=time_ns, energy_nj=energy_nj, error_bound=bound
+                    ),
+                )
+            ],
+        )
+
+    def test_deltas_are_relative_to_the_baseline(self):
+        baseline = self.totals_run("baseline", 100.0, 50.0)
+        run = self.totals_run("batch=2", 150.0, 40.0, overrides=[("batch", 2)])
+        delta = _delta(baseline, run)
+        assert delta.deltas["latency"] == pytest.approx(0.5)
+        assert delta.deltas["energy"] == pytest.approx(-0.2)
+        # EDP: (40*150)/(50*100) - 1 = 0.2
+        assert delta.deltas["edp"] == pytest.approx(0.2)
+
+    def test_exact_runs_have_zero_noise_and_significance(self):
+        baseline = self.totals_run("baseline", 100.0, 50.0)
+        same = self.totals_run("batch=2", 100.0, 50.0, overrides=[("batch", 2)])
+        delta = _delta(baseline, same)
+        assert all(delta.noise[m] == 0.0 for m in METRICS)
+        assert not any(delta.significant[m] for m in METRICS)
+
+    def test_delta_inside_the_error_bound_is_not_significant(self):
+        baseline = self.totals_run("baseline", 100.0, 50.0, bound=0.05)
+        run = self.totals_run(
+            "sample_seed=1", 103.0, 51.5, bound=0.05, overrides=[("sample_seed", 1)]
+        )
+        delta = _delta(baseline, run)
+        # 3% delta against a 10% combined bound: noise, not signal.
+        assert delta.noise["latency"] == pytest.approx(0.1)
+        assert not delta.significant["latency"]
+        # EDP doubles the bound weight (time enters twice).
+        assert delta.noise["edp"] == pytest.approx(0.2)
+        assert not delta.significant["edp"]
+
+    def test_delta_beyond_the_error_bound_is_significant(self):
+        baseline = self.totals_run("baseline", 100.0, 50.0, bound=0.02)
+        run = self.totals_run(
+            "sample_seed=1", 130.0, 65.0, bound=0.02, overrides=[("sample_seed", 1)]
+        )
+        delta = _delta(baseline, run)
+        assert delta.significant["latency"]
+        assert delta.significant["energy"]
+
+    def test_run_level_bound_mixes_exact_and_sampled_workloads(self):
+        """An exact workload is a zero-width stratum at its time weight."""
+        run = RunResult(
+            spec=RunSpec(run_id="baseline"),
+            settings={},
+            workloads=[
+                WorkloadRun(
+                    name="exact",
+                    result=ModelTotals(time_ns=100.0, energy_nj=1.0, error_bound=None),
+                ),
+                WorkloadRun(
+                    name="sampled",
+                    result=ModelTotals(time_ns=300.0, energy_nj=2.0, error_bound=0.04),
+                ),
+            ],
+        )
+        assert run.error_bound == pytest.approx(0.04 * 300.0 / 400.0)
+
+
+class TestErrorBoundAggregation:
+    """The zero-bound/nonzero-bound mixing regression (PR 9 follow-up)."""
+
+    @pytest.fixture
+    def noisy_backend(self, monkeypatch):
+        """A sampled backend whose engine has one high-variance stratum.
+
+        The real cycle engine is deterministic per tile shape, so bounds
+        collapse to zero; injecting variance (same trick as the Neyman
+        tests) makes one layer carry a genuinely nonzero bound while
+        small layers stay exhaustive (zero bound) — the mixed run.
+        """
+        backend = SampledSimBackend(sample_fraction=0.1)
+
+        def synthetic(config, depth, t_rows, items):
+            return [
+                1_000 * n + 10 * m + ((index % 5) * 40 if n == m == 16 else 0)
+                for n, m, index in items
+            ]
+
+        monkeypatch.setattr(backend, "_simulate_batch", synthetic)
+        return backend
+
+    @pytest.fixture
+    def mixed_model(self):
+        return [
+            GemmShape(m=6, n=7, t=9, name="tiny-exhaustive"),
+            GemmShape(m=410, n=410, t=20, name="hetero-sampled"),
+        ]
+
+    def test_run_genuinely_mixes_zero_and_nonzero_bounds(
+        self, noisy_backend, mixed_model
+    ):
+        config = ArrayFlexConfig(rows=16, cols=16)
+        schedule = noisy_backend.schedule_model(mixed_model, config, model_name="mix")
+        bounds = [layer.error_bound for layer in schedule.layers]
+        assert bounds[0] == 0.0
+        assert bounds[1] > 0.0
+
+    def test_combined_bound_is_the_time_weighted_mean(
+        self, noisy_backend, mixed_model
+    ):
+        config = ArrayFlexConfig(rows=16, cols=16)
+        schedule = noisy_backend.schedule_model(mixed_model, config, model_name="mix")
+        expected = sum(
+            (layer.error_bound or 0.0) * layer.execution_time_ns
+            for layer in schedule.layers
+        ) / schedule.total_time_ns
+        assert schedule.combined_error_bound() == pytest.approx(expected)
+        assert 0.0 < schedule.combined_error_bound() < schedule.max_error_bound()
+
+    def test_generic_and_fast_totals_paths_agree(self, noisy_backend, mixed_model):
+        """The asymmetry fix: the generic schedule-then-sum path must
+        carry the same combined bound as the sampled fast path."""
+        config = ArrayFlexConfig(rows=16, cols=16)
+        fast = noisy_backend.schedule_model_totals(mixed_model, config, model_name="mix")
+        generic = ExecutionBackend.schedule_model_totals(
+            noisy_backend, mixed_model, config, model_name="mix"
+        )
+        assert generic.time_ns == fast.time_ns
+        assert generic.energy_nj == fast.energy_nj
+        assert generic.error_bound == pytest.approx(fast.error_bound)
+        assert fast.error_bound > 0.0
+
+    def test_exact_backends_still_report_no_bound(self):
+        config = ArrayFlexConfig(rows=16, cols=16)
+        from repro.backends import create_backend, model_totals
+
+        totals = model_totals(create_backend("analytical"), "mobilenet_v1", config)
+        assert totals.error_bound is None
+
+    def test_all_exact_layers_combine_to_none(self):
+        from repro.backends import create_backend
+
+        config = ArrayFlexConfig(rows=16, cols=16)
+        schedule = create_backend("batched").schedule_model("mobilenet_v1", config)
+        assert schedule.combined_error_bound() is None
+
+
+class TestActivityRefactor:
+    def test_engine_backed_run_matches_the_inline_loop_bit_for_bit(self):
+        """The refactored ActivitySensitivityExperiment must reproduce the
+        pre-engine hand-written loop exactly — same schedules, same
+        division order, bit-identical rendered numbers."""
+        from repro.core.activity import UtilizationActivity
+        from repro.eval.experiments import (
+            ActivitySensitivityEntry,
+            ActivitySensitivityExperiment,
+        )
+        from repro.nn.models import mobilenet_v1
+        from repro.backends import create_backend
+
+        sizes = (16, 32)
+        workloads = [mobilenet_v1()]
+        experiment = ActivitySensitivityExperiment(sizes=sizes, workloads=workloads)
+        engine_result = experiment.run()
+
+        backend = create_backend(None, default="batched")
+        entries = []
+        for size in sizes:
+            constant_config = ArrayFlexConfig(rows=size, cols=size)
+            utilization_config = constant_config.with_activity_model(
+                UtilizationActivity()
+            )
+            for workload in workloads:
+                constant = backend.schedule_model(workload, constant_config)
+                derated = backend.schedule_model(workload, utilization_config)
+                constant_conv = backend.schedule_model_conventional(
+                    workload, constant_config
+                )
+                derated_conv = backend.schedule_model_conventional(
+                    workload, utilization_config
+                )
+                entries.append(
+                    ActivitySensitivityEntry(
+                        workload_name=constant.model_name,
+                        rows=size,
+                        cols=size,
+                        average_utilization=derated.average_utilization(),
+                        constant_energy_nj=constant.total_energy_nj,
+                        utilization_energy_nj=derated.total_energy_nj,
+                        constant_edp_gain=(
+                            constant_conv.energy_delay_product
+                            / constant.energy_delay_product
+                        ),
+                        utilization_edp_gain=(
+                            derated_conv.energy_delay_product
+                            / derated.energy_delay_product
+                        ),
+                    )
+                )
+        assert engine_result.entries == entries  # == on floats: bit-identical
+        assert experiment.render(engine_result) == experiment.render(
+            type(engine_result)(entries=entries)
+        )
+
+
+class TestDefaultStudy:
+    def test_default_study_shape(self):
+        study = default_study()
+        assert [component.name for component in study.components] == [
+            "activity_model",
+            "geometry",
+            "depths",
+        ]
+        assert len(study.generate_runs()) == 4
+
+    def test_ablation_experiment_runs_and_renders(self):
+        from repro.eval.experiments import AblationExperiment
+        from repro.eval.ablation import AblationStudy
+
+        experiment = AblationExperiment(
+            study=AblationStudy(
+                components=[Component("activity_model", "constant", ("utilization",))],
+                fixed={"workloads": ("mobilenet_v1",), "geometry": (16, 16)},
+            )
+        )
+        text = experiment.render()
+        assert "Component importance" in text
+        assert experiment.experiment_id == "ablation"
